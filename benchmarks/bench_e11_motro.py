@@ -1,0 +1,84 @@
+"""E11 — the three access-control philosophies on one workload (§3, §4, §7).
+
+The paper positions the Non-Truman model against two alternatives:
+
+* **Truman/VPD** (§3): silently modify the query — answers may be
+  partial or outright wrong, with no indication;
+* **Motro** (§7): modify the query but *annotate* the answer ("only
+  grades of user-id 11 have been returned"); refuses aggregates/set
+  ops, whose partial answers would be incorrect;
+* **Non-Truman** (§4): never modify — run exactly or reject.
+
+Over the portal workload we tabulate per model: exact answers,
+silently-wrong answers, annotated-partial answers, and refusals.  The
+shape: only Truman produces silent wrong answers; Motro converts most
+of them into annotated partials or refusals; Non-Truman converts them
+into refusals while answering everything it accepts exactly.
+"""
+
+import pytest
+
+from repro.errors import QueryRejectedError, UnsupportedFeatureError
+from repro.workloads import UniversityConfig, build_university, student_query_mix
+from repro.bench import Experiment
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E11",
+        title="Truman vs Motro vs Non-Truman answer semantics",
+        claim="silent wrongness (Truman) -> annotated partiality (Motro) -> exactness or refusal (Non-Truman)",
+    )
+)
+
+WORKLOAD = 100
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = build_university(UniversityConfig(students=40, courses=8, seed=17))
+    db.set_truman_view("Grades", "MyGrades")
+    queries = student_query_mix(db, "11", count=WORKLOAD, seed=9)
+    return db, queries
+
+
+def run(db, queries, mode):
+    conn = db.connect(user_id="11", mode=mode)
+    tally = {"exact": 0, "silent_wrong": 0, "annotated_partial": 0, "refused": 0}
+    for query in queries:
+        try:
+            answer = conn.query(query.sql)
+        except (QueryRejectedError, UnsupportedFeatureError):
+            tally["refused"] += 1
+            continue
+        truth = db.execute(query.sql)
+        exact = sorted(map(repr, answer.rows)) == sorted(map(repr, truth.rows))
+        annotated = bool(getattr(answer, "annotations", None))
+        if exact:
+            tally["exact"] += 1
+        elif annotated:
+            tally["annotated_partial"] += 1
+        else:
+            tally["silent_wrong"] += 1
+    return tally
+
+
+@pytest.mark.parametrize("mode", ["truman", "motro", "non-truman"])
+def test_model_semantics(benchmark, env, mode):
+    db, queries = env
+    tally = benchmark.pedantic(lambda: run(db, queries, mode), rounds=3, iterations=1)
+    EXPERIMENT.add(mode, total=WORKLOAD, **tally)
+
+    if mode == "truman":
+        assert tally["silent_wrong"] > 0
+        assert tally["refused"] == 0
+    if mode == "motro":
+        # every modified answer is labeled; nothing silently wrong
+        assert tally["silent_wrong"] == 0
+        assert tally["annotated_partial"] > 0
+        assert tally["refused"] > 0  # aggregates refused
+    if mode == "non-truman":
+        assert tally["silent_wrong"] == 0
+        assert tally["annotated_partial"] == 0
+        assert tally["exact"] + tally["refused"] == WORKLOAD

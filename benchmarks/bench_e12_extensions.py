@@ -1,0 +1,139 @@
+"""E12 — ablation of the implemented future-work extensions.
+
+The paper leaves three capabilities as future work, all implemented in
+this reproduction (DESIGN.md §6):
+
+* **overlapping covers** — "a query of the form A ⋈ B ⋈ C can be
+  rewritten completely using the views only if we decompose the query
+  as (A ⋈ B) ⋈ (B ⋈ C).  Extending the algorithm to handle such cases
+  is a topic of future work" (§5.6.2);
+* **dependent joins** over access-pattern views (§6, "we omit details");
+* **re-aggregation** of finer-grained aggregate views (the [8, 14, 26]
+  line of work the paper cites).
+
+Each extension gets its own schema region whose views make a probe
+query answerable *only* through that extension; turning the extension
+off must flip exactly that query to rejected.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.sql import parse_query
+from repro.nontruman.checker import ValidityChecker
+from repro.bench import Experiment
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E12",
+        title="acceptance contribution of each future-work extension",
+        claim="each extension unlocks a class of queries the base rules reject",
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        -- region 1: overlapping covers (A ⋈ B ⋈ C from {AB, BC})
+        create table A(id int primary key, b_id int, x int);
+        create table B(id int primary key, y int);
+        create table C(id int primary key, b_id int, z int);
+        insert into B values (1,10),(2,20);
+        insert into A values (1,1,100),(2,2,101);
+        insert into C values (1,1,200),(2,2,201);
+        create authorization view AB as
+            select A.id as a_id, A.x, B.id as b_id, B.y
+            from A, B where A.b_id = B.id;
+        create authorization view BC as
+            select B.id as b_id, B.y, C.id as c_id, C.z
+            from B, C where C.b_id = B.id;
+
+        -- region 2: dependent joins (S only reachable via $$-view)
+        create table R(id int primary key, v int);
+        create table S(id int primary key, r_id int, w int);
+        insert into R values (1,7),(2,8);
+        insert into S values (1,1,5),(2,2,6);
+        create authorization view AllR as select * from R;
+        create authorization view SByR as
+            select * from S where r_id = $$r;
+
+        -- region 3: re-aggregation (G only visible through group stats)
+        create table G(sid varchar(5), cid varchar(5), grade float,
+            primary key (sid, cid));
+        insert into G values ('1','a',3.0),('2','a',4.0),('1','b',1.0);
+        create authorization view GStats as
+            select cid, sum(grade) as sg, count(grade) as cg, count(*) as n
+            from G group by cid;
+        """
+    )
+    for name in ("AB", "BC", "AllR", "SByR", "GStats"):
+        database.grant_public(name)
+    return database
+
+
+#: query -> the single extension it depends on (None = base rules)
+WORKLOAD = {
+    "select A.x, B.y, C.z from A, B, C where A.b_id = B.id and C.b_id = B.id":
+        "overlap",
+    "select r.v, s.w from R r, S s where s.r_id = r.id": "dependent-join",
+    "select sum(grade) from G": "re-aggregation",
+    "select avg(grade) from G": "re-aggregation",
+    "select v from R where id = 1": None,
+    "select w from S where r_id = 2": None,  # $$ pinned directly: base §6 rule
+}
+
+CONFIGS = {
+    "all extensions ON": {},
+    "no overlap covers": {"enable_overlap_covers": False},
+    "no dependent joins": {"enable_dependent_joins": False},
+    "no re-aggregation": {"enable_reaggregation": False},
+    "all extensions OFF": {
+        "enable_overlap_covers": False,
+        "enable_dependent_joins": False,
+        "enable_reaggregation": False,
+    },
+}
+
+OVERLAP_QUERY = next(q for q, k in WORKLOAD.items() if k == "overlap")
+DEPJOIN_QUERY = next(q for q, k in WORKLOAD.items() if k == "dependent-join")
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_extension_ablation(benchmark, db, config):
+    session = db.connect(user_id="u").session
+    checker = ValidityChecker(db, **CONFIGS[config])
+
+    def run():
+        return {
+            sql: checker.check(parse_query(sql), session).valid
+            for sql in WORKLOAD
+        }
+
+    outcomes = benchmark.pedantic(run, rounds=3, iterations=1)
+    accepted = sum(outcomes.values())
+    EXPERIMENT.add(
+        config,
+        accepted=accepted,
+        total=len(WORKLOAD),
+        overlap="+" if outcomes[OVERLAP_QUERY] else "-",
+        dep_join="+" if outcomes[DEPJOIN_QUERY] else "-",
+        reagg="+" if outcomes["select sum(grade) from G"] else "-",
+    )
+
+    for sql, needs in WORKLOAD.items():
+        if needs is None:
+            assert outcomes[sql], (config, sql)
+    flags = CONFIGS[config]
+    assert outcomes[OVERLAP_QUERY] == flags.get("enable_overlap_covers", True)
+    assert outcomes[DEPJOIN_QUERY] == flags.get("enable_dependent_joins", True)
+    assert outcomes["select sum(grade) from G"] == flags.get(
+        "enable_reaggregation", True
+    )
+    assert outcomes["select avg(grade) from G"] == flags.get(
+        "enable_reaggregation", True
+    )

@@ -1,0 +1,86 @@
+"""E3 — scaling with the number of authorization views + pruning (§5.6).
+
+Paper claims: "The complex inference rules do require equivalence rules
+to be applied to the views, which can be somewhat expensive in the
+presence of a large number of authorization views" and "Given a query,
+we can eliminate authorization views that cannot possibly be of use in
+validating the query".
+
+We deploy N authorization views (a handful relevant to the test query,
+the rest over disjoint relations), and measure validity-check latency
+with and without relevance pruning as N grows.  Shape: without pruning,
+latency grows with N; with pruning it stays near-flat.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.sql import parse_query
+from repro.nontruman.checker import ValidityChecker
+from repro.bench import Experiment, time_callable
+
+from benchmarks.conftest import register_experiment
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E3",
+        title="validity-check latency vs number of authorization views",
+        claim="irrelevant-view pruning keeps latency flat as the view count grows",
+    )
+)
+
+VIEW_COUNTS = [10, 50, 100, 200, 400]
+QUERY = "select grade from Grades where student_id = '11'"
+
+
+def build_db(total_views: int) -> Database:
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    db.execute_script(UNIVERSITY_DATA)
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant_public("MyGrades")
+    # Irrelevant views over dedicated tables.
+    for index in range(total_views - 1):
+        table = f"Aux{index}"
+        db.execute(f"create table {table}(id int primary key, payload varchar(10))")
+        db.execute(
+            f"create authorization view AuxView{index} as "
+            f"select * from {table} where id = 1"
+        )
+        db.grant_public(f"AuxView{index}")
+    return db
+
+
+@pytest.mark.parametrize("total", VIEW_COUNTS)
+def test_view_scaling(benchmark, total):
+    db = build_db(total)
+    session = db.connect(user_id="11").session
+    query = parse_query(QUERY)
+
+    pruned_checker = ValidityChecker(db, use_pruning=True)
+    unpruned_checker = ValidityChecker(db, use_pruning=False)
+
+    pruned_s, _ = time_callable(lambda: pruned_checker.check(query, session), repeat=5)
+    unpruned_s, _ = time_callable(
+        lambda: unpruned_checker.check(query, session), repeat=5
+    )
+    decision = pruned_checker.check(query, session)
+    assert decision.valid
+
+    benchmark(lambda: pruned_checker.check(query, session))
+
+    EXPERIMENT.add(
+        f"{total} views",
+        pruned_ms=pruned_s * 1000,
+        unpruned_ms=unpruned_s * 1000,
+        speedup=f"{unpruned_s / pruned_s:.1f}x",
+        views_pruned=pruned_checker.views_pruned,
+    )
+    assert pruned_checker.views_pruned == total - 1
+    if total >= 100:
+        # the claim: pruning wins, increasingly so with more views
+        assert pruned_s < unpruned_s

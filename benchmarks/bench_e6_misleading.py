@@ -1,0 +1,116 @@
+"""E6 — misleading answers: Truman vs Non-Truman over a query workload (§3.3).
+
+Paper claim: under the Truman model, queries like ``select avg(grade)
+from Grades`` silently return answers computed over the user's
+restricted view ("giving her an impression that her average grade is
+the same as the overall average grade"); the Non-Truman model "removes
+this limitation ... either the user query is executed without any
+modification or rejected outright".
+
+Over a labeled student-portal workload we tabulate, per model:
+
+* correct answers (equal to the unrestricted ground truth);
+* **misleading** answers (returned, but different from ground truth);
+* rejections.
+
+Shape to reproduce: Truman returns misleading answers for the
+aggregate-style queries and *never rejects*; Non-Truman never returns a
+misleading answer — every accepted query's answer equals ground truth.
+"""
+
+import pytest
+
+from repro.errors import QueryRejectedError
+from repro.workloads import UniversityConfig, build_university, student_query_mix
+from repro.bench import Experiment
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E6",
+        title="answer quality per access-control model",
+        claim="Truman: misleading answers, no rejections; Non-Truman: no misleading answers",
+    )
+)
+
+WORKLOAD_SIZE = 120
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = build_university(UniversityConfig(students=60, courses=8, seed=8))
+    db.set_truman_view("Grades", "MyGrades")
+    db.vpd_policies.add_policy("Registered", "student_id = $user_id")
+    queries = student_query_mix(db, "11", count=WORKLOAD_SIZE, seed=13)
+    return db, queries
+
+
+def classify(db, conn, sql):
+    """-> 'correct' | 'misleading' | 'rejected'"""
+    try:
+        answer = conn.query(sql)
+    except QueryRejectedError:
+        return "rejected"
+    truth = db.execute(sql)
+    if sorted(map(repr, answer.rows)) == sorted(map(repr, truth.rows)):
+        return "correct"
+    return "misleading"
+
+
+def run_model(db, queries, mode):
+    conn = db.connect(user_id="11", mode=mode)
+    tally = {"correct": 0, "misleading": 0, "rejected": 0}
+    for query in queries:
+        tally[classify(db, conn, query.sql)] += 1
+    return tally
+
+
+def test_truman_answer_quality(benchmark, env):
+    db, queries = env
+    tally = benchmark.pedantic(
+        lambda: run_model(db, queries, "truman"), rounds=3, iterations=1
+    )
+    EXPERIMENT.add(
+        "Truman",
+        correct=tally["correct"],
+        misleading=tally["misleading"],
+        rejected=tally["rejected"],
+        total=WORKLOAD_SIZE,
+    )
+    assert tally["rejected"] == 0  # Truman never rejects
+    assert tally["misleading"] > 0  # ... and that is the problem
+
+
+def test_nontruman_answer_quality(benchmark, env):
+    db, queries = env
+    tally = benchmark.pedantic(
+        lambda: run_model(db, queries, "non-truman"), rounds=3, iterations=1
+    )
+    EXPERIMENT.add(
+        "Non-Truman",
+        correct=tally["correct"],
+        misleading=tally["misleading"],
+        rejected=tally["rejected"],
+        total=WORKLOAD_SIZE,
+    )
+    # The paper's guarantee: accepted queries run unmodified, so no
+    # accepted answer can deviate from ground truth.
+    assert tally["misleading"] == 0
+    assert tally["correct"] > 0
+    assert tally["rejected"] > 0  # unauthorized/misleading queries bounce
+
+
+def test_open_baseline(benchmark, env):
+    db, queries = env
+    tally = benchmark.pedantic(
+        lambda: run_model(db, queries, "open"), rounds=3, iterations=1
+    )
+    EXPERIMENT.add(
+        "open (no access control)",
+        correct=tally["correct"],
+        misleading=tally["misleading"],
+        rejected=tally["rejected"],
+        total=WORKLOAD_SIZE,
+    )
+    assert tally == {"correct": WORKLOAD_SIZE, "misleading": 0, "rejected": 0}

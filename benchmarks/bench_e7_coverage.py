@@ -1,0 +1,94 @@
+"""E7 — inference-rule coverage tiers (§5.5).
+
+Paper: the rule set is sound but incomplete; each rule family widens
+the class of accepted queries.  "We believe that our inference rules
+are likely to handle most common queries."
+
+Over the authorized portion of the student-portal workload — every
+query in it IS answerable from the user's views — we measure the
+acceptance rate under increasing rule tiers:
+
+* **basic** — U1/U2 only (the Motro / Rosenthal-et-al. notion of
+  unconditional validity via plain rewriting);
+* **+U3** — adds integrity-constraint subexpression inference;
+* **+C3 (full)** — adds conditional validity, the paper's novel class.
+
+Shape: acceptance strictly grows by tier, reaching 100% on this
+workload at the full rule set; rejected-but-answerable queries at lower
+tiers quantify what each rule family buys.
+"""
+
+import pytest
+
+from repro.sql import parse_query
+from repro.nontruman.checker import ValidityChecker
+from repro.workloads import UniversityConfig, build_university, student_query_mix
+from repro.bench import Experiment
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E7",
+        title="acceptance rate by inference-rule tier",
+        claim="each rule family (U2 < +U3 < +C3) strictly widens accepted queries",
+    )
+)
+
+TIERS = {
+    "U1/U2 only": dict(allow_u3=False, allow_conditional=False),
+    "+U3": dict(allow_u3=True, allow_conditional=False),
+    "+C3 (full)": dict(allow_u3=True, allow_conditional=True),
+}
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = build_university(UniversityConfig(students=60, courses=8, seed=21))
+    queries = [
+        q
+        for q in student_query_mix(db, "11", count=200, seed=3)
+        if q.label == "authorized"
+    ]
+    session = db.connect(user_id="11").session
+    return db, session, queries
+
+
+@pytest.mark.parametrize("tier", list(TIERS))
+def test_rule_tier_acceptance(benchmark, env, tier):
+    db, session, queries = env
+    checker = ValidityChecker(db, **TIERS[tier])
+
+    def run():
+        accepted = by_needed_tier = 0
+        per_tier = {"U2": [0, 0], "U3": [0, 0], "C3": [0, 0]}
+        for query in queries:
+            decision = checker.check(parse_query(query.sql), session)
+            bucket = per_tier[query.tier]
+            bucket[1] += 1
+            if decision.valid:
+                accepted += 1
+                bucket[0] += 1
+        return accepted, per_tier
+
+    accepted, per_tier = benchmark.pedantic(run, rounds=3, iterations=1)
+    EXPERIMENT.add(
+        tier,
+        accepted=accepted,
+        total=len(queries),
+        rate=f"{accepted / len(queries):.0%}",
+        u2_queries=f"{per_tier['U2'][0]}/{per_tier['U2'][1]}",
+        u3_queries=f"{per_tier['U3'][0]}/{per_tier['U3'][1]}",
+        c3_queries=f"{per_tier['C3'][0]}/{per_tier['C3'][1]}",
+    )
+
+    # All tiers accept every U2-answerable query.
+    assert per_tier["U2"][0] == per_tier["U2"][1]
+    if tier == "U1/U2 only":
+        assert per_tier["U3"][0] == 0 and per_tier["C3"][0] == 0
+    if tier == "+U3":
+        assert per_tier["U3"][0] == per_tier["U3"][1]
+        assert per_tier["C3"][0] == 0
+    if tier == "+C3 (full)":
+        # the paper's full rule set handles the whole answerable workload
+        assert accepted == len(queries)

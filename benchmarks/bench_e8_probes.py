@@ -1,0 +1,65 @@
+"""E8 — cost of conditional-validity probes (§5.4, rule C3a condition 3).
+
+Conditional validity requires executing probe queries against the
+current database state (and recursively validating them).  This
+experiment measures, as the database grows:
+
+* the end-to-end check latency of a C3-accepted query vs a U2-accepted
+  one (the probe premium);
+* the number of probes executed per check.
+
+Shape: the probe premium tracks the cost of the probe's (indexed or
+scanned) evaluation; probe counts stay constant per query shape.
+"""
+
+import pytest
+
+from repro.sql import parse_query
+from repro.nontruman.checker import ValidityChecker
+from repro.workloads.university import UniversityConfig, build_university
+from repro.bench import Experiment, time_callable
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E8",
+        title="conditional-validity probe overhead vs database size",
+        claim="C3 checks pay a per-probe premium over U2 checks; probe count is constant",
+    )
+)
+
+SIZES = [50, 200, 800]
+
+
+@pytest.mark.parametrize("students", SIZES)
+def test_probe_overhead(benchmark, students):
+    db = build_university(
+        UniversityConfig(students=students, courses=10, seed=6)
+    )
+    session = db.connect(user_id="11").session
+    my_course = db.execute(
+        "select course_id from Registered where student_id = '11' "
+        "order by course_id limit 1"
+    ).scalar()
+
+    u2_query = parse_query("select grade from Grades where student_id = '11'")
+    c3_query = parse_query(f"select * from Grades where course_id = '{my_course}'")
+    checker = ValidityChecker(db)
+
+    u2_s, _ = time_callable(lambda: checker.check(u2_query, session), repeat=5)
+    c3_s, _ = time_callable(lambda: checker.check(c3_query, session), repeat=5)
+    decision = checker.check(c3_query, session)
+    assert decision.conditional
+
+    benchmark(lambda: checker.check(c3_query, session))
+
+    EXPERIMENT.add(
+        f"{students} students",
+        u2_check_ms=u2_s * 1000,
+        c3_check_ms=c3_s * 1000,
+        probe_premium=f"{c3_s / u2_s:.1f}x",
+        probes=decision.probes_executed,
+    )
+    assert decision.probes_executed >= 1
+    assert c3_s > u2_s  # the probe is real work

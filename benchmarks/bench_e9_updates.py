@@ -1,0 +1,124 @@
+"""E9 — update-authorization throughput (§4.4).
+
+Paper claim: "checking validity of updates is a simpler task than
+validity checking for queries.  We consider updates individually, and
+checking if the insertion/deletion/update of a particular tuple is
+authorized only requires evaluation of a (fully instantiated)
+predicate".
+
+We measure per-statement throughput of authorized INSERT/UPDATE/DELETE
+against the unchecked (open-mode) baseline.  Shape: the authorization
+overhead is a small constant factor — far below a query validity check
+on the same session.
+"""
+
+import pytest
+
+from repro.sql import parse_query
+from repro.nontruman.checker import ValidityChecker
+from repro.workloads.university import UniversityConfig, build_university
+from repro.bench import Experiment, time_callable
+
+from benchmarks.conftest import register_experiment
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E9",
+        title="update authorization overhead (per-tuple predicate checks)",
+        claim="update checks are constant-cost predicate evaluations, far cheaper than query checks",
+    )
+)
+
+BATCH = 200
+
+
+@pytest.fixture()
+def db():
+    database = build_university(UniversityConfig(students=30, courses=30, seed=12))
+    database.execute(
+        "authorize insert on Registered where Registered.student_id = $user_id"
+    )
+    database.execute(
+        "authorize delete on Registered where Registered.student_id = $user_id"
+    )
+    database.execute(
+        "authorize update on Students(name) "
+        "where old(Students.student_id) = $user_id"
+    )
+    return database
+
+
+def insert_delete_batch(conn, courses):
+    for course in courses:
+        conn.execute(f"insert into Registered values ('11', '{course}')")
+    for course in courses:
+        conn.execute(
+            f"delete from Registered where student_id = '11' "
+            f"and course_id = '{course}'"
+        )
+
+
+def test_update_authorization_throughput(benchmark, db):
+    registered = {
+        row[0]
+        for row in db.execute(
+            "select course_id from Registered where student_id = '11'"
+        ).rows
+    }
+    free_courses = [
+        row[0]
+        for row in db.execute("select course_id from Courses").rows
+        if row[0] not in registered
+    ][:20]
+    assert free_courses
+
+    open_conn = db.connect(user_id="11", mode="open")
+    checked_conn = db.connect(user_id="11", mode="non-truman")
+
+    open_s, _ = time_callable(lambda: insert_delete_batch(open_conn, free_courses), repeat=5)
+    checked_s, _ = time_callable(
+        lambda: insert_delete_batch(checked_conn, free_courses), repeat=5
+    )
+
+    # name updates
+    update_open_s, _ = time_callable(
+        lambda: open_conn.execute("update Students set name = 'A' where student_id = '11'"),
+        repeat=5,
+    )
+    update_checked_s, _ = time_callable(
+        lambda: checked_conn.execute(
+            "update Students set name = 'A' where student_id = '11'"
+        ),
+        repeat=5,
+    )
+
+    # reference point: a query validity check on the same session
+    query_check_s, _ = time_callable(
+        lambda: ValidityChecker(db).check(
+            parse_query("select grade from Grades where student_id = '11'"),
+            checked_conn.session,
+        ),
+        repeat=5,
+    )
+
+    benchmark(lambda: insert_delete_batch(checked_conn, free_courses))
+
+    per_stmt_open = open_s / (len(free_courses) * 2)
+    per_stmt_checked = checked_s / (len(free_courses) * 2)
+    EXPERIMENT.add(
+        "insert+delete per statement",
+        open_us=per_stmt_open * 1e6,
+        authorized_us=per_stmt_checked * 1e6,
+        overhead=f"{per_stmt_checked / per_stmt_open:.2f}x",
+        query_check_us=query_check_s * 1e6,
+    )
+    EXPERIMENT.add(
+        "update statement",
+        open_us=update_open_s * 1e6,
+        authorized_us=update_checked_s * 1e6,
+        overhead=f"{update_checked_s / update_open_s:.2f}x",
+        query_check_us=query_check_s * 1e6,
+    )
+    # §4.4's "simpler task" claim: authorized DML costs far less than a
+    # query validity check.
+    assert per_stmt_checked < query_check_s

@@ -1,0 +1,38 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_e*.py`` module registers one :class:`repro.bench.Experiment`
+here; rows are added while the benchmark tests run and the assembled
+tables — the reproduction's counterpart of the paper's figures/claims —
+are printed in the terminal summary after pytest-benchmark's own table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `from tests.conftest import ...`-style absolute imports if needed.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+_EXPERIMENTS = []
+
+
+def register_experiment(experiment):
+    _EXPERIMENTS.append(experiment)
+    return experiment
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _EXPERIMENTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("EXPERIMENT TABLES (see EXPERIMENTS.md for the paper mapping)")
+    terminalreporter.write_line("=" * 72)
+    for experiment in _EXPERIMENTS:
+        if not experiment.rows:
+            continue
+        terminalreporter.write_line("")
+        for line in experiment.report().splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

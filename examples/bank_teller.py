@@ -1,0 +1,79 @@
+"""Bank scenario (paper Section 1's motivating examples).
+
+Three principals with three authorization styles:
+
+* **customer** — parameterized view: her own accounts only;
+* **teller** — cell-level view: every balance, but no addresses;
+* **restricted teller** — access-pattern view: any ONE account by
+  number, never the full list.
+
+Run:  python examples/bank_teller.py
+"""
+
+from repro import QueryRejectedError
+from repro.workloads.bank import BankConfig, account_ids, build_bank, grant_teller
+
+db = build_bank(BankConfig(customers=12, accounts_per_customer=2, seed=31))
+grant_teller(db, "teller")
+db.grant("AccountByNumber", "window_clerk")
+
+
+def attempt(conn, sql, label):
+    print(f"\n  {label}")
+    print(f"    {sql}")
+    try:
+        result = conn.query(sql)
+        sample = result.rows[:3]
+        print(f"    OK: {len(result)} row(s); sample {sample}")
+    except QueryRejectedError:
+        print("    REJECTED (not derivable from this principal's views)")
+
+
+print("=" * 70)
+print("CUSTOMER C100 — 'her account balance, and no one else's'")
+print("=" * 70)
+customer = db.connect(user_id="C100", mode="non-truman")
+attempt(customer, "select acct_id, balance from Accounts where cust_id = 'C100'",
+        "own balances")
+attempt(customer, "select balance from Accounts where cust_id = 'C101'",
+        "someone else's balance")
+attempt(customer, "select avg(balance) from Accounts",
+        "bank-wide statistics")
+
+print()
+print("=" * 70)
+print("TELLER — 'balances of all accounts but not the addresses'")
+print("=" * 70)
+teller = db.connect(user_id="teller", mode="non-truman")
+attempt(teller, "select acct_id, balance from Accounts", "all balances")
+attempt(teller,
+        "select c.name, a.balance from Customers c, Accounts a "
+        "where c.cust_id = a.cust_id",
+        "balances with customer names")
+attempt(teller, "select name, address from Customers",
+        "customer addresses (projected away by TellerBalances)")
+attempt(teller, "select branch, sum(balance) from Accounts group by branch",
+        "branch totals via the BranchTotals aggregate view")
+
+print()
+print("=" * 70)
+print("WINDOW CLERK — 'any one account by account-id, never the list'")
+print("=" * 70)
+clerk = db.connect(user_id="window_clerk", mode="non-truman")
+some_account = account_ids(db)[5]
+attempt(clerk, f"select balance from Accounts where acct_id = '{some_account}'",
+        f"lookup of {some_account} ($$1 bound by the query constant)")
+attempt(clerk, "select acct_id, balance from Accounts",
+        "the full list")
+attempt(clerk, "select count(*) from Accounts",
+        "even the count is withheld")
+
+print()
+print("=" * 70)
+print("WHY: the decision trace for the teller's join")
+print("=" * 70)
+decision = teller.check_validity(
+    "select c.name, a.balance from Customers c, Accounts a "
+    "where c.cust_id = a.cust_id"
+)
+print(decision.describe())

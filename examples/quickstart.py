@@ -1,0 +1,69 @@
+"""Quickstart: fine-grained access control in 60 lines.
+
+Creates the paper's university schema, deploys a parameterized
+authorization view, and shows the Non-Truman model at work: valid
+queries run unmodified, invalid queries are rejected with an
+explanation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, QueryRejectedError
+
+db = Database()
+
+# 1. Schema and data (paper Section 2's running example).
+db.execute_script(
+    """
+    create table Students(student_id varchar(10) primary key,
+        name varchar(40) not null, type varchar(10));
+    create table Grades(student_id varchar(10), course_id varchar(10),
+        grade float,
+        primary key (student_id, course_id),
+        foreign key (student_id) references Students);
+
+    insert into Students values
+        ('11','Alice','FullTime'), ('12','Bob','PartTime');
+    insert into Grades values
+        ('11','CS101',3.5), ('11','CS102',4.0), ('12','CS101',2.5);
+    """
+)
+
+# 2. One parameterized authorization view serves every student:
+#    $user_id is bound from the session at access time.
+db.execute(
+    "create authorization view MyGrades as "
+    "select * from Grades where student_id = $user_id"
+)
+db.grant_public("MyGrades")
+
+# 3. Alice connects under the Non-Truman model and queries the BASE
+#    table — authorization-transparent querying.
+alice = db.connect(user_id="11", mode="non-truman")
+
+result = alice.query("select course_id, grade from Grades where student_id = '11'")
+print("Alice's grades:", result.rows)
+
+result = alice.query("select avg(grade) from Grades where student_id = '11'")
+print("Alice's average:", result.scalar())
+
+# 4. Queries that cannot be answered from her views are REJECTED —
+#    never silently modified.
+for sql in (
+    "select avg(grade) from Grades",          # everyone's average
+    "select * from Grades where student_id = '12'",  # Bob's grades
+):
+    try:
+        alice.query(sql)
+    except QueryRejectedError as exc:
+        print(f"rejected: {sql!r}\n  -> {exc}")
+
+# 5. Inspect WHY a query was accepted: the decision carries the witness
+#    rewriting over the authorization views and the rule trace.
+decision = alice.check_validity(
+    "select course_id from Grades where student_id = '11' and grade >= 3.9"
+)
+print("\nvalidity decision:")
+print(decision.describe())
+print("\nwitness plan:")
+print(decision.witness.pretty())

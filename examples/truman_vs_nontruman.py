@@ -1,0 +1,89 @@
+"""Truman vs Non-Truman, side by side (paper Sections 3-4).
+
+Runs the same queries under both models and prints what each user
+actually sees — reproducing §3.3's misleading-answer pitfalls and how
+the Non-Truman model avoids them.
+
+Run:  python examples/truman_vs_nontruman.py
+"""
+
+from repro import QueryRejectedError
+from repro.workloads import UniversityConfig, build_university
+
+db = build_university(UniversityConfig(students=25, courses=5, seed=23))
+db.set_truman_view("Grades", "MyGrades")
+
+truman = db.connect(user_id="11", mode="truman")
+nontruman = db.connect(user_id="11", mode="non-truman")
+
+QUERIES = [
+    ("own grades",
+     "select course_id, grade from Grades where student_id = '11'"),
+    ("own average",
+     "select avg(grade) from Grades where student_id = '11'"),
+    ("class average  <-- the paper's §3.3 pitfall",
+     "select avg(grade) from Grades"),
+    ("grade count",
+     "select count(*) from Grades"),
+    ("top grade in the school",
+     "select max(grade) from Grades"),
+]
+
+header = f"{'query':<45} {'truth':>12} {'Truman':>12} {'Non-Truman':>14}"
+print(header)
+print("-" * len(header))
+
+for label, sql in QUERIES:
+    truth = db.execute(sql)
+    truth_repr = (
+        f"{truth.scalar():.3f}" if len(truth) == 1 and len(truth.columns) == 1
+        and isinstance(truth.scalar(), (int, float))
+        else f"{len(truth)} rows"
+    )
+
+    truman_result = truman.query(sql)
+    truman_repr = (
+        f"{truman_result.scalar():.3f}"
+        if len(truman_result) == 1 and len(truman_result.columns) == 1
+        and isinstance(truman_result.scalar(), (int, float))
+        else f"{len(truman_result)} rows"
+    )
+    if truman_repr != truth_repr:
+        truman_repr += " (!)"
+
+    try:
+        nt_result = nontruman.query(sql)
+        nt_repr = (
+            f"{nt_result.scalar():.3f}"
+            if len(nt_result) == 1 and len(nt_result.columns) == 1
+            and isinstance(nt_result.scalar(), (int, float))
+            else f"{len(nt_result)} rows"
+        )
+    except QueryRejectedError:
+        nt_repr = "REJECTED"
+
+    print(f"{label:<45} {truth_repr:>12} {truman_repr:>12} {nt_repr:>14}")
+
+print()
+print("(!) = silently differs from the true answer: the Truman model computed")
+print("the query over the user's restricted view without telling anyone.")
+print("The Non-Truman model never does this — it answers exactly or rejects.")
+
+print()
+print("The redundant-join pitfall (§3.3, third bullet):")
+from repro.sql import parse_query
+from repro.truman.rewrite import truman_rewrite
+from repro.sql.render import render
+
+db2 = build_university(UniversityConfig(students=10, courses=4, seed=5))
+db2.set_truman_view("Grades", "CoStudentGrades")
+session = db2.connect(user_id="11").session
+query = parse_query(
+    "select g.grade from Grades g, Registered r "
+    "where r.student_id = '11' and g.course_id = r.course_id"
+)
+rewritten = truman_rewrite(db2, query, session)
+print("\nuser query (already tests registration):")
+print(" ", render(query))
+print("Truman-modified query (tests registration AGAIN inside the view):")
+print(" ", render(rewritten))

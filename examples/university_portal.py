@@ -1,0 +1,116 @@
+"""University portal: the paper's running example, end to end.
+
+Demonstrates every inference-rule family on the generated university
+workload:
+
+* U1/U2 — plain rewritings over MyGrades;
+* conditional validity (C3) — all grades of a course the student is
+  registered for (Examples 4.3/4.4), including the leak-prevention
+  rejection when the registration view is missing;
+* U3 — integrity-constraint inference over RegStudents (Examples
+  5.1-5.3);
+* aggregate views — course averages via AvgGrades (Examples 4.1/4.2);
+* access patterns — the secretary's SingleGrade view (§2/§6).
+
+Run:  python examples/university_portal.py
+"""
+
+from repro import QueryRejectedError
+from repro.workloads import UniversityConfig, build_university
+
+db = build_university(UniversityConfig(students=40, courses=6, seed=19))
+
+
+def show(conn, sql, label=""):
+    print(f"\n--- {label or sql}")
+    print(f"    {sql}")
+    try:
+        decision = conn.check_validity(sql)
+        if decision.valid:
+            rows = conn.query(sql).rows
+            kind = decision.validity.value
+            print(f"    ACCEPTED ({kind}); {len(rows)} row(s)")
+            for step in decision.trace[:3]:
+                print(f"      via {step}")
+            if rows[:3]:
+                print(f"      sample: {rows[:3]}")
+        else:
+            print(f"    REJECTED: {decision.reason}")
+    except QueryRejectedError as exc:
+        print(f"    REJECTED: {exc}")
+
+
+student = db.connect(user_id="11", mode="non-truman")
+
+print("=" * 70)
+print("STUDENT 11 (Non-Truman model; queries written on base tables)")
+print("=" * 70)
+
+show(student, "select course_id, grade from Grades where student_id = '11'",
+     "own grades (rule U2 over MyGrades)")
+show(student, "select avg(grade) from Grades where student_id = '11'",
+     "own average (U2 + re-aggregation)")
+
+my_course = db.execute(
+    "select course_id from Registered where student_id = '11' "
+    "order by course_id limit 1"
+).scalar()
+show(student, f"select * from Grades where course_id = '{my_course}'",
+     f"everyone's grades in {my_course} — registered, so C3 applies")
+
+other_course = db.execute(
+    "select c.course_id from Courses c "
+    "where c.course_id not in "
+    "('" + "','".join(
+        r[0] for r in db.execute(
+            "select course_id from Registered where student_id = '11'"
+        ).rows
+    ) + "') order by c.course_id limit 1"
+).scalar()
+if other_course:
+    show(student, f"select * from Grades where course_id = '{other_course}'",
+         f"grades in {other_course} — NOT registered, rejected")
+
+show(student, "select distinct name, type from Students",
+     "student directory (U3: every student registers for some course)")
+show(student, "select name, type from Students",
+     "same without DISTINCT — multiset semantics forbid it (Ex. 5.1)")
+show(student, f"select avg(grade) from Grades where course_id = '{my_course}'",
+     "course average via the AvgGrades aggregate view")
+show(student, "select avg(grade) from Grades",
+     "global average — not derivable, rejected")
+
+print()
+print("=" * 70)
+print("SECRETARY (access-pattern view SingleGrade, §6)")
+print("=" * 70)
+secretary = db.connect(user_id="secretary", mode="non-truman")
+# The secretary may also browse the student roster.
+db.execute("create authorization view Roster as select * from Students")
+db.grant("Roster", to_user="secretary")
+show(secretary, "select * from Grades where student_id = '12'",
+     "one specific student: $$1 binds to '12'")
+show(secretary, "select * from Grades",
+     "all grades at once — exactly what the access pattern forbids")
+show(secretary,
+     "select s.name, g.grade from Students s, Grades g "
+     "where s.student_id = g.student_id",
+     "join via dependent join (one SingleGrade call per student)")
+
+print()
+print("=" * 70)
+print("UPDATES (paper §4.4)")
+print("=" * 70)
+db.execute("authorize insert on Registered where Registered.student_id = $user_id")
+db.execute("authorize delete on Registered where Registered.student_id = $user_id")
+free_course = db.execute(
+    "select course_id from Courses order by course_id desc limit 1"
+).scalar()
+db.execute(f"delete from Registered where student_id = '11' and course_id = '{free_course}'")
+print(f"insert own registration ({free_course}):",
+      student.execute(f"insert into Registered values ('11', '{free_course}')"),
+      "row")
+try:
+    student.execute(f"insert into Registered values ('12', '{free_course}')")
+except Exception as exc:
+    print(f"insert for another student: REJECTED ({exc})")

@@ -1,0 +1,12 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package).
+
+The environment has no network access and no `wheel` distribution, so
+PEP 517 editable installs fail with `invalid command 'bdist_wheel'`.
+With this shim, `pip install -e . --no-use-pep517 --no-build-isolation`
+(and plain `pip install -e .` on older pips) uses the legacy
+`setup.py develop` path, which needs neither.
+"""
+
+from setuptools import setup
+
+setup()

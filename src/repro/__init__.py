@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Extending Query Rewriting Techniques for
+Fine-Grained Access Control" (Rizvi, Mendelzon, Sudarshan, Roy; SIGMOD
+2004).
+
+The package implements, from scratch:
+
+* an in-memory relational engine (SQL parser, catalog with integrity
+  constraints, multiset executor) as the substrate;
+* **authorization views** — parameterized (``$user_id``) and
+  access-pattern (``$$1``) views with a grant registry (Section 2);
+* the **Truman model** — transparent query modification, including an
+  Oracle-VPD-style predicate policy engine (Section 3);
+* the **Non-Truman model** — validity inference with the paper's rule
+  system U1/U2, U3a/U3b/U3c, C1/C2, C3a/C3b, producing executable
+  witness rewritings (Sections 4-5);
+* a **Volcano-style optimizer** with AND-OR DAG unification and
+  validity marking (Section 5.6);
+* **update authorization** (Section 4.4) and **access-pattern
+  inference** with dependent joins (Section 6).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute_script(...)          # CREATE TABLE / INSERT / views
+    db.grant("MyGrades", to_user="11")
+    conn = db.connect(user_id="11", mode="non-truman")
+    conn.query("select avg(grade) from Grades where student_id = '11'")
+"""
+
+from repro.db import Connection, Database, Result
+from repro.authviews.session import SessionContext
+from repro.authviews.views import AuthorizationView, InstantiatedView
+from repro.catalog.constraints import TotalParticipation
+from repro.nontruman.checker import ValidityChecker
+from repro.nontruman.decision import Validity, ValidityDecision
+from repro.errors import (
+    AccessControlError,
+    IntegrityError,
+    ParseError,
+    QueryRejectedError,
+    ReproError,
+    UpdateRejectedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Connection",
+    "Result",
+    "SessionContext",
+    "AuthorizationView",
+    "InstantiatedView",
+    "TotalParticipation",
+    "ValidityChecker",
+    "Validity",
+    "ValidityDecision",
+    "ReproError",
+    "ParseError",
+    "IntegrityError",
+    "AccessControlError",
+    "QueryRejectedError",
+    "UpdateRejectedError",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Access-pattern authorization views (paper Section 6)."""
+
+from repro.accesspattern.inference import (
+    access_pattern_views,
+    describe_access_pattern,
+)
+
+__all__ = ["access_pattern_views", "describe_access_pattern"]

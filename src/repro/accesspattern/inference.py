@@ -1,0 +1,51 @@
+"""Access-pattern view inference (paper Section 6) — overview helpers.
+
+The actual inference lives inside the block matcher
+(:mod:`repro.nontruman.matching`), which implements both mechanisms the
+paper describes:
+
+* **parameter instantiation** — a ``$$`` parameter is treated as an
+  opaque constant; a view conjunct ``col = $$p`` is satisfiable whenever
+  the query pins ``col``, with ``$$p`` bound to that pinned value
+  (``BlockMatcher._access_pattern_pin``);
+* **dependent joins** — ``r ⋈_{r.B = s.A} s`` is computable by stepping
+  through ``r`` and invoking the access-pattern view on ``s`` once per
+  join value (``BlockMatcher._dependent_join_candidates`` plus the
+  :class:`~repro.algebra.ops.DependentJoin` operator in the executor).
+
+This module provides introspection utilities used by examples, tests,
+and the E10 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.authviews.views import AuthorizationView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+def access_pattern_views(db: "Database") -> list[AuthorizationView]:
+    """All stored authorization views that declare ``$$`` parameters."""
+    result = []
+    for view_def in db.catalog.views():
+        if not view_def.authorization:
+            continue
+        wrapped = AuthorizationView.from_def(view_def)
+        if wrapped.is_access_pattern:
+            result.append(wrapped)
+    return result
+
+
+def describe_access_pattern(view: AuthorizationView) -> str:
+    """Human-readable summary of a view's parameter signature."""
+    params = ", ".join(f"${p}" for p in sorted(view.params))
+    access = ", ".join(f"$${p}" for p in sorted(view.access_params))
+    parts = [f"view {view.name}"]
+    if params:
+        parts.append(f"context parameters: {params}")
+    if access:
+        parts.append(f"access-pattern parameters (bind at access time): {access}")
+    return "; ".join(parts)

@@ -1,0 +1,45 @@
+"""Logical relational algebra: operators, translation from SQL, predicate tools.
+
+Bound scalar expressions reuse the AST node types from
+:mod:`repro.sql.ast`, with the invariant that every
+:class:`~repro.sql.ast.ColumnRef` is qualified with the *binding name*
+(table alias) of a relation instance in scope.  The binder/translator
+establishes this invariant.
+"""
+
+from repro.algebra.ops import (
+    Aggregate,
+    Alias,
+    Distinct,
+    Join,
+    Limit,
+    Operator,
+    OutCol,
+    Project,
+    Rel,
+    Select,
+    SetOperation,
+    Sort,
+    ViewRel,
+)
+from repro.algebra.translate import Translator, translate_query
+from repro.algebra import expr as exprs
+
+__all__ = [
+    "Operator",
+    "OutCol",
+    "Alias",
+    "Rel",
+    "ViewRel",
+    "Select",
+    "Project",
+    "Distinct",
+    "Join",
+    "Aggregate",
+    "SetOperation",
+    "Sort",
+    "Limit",
+    "Translator",
+    "translate_query",
+    "exprs",
+]

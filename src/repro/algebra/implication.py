@@ -1,0 +1,511 @@
+"""A sound (incomplete) implication prover for conjunctive predicates.
+
+``implies(premises, conclusion)`` decides whether a conjunction of
+normalized atoms logically entails another atom, over SQL semantics
+(rows where predicates evaluate to TRUE).  The prover handles:
+
+* equality closure over columns and constants (union-find);
+* interval reasoning for ``<``, ``<=``, ``>``, ``>=`` against constants;
+* ``IN`` lists as finite domains (and ``NOT IN`` exclusions);
+* ``IS [NOT] NULL`` (any satisfied comparison implies NOT NULL);
+* contradiction detection (unsatisfiable premises imply everything);
+* syntactic fallback after rewriting columns to class representatives.
+
+Soundness matters here: the validity checker uses ``implies`` both to
+drop query conjuncts enforced by a view and to verify a view predicate
+does not over-filter, so a false positive would admit an unauthorized
+query.  The prover is deliberately conservative — when unsure it
+answers "not implied".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.sql import ast
+from repro.algebra.normalize import normalize_predicate
+
+_Term = Union[ast.ColumnRef, "_Const"]
+
+
+@dataclass(frozen=True)
+class _Const:
+    """Wrapper making constants usable as union-find terms."""
+
+    value: object
+
+
+@dataclass
+class _Bounds:
+    low: Optional[object] = None
+    low_strict: bool = False
+    high: Optional[object] = None
+    high_strict: bool = False
+    not_equal: set = field(default_factory=set)
+    domain: Optional[frozenset] = None  # from IN lists
+
+    def add_low(self, value, strict: bool) -> None:
+        if self.low is None or value > self.low or (value == self.low and strict):
+            self.low = value
+            self.low_strict = strict
+
+    def add_high(self, value, strict: bool) -> None:
+        if self.high is None or value < self.high or (value == self.high and strict):
+            self.high = value
+            self.high_strict = strict
+
+    def restrict_domain(self, values: frozenset) -> None:
+        self.domain = values if self.domain is None else self.domain & values
+
+    def contradicts(self, value) -> bool:
+        """True if ``term = value`` is impossible under these bounds."""
+        try:
+            if self.low is not None and (
+                value < self.low or (value == self.low and self.low_strict)
+            ):
+                return True
+            if self.high is not None and (
+                value > self.high or (value == self.high and self.high_strict)
+            ):
+                return True
+        except TypeError:
+            return False
+        if value in self.not_equal:
+            return True
+        if self.domain is not None and value not in self.domain:
+            return True
+        return False
+
+    def empty(self) -> bool:
+        if self.low is not None and self.high is not None:
+            try:
+                if self.low > self.high:
+                    return True
+                if self.low == self.high and (self.low_strict or self.high_strict):
+                    return True
+            except TypeError:
+                return False
+        if self.domain is not None:
+            if not self.domain:
+                return True
+            if all(self.contradicts_in_domain(v) for v in self.domain):
+                return True
+        return False
+
+    def contradicts_in_domain(self, value) -> bool:
+        try:
+            if self.low is not None and (
+                value < self.low or (value == self.low and self.low_strict)
+            ):
+                return True
+            if self.high is not None and (
+                value > self.high or (value == self.high and self.high_strict)
+            ):
+                return True
+        except TypeError:
+            return False
+        return value in self.not_equal
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict[_Term, _Term] = {}
+
+    def find(self, term: _Term) -> _Term:
+        if term not in self.parent:
+            self.parent[term] = term
+            return term
+        root = term
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[term] != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def union(self, a: _Term, b: _Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Prefer constants as representatives so lookups are direct.
+            if isinstance(ra, _Const):
+                self.parent[rb] = ra
+            else:
+                self.parent[ra] = rb
+
+
+class PredicateTheory:
+    """The deductive closure of a set of premise conjuncts."""
+
+    def __init__(self, premises: Iterable[ast.Expr]):
+        self.premises = list(premises)
+        self.uf = _UnionFind()
+        self.bounds: dict[_Term, _Bounds] = {}
+        self.not_null: set[_Term] = set()
+        self.is_null: set[_Term] = set()
+        self.other: set[ast.Expr] = set()
+        self.unsat = False
+        self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _term(self, expr: ast.Expr) -> Optional[_Term]:
+        if isinstance(expr, ast.ColumnRef):
+            return expr
+        if isinstance(expr, ast.Literal):
+            return _Const(expr.value)
+        if isinstance(expr, ast.AccessParam):
+            # $$ params act as opaque constants during inference (§6).
+            return _Const(("$$", expr.name))
+        return None
+
+    def _build(self) -> None:
+        pending_bounds: list[tuple[_Term, str, object]] = []
+        for premise in self.premises:
+            self._absorb(premise, pending_bounds)
+        # Equality closure first, then attach bounds to representatives.
+        for term, op, value in pending_bounds:
+            root = self.uf.find(term)
+            bounds = self.bounds.setdefault(root, _Bounds())
+            if op == ">":
+                bounds.add_low(value, strict=True)
+            elif op == ">=":
+                bounds.add_low(value, strict=False)
+            elif op == "<":
+                bounds.add_high(value, strict=True)
+            elif op == "<=":
+                bounds.add_high(value, strict=False)
+            elif op == "<>":
+                bounds.not_equal.add(value)
+            elif op == "in":
+                bounds.restrict_domain(value)
+        self._check_consistency()
+
+    def _absorb(self, premise: ast.Expr, pending) -> None:
+        if isinstance(premise, ast.BinaryOp) and premise.op == "=":
+            left = self._term(premise.left)
+            right = self._term(premise.right)
+            if left is not None and right is not None:
+                self.uf.union(left, right)
+                self.not_null.add(left)
+                self.not_null.add(right)
+                return
+        if isinstance(premise, ast.BinaryOp) and premise.op in ("<", "<=", ">", ">=", "<>"):
+            left = self._term(premise.left)
+            right = self._term(premise.right)
+            if (
+                isinstance(left, ast.ColumnRef)
+                and isinstance(right, _Const)
+                and right.value is not None
+            ):
+                pending.append((left, premise.op, right.value))
+                self.not_null.add(left)
+                return
+            if left is not None and right is not None:
+                self.not_null.add(left)
+                self.not_null.add(right)
+                self.other.add(premise)
+                return
+        if isinstance(premise, ast.IsNull):
+            term = self._term(premise.operand)
+            if isinstance(term, ast.ColumnRef):
+                (self.not_null if premise.negated else self.is_null).add(term)
+                return
+        if isinstance(premise, ast.InList) and not premise.negated:
+            term = self._term(premise.operand)
+            values = []
+            for item in premise.items:
+                if isinstance(item, ast.Literal) and item.value is not None:
+                    values.append(item.value)
+                else:
+                    self.other.add(premise)
+                    return
+            if isinstance(term, ast.ColumnRef):
+                pending.append((term, "in", frozenset(values)))
+                self.not_null.add(term)
+                return
+        if isinstance(premise, ast.InList) and premise.negated:
+            term = self._term(premise.operand)
+            if isinstance(term, ast.ColumnRef):
+                ok = True
+                for item in premise.items:
+                    if isinstance(item, ast.Literal) and item.value is not None:
+                        pending.append((term, "<>", item.value))
+                    else:
+                        ok = False
+                if ok:
+                    self.not_null.add(term)
+                    return
+        self.other.add(premise)
+
+    def _check_consistency(self) -> None:
+        # Two distinct constants in one class → unsatisfiable.
+        constants: dict[_Term, object] = {}
+        for term in list(self.uf.parent):
+            if isinstance(term, _Const):
+                root = self.uf.find(term)
+                if root in constants and constants[root] != term.value:
+                    self.unsat = True
+                    return
+                constants.setdefault(root, term.value)
+        # A class equal to a constant violating its bounds → unsat.
+        for root, bounds in self.bounds.items():
+            root = self.uf.find(root)
+            if root in constants and bounds.contradicts(constants[root]):
+                self.unsat = True
+                return
+            if bounds.empty():
+                self.unsat = True
+                return
+        # NULL and NOT NULL on the same class → unsat.
+        null_roots = {self.uf.find(t) for t in self.is_null}
+        not_null_roots = {self.uf.find(t) for t in self.not_null}
+        if null_roots & not_null_roots:
+            self.unsat = True
+        self._constants = constants
+
+    # -- queries --------------------------------------------------------------
+
+    def constant_of(self, expr: ast.Expr) -> Optional[object]:
+        """The constant a column is pinned to, if any (None value ≠ pinned)."""
+        term = self._term(expr)
+        if term is None:
+            return None
+        root = self.uf.find(term)
+        value = self._constants.get(root)
+        return value
+
+    def pinned(self, expr: ast.Expr) -> bool:
+        term = self._term(expr)
+        if term is None:
+            return isinstance(expr, ast.Literal)
+        return self.uf.find(term) in self._constants
+
+    def same_class(self, a: ast.Expr, b: ast.Expr) -> bool:
+        ta, tb = self._term(a), self._term(b)
+        if ta is None or tb is None:
+            return False
+        return self.uf.find(ta) == self.uf.find(tb)
+
+    def _bounds_of(self, term: _Term) -> _Bounds:
+        return self.bounds.get(self.uf.find(term), _Bounds())
+
+    def _rep_expr(self, expr: ast.Expr) -> ast.Expr:
+        """Rewrite columns in ``expr`` to class representatives."""
+        from repro.algebra import expr as exprs
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.ColumnRef):
+                root = self.uf.find(node)
+                if isinstance(root, _Const):
+                    if isinstance(root.value, tuple) and root.value and root.value[0] == "$$":
+                        return ast.AccessParam(root.value[1])
+                    return ast.Literal(root.value)
+                return root
+            return None
+
+        return exprs.transform(expr, visit)
+
+    # -- entailment ------------------------------------------------------------
+
+    def entails(self, conclusion: ast.Expr) -> bool:
+        if self.unsat:
+            return True
+        for atom in normalize_predicate(conclusion):
+            if not self._entails_atom(atom):
+                return False
+        return True
+
+    def _entails_atom(self, atom: ast.Expr) -> bool:
+        # Syntactic presence (after representative rewriting).
+        if atom in self.premises or atom in self.other:
+            return True
+        rep = self._rep_expr(atom)
+        rep_premises = {self._rep_expr(p) for p in self.other}
+        if rep in rep_premises:
+            return True
+
+        if isinstance(atom, ast.BinaryOp) and atom.op == "=":
+            return self._entails_equality(atom)
+        if isinstance(atom, ast.BinaryOp) and atom.op in ("<", "<=", ">", ">="):
+            return self._entails_range(atom)
+        if isinstance(atom, ast.BinaryOp) and atom.op == "<>":
+            return self._entails_disequality(atom)
+        if isinstance(atom, ast.IsNull):
+            return self._entails_nullness(atom)
+        if isinstance(atom, ast.InList) and not atom.negated:
+            return self._entails_in(atom)
+        if isinstance(atom, ast.InList) and atom.negated:
+            # col NOT IN (v1..vn) is TRUE iff col is non-null and differs
+            # from every (non-null) member.
+            if any(
+                not isinstance(i, ast.Literal) or i.value is None
+                for i in atom.items
+            ):
+                return False
+            if not self._entails_nullness(ast.IsNull(atom.operand, negated=True)):
+                return False
+            return all(
+                self._entails_disequality(
+                    ast.BinaryOp("<>", atom.operand, item)
+                )
+                for item in atom.items
+            )
+        # Evaluate ground atoms (constants on both sides).
+        ground = self._try_ground(rep)
+        if ground is not None:
+            return ground
+        return False
+
+    def _entails_equality(self, atom: ast.BinaryOp) -> bool:
+        if atom.left == atom.right:
+            # Reflexive equality is NOT a tautology under SQL 3VL: on a
+            # NULL value `a = a` is UNKNOWN.  It holds only when the
+            # operand is known non-null.
+            return self._entails_nullness(ast.IsNull(atom.left, negated=True))
+        if self.same_class(atom.left, atom.right):
+            # Distinct terms reach one class only through null-rejecting
+            # equality premises, so non-nullness is already implied.
+            return True
+        # x >= c AND x <= c pins x to c; so does a singleton IN domain.
+        term = self._term(atom.left)
+        if (
+            term is not None
+            and isinstance(atom.right, ast.Literal)
+            and atom.right.value is not None
+        ):
+            bounds = self._bounds_of(term)
+            target = atom.right.value
+            if (
+                bounds.low == target
+                and bounds.high == target
+                and not bounds.low_strict
+                and not bounds.high_strict
+                and target not in bounds.not_equal
+            ):
+                return True
+            if bounds.domain == frozenset({target}):
+                return True
+        ground = self._try_ground(self._rep_expr(atom))
+        return ground is True
+
+    def _entails_range(self, atom: ast.BinaryOp) -> bool:
+        term = self._term(atom.left)
+        if term is None or not isinstance(atom.right, ast.Literal):
+            ground = self._try_ground(self._rep_expr(atom))
+            return ground is True
+        target = atom.right.value
+        if target is None:
+            return False
+        value = self.constant_of(atom.left)
+        if self.pinned(atom.left):
+            return self._compare_safe(atom.op, value, target) is True
+        bounds = self._bounds_of(term)
+        try:
+            if atom.op == "<":
+                return bounds.high is not None and (
+                    bounds.high < target or (bounds.high == target and bounds.high_strict)
+                )
+            if atom.op == "<=":
+                return bounds.high is not None and bounds.high <= target
+            if atom.op == ">":
+                return bounds.low is not None and (
+                    bounds.low > target or (bounds.low == target and bounds.low_strict)
+                )
+            if atom.op == ">=":
+                return bounds.low is not None and bounds.low >= target
+        except TypeError:
+            return False
+        return False
+
+    def _entails_disequality(self, atom: ast.BinaryOp) -> bool:
+        left_term = self._term(atom.left)
+        if (
+            left_term is not None
+            and isinstance(atom.right, ast.Literal)
+            and atom.right.value is not None
+        ):
+            if self.pinned(atom.left):
+                return self.constant_of(atom.left) != atom.right.value
+            bounds = self._bounds_of(left_term)
+            if atom.right.value in bounds.not_equal:
+                return True
+            if bounds.domain is not None and atom.right.value not in bounds.domain:
+                return True
+            if bounds.contradicts(atom.right.value):
+                return True
+        ground = self._try_ground(self._rep_expr(atom))
+        return ground is True
+
+    def _entails_nullness(self, atom: ast.IsNull) -> bool:
+        term = self._term(atom.operand)
+        if not isinstance(term, ast.ColumnRef):
+            return False
+        if atom.negated:
+            return self.uf.find(term) in {self.uf.find(t) for t in self.not_null} or self.pinned(atom.operand)
+        return self.uf.find(term) in {self.uf.find(t) for t in self.is_null}
+
+    def _entails_in(self, atom: ast.InList) -> bool:
+        values = set()
+        for item in atom.items:
+            if isinstance(item, ast.Literal) and item.value is not None:
+                values.add(item.value)
+            else:
+                return False
+        if self.pinned(atom.operand):
+            return self.constant_of(atom.operand) in values
+        term = self._term(atom.operand)
+        if term is None:
+            return False
+        bounds = self._bounds_of(term)
+        if bounds.domain is not None and bounds.domain <= values:
+            return True
+        return False
+
+    @staticmethod
+    def _compare_safe(op: str, left, right) -> Optional[bool]:
+        from repro.engine.evaluator import compare
+
+        try:
+            return compare(op, left, right)
+        except Exception:
+            return None
+
+    def _try_ground(self, expr: ast.Expr) -> Optional[bool]:
+        """Evaluate an expression that references no columns."""
+        from repro.algebra import expr as exprs
+        from repro.engine.evaluator import Evaluator, RowResolver
+
+        if not exprs.is_constant(expr):
+            return None
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.AccessParam):
+                return None
+        try:
+            result = Evaluator(RowResolver(())).evaluate(expr, ())
+        except Exception:
+            return None
+        if isinstance(result, bool):
+            return result
+        return None
+
+
+def implies(premises: Iterable[ast.Expr], conclusion: ast.Expr) -> bool:
+    """Do the premise conjuncts entail the conclusion?  Sound, incomplete."""
+    return PredicateTheory(premises).entails(conclusion)
+
+
+def implies_all(premises: Iterable[ast.Expr], conclusions: Iterable[ast.Expr]) -> bool:
+    theory = PredicateTheory(premises)
+    return all(theory.entails(c) for c in conclusions)
+
+
+def equivalent(
+    a: Iterable[ast.Expr], b: Iterable[ast.Expr]
+) -> bool:
+    """Mutual entailment of two conjunct sets."""
+    a_list, b_list = list(a), list(b)
+    return implies_all(a_list, b_list) and implies_all(b_list, a_list)
+
+
+def unsatisfiable(premises: Iterable[ast.Expr]) -> bool:
+    return PredicateTheory(premises).unsat

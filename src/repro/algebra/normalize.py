@@ -1,0 +1,122 @@
+"""Predicate normalization.
+
+Puts bound predicates into a canonical conjunct form used by the
+implication prover and the view-matching engine:
+
+* AND trees are flattened into conjunct lists;
+* ``BETWEEN`` expands to two comparisons;
+* ``NOT`` is pushed through comparisons, IS NULL, IN, BETWEEN;
+* comparisons are oriented (column on the left where possible;
+  column=column sides ordered lexicographically);
+* double negation is eliminated; TRUE conjuncts are dropped.
+
+Disjunctions are kept as atomic conjuncts (matched syntactically).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+_NEGATE = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_COMPARISONS = frozenset(_FLIP)
+
+
+def normalize_predicate(pred: Optional[ast.Expr]) -> tuple[ast.Expr, ...]:
+    """Normalize a predicate into a canonical tuple of conjuncts."""
+    if pred is None:
+        return ()
+    result: list[ast.Expr] = []
+    for conjunct in exprs.conjuncts(pred):
+        result.extend(_normalize_conjunct(conjunct))
+    # Deduplicate, preserving order.
+    seen: set[ast.Expr] = set()
+    unique = []
+    for conjunct in result:
+        if conjunct not in seen:
+            seen.add(conjunct)
+            unique.append(conjunct)
+    return tuple(unique)
+
+
+def _normalize_conjunct(conj: ast.Expr) -> list[ast.Expr]:
+    conj = _push_not(conj)
+    if isinstance(conj, ast.Literal) and conj.value is True:
+        return []
+    if isinstance(conj, ast.BinaryOp) and conj.op == "and":
+        return _normalize_conjunct(conj.left) + _normalize_conjunct(conj.right)
+    if isinstance(conj, ast.Between) and not conj.negated:
+        return _normalize_conjunct(
+            ast.BinaryOp(">=", conj.operand, conj.low)
+        ) + _normalize_conjunct(ast.BinaryOp("<=", conj.operand, conj.high))
+    if isinstance(conj, ast.BinaryOp) and conj.op in _COMPARISONS:
+        return [_orient(conj)]
+    if isinstance(conj, ast.InList) and not conj.negated and len(conj.items) == 1:
+        return _normalize_conjunct(ast.BinaryOp("=", conj.operand, conj.items[0]))
+    if isinstance(conj, ast.InList):
+        # Canonicalize literal item order for stable matching.
+        literals = [i for i in conj.items if isinstance(i, ast.Literal)]
+        others = [i for i in conj.items if not isinstance(i, ast.Literal)]
+        ordered = tuple(
+            sorted(literals, key=lambda l: repr(l.value)) + others
+        )
+        return [ast.InList(conj.operand, ordered, conj.negated)]
+    return [conj]
+
+
+def _push_not(conj: ast.Expr) -> ast.Expr:
+    if not (isinstance(conj, ast.UnaryOp) and conj.op == "not"):
+        return conj
+    inner = _push_not(conj.operand)
+    if isinstance(inner, ast.UnaryOp) and inner.op == "not":
+        return _push_not(inner.operand)
+    if isinstance(inner, ast.BinaryOp) and inner.op in _NEGATE:
+        return ast.BinaryOp(_NEGATE[inner.op], inner.left, inner.right)
+    if isinstance(inner, ast.IsNull):
+        return ast.IsNull(inner.operand, not inner.negated)
+    if isinstance(inner, ast.InList):
+        return ast.InList(inner.operand, inner.items, not inner.negated)
+    if isinstance(inner, ast.InSubquery):
+        return ast.InSubquery(inner.operand, inner.query, not inner.negated)
+    if isinstance(inner, ast.ExistsSubquery):
+        return ast.ExistsSubquery(inner.query, not inner.negated)
+    if isinstance(inner, ast.Between):
+        return ast.Between(inner.operand, inner.low, inner.high, not inner.negated)
+    if isinstance(inner, ast.BinaryOp) and inner.op == "or":
+        return ast.BinaryOp(
+            "and",
+            _push_not(ast.UnaryOp("not", inner.left)),
+            _push_not(ast.UnaryOp("not", inner.right)),
+        )
+    return ast.UnaryOp("not", inner)
+
+
+def _orient(comparison: ast.BinaryOp) -> ast.BinaryOp:
+    """Column on the left; col=col ordered by (binding, name)."""
+    left, right, op = comparison.left, comparison.right, comparison.op
+    left_is_col = isinstance(left, ast.ColumnRef)
+    right_is_col = isinstance(right, ast.ColumnRef)
+    if left_is_col and right_is_col:
+        if _col_key(left) > _col_key(right) and op in ("=", "<>"):
+            left, right = right, left
+        elif _col_key(left) > _col_key(right):
+            left, right = right, left
+            op = _FLIP[op]
+        return ast.BinaryOp(op, left, right)
+    if right_is_col and not left_is_col:
+        return ast.BinaryOp(_FLIP[op], right, left)
+    return ast.BinaryOp(op, left, right)
+
+
+def _col_key(col: ast.ColumnRef) -> tuple[str, str]:
+    return ((col.table or "").lower(), col.name.lower())
+
+
+def predicate_columns(conjuncts: tuple[ast.Expr, ...]) -> set[ast.ColumnRef]:
+    cols: set[ast.ColumnRef] = set()
+    for conjunct in conjuncts:
+        cols |= exprs.columns_in(conjunct)
+    return cols

@@ -1,0 +1,105 @@
+"""Lightweight physical-ish plan rewrites applied before execution.
+
+``push_selections`` distributes WHERE conjuncts over join trees so the
+executor's hash-join path sees equi-join predicates instead of a cross
+product followed by a filter.  This is a correctness-preserving rewrite
+(standard selection pushdown for inner/cross joins); it applies to both
+user queries and the witness rewritings the validity checker builds
+(whose shape is cross-joins of view scans + a residual selection).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra import ops
+
+
+def push_selections(plan: ops.Operator) -> ops.Operator:
+    """Push selection conjuncts down through inner/cross joins."""
+    return _push(plan, [])
+
+
+def _bindings_of(plan: ops.Operator) -> set[str]:
+    return {c.binding.lower() for c in plan.columns if c.binding}
+
+
+def _push(plan: ops.Operator, pending: list[ast.Expr]) -> ops.Operator:
+    if isinstance(plan, ops.Select):
+        return _push(plan.child, pending + exprs.conjuncts(plan.predicate))
+
+    if isinstance(plan, ops.Join) and plan.kind in ("inner", "cross"):
+        conjuncts = list(pending)
+        if plan.predicate is not None:
+            conjuncts.extend(exprs.conjuncts(plan.predicate))
+        left_bind = _bindings_of(plan.left)
+        right_bind = _bindings_of(plan.right)
+        left_only, right_only, cross = exprs.split_join_predicate(
+            conjuncts, left_bind, right_bind
+        )
+        # Conjuncts that reference neither side (constants or columns
+        # with no binding) stay at the join to be safe.
+        safe_left = [c for c in left_only if exprs.bindings_in(c) or not _has_cols(c)]
+        unresolved = [c for c in left_only if c not in safe_left]
+        left = _push(plan.left, safe_left)
+        right = _push(plan.right, right_only)
+        predicate = exprs.make_conjunction(cross + unresolved)
+        kind = "inner" if predicate is not None else "cross"
+        return ops.Join(left, right, kind=kind, predicate=predicate)
+
+    # Any other operator: re-apply pending conjuncts here and recurse
+    # into children independently.
+    rebuilt = _rebuild_children(plan)
+    if pending:
+        return ops.Select(rebuilt, exprs.make_conjunction(pending))
+    return rebuilt
+
+
+def _has_cols(conj: ast.Expr) -> bool:
+    return bool(exprs.columns_in(conj))
+
+
+def _rebuild_children(plan: ops.Operator) -> ops.Operator:
+    if isinstance(plan, (ops.Rel, ops.ViewRel)):
+        return plan
+    if isinstance(plan, ops.Select):  # handled above; defensive
+        return ops.Select(_push(plan.child, []), plan.predicate)
+    if isinstance(plan, ops.Project):
+        return ops.Project(_push(plan.child, []), plan.exprs)
+    if isinstance(plan, ops.Distinct):
+        return ops.Distinct(_push(plan.child, []))
+    if isinstance(plan, ops.Alias):
+        return ops.Alias(_push(plan.child, []), plan.binding)
+    if isinstance(plan, ops.Join):
+        # left/outer joins: do not move predicates across
+        return ops.Join(
+            _push(plan.left, []),
+            _push(plan.right, []),
+            plan.kind,
+            plan.predicate,
+        )
+    if isinstance(plan, ops.DependentJoin):
+        return ops.DependentJoin(
+            _push(plan.left, []),
+            plan.view_name,
+            plan.view_binding,
+            plan.view_columns,
+            plan.param_name,
+            plan.key_expr,
+            plan.predicate,
+        )
+    if isinstance(plan, ops.Aggregate):
+        return ops.Aggregate(
+            _push(plan.child, []), plan.group_exprs, plan.aggregates
+        )
+    if isinstance(plan, ops.SetOperation):
+        return ops.SetOperation(
+            plan.op, plan.all, _push(plan.left, []), _push(plan.right, [])
+        )
+    if isinstance(plan, ops.Sort):
+        return ops.Sort(_push(plan.child, []), plan.keys)
+    if isinstance(plan, ops.Limit):
+        return ops.Limit(_push(plan.child, []), plan.limit, plan.offset)
+    return plan

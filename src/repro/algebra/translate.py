@@ -1,0 +1,645 @@
+"""Binder/translator: SQL AST → logical algebra.
+
+Responsibilities:
+
+* resolve table references against the catalog, expanding view
+  definitions inline (under an :class:`~repro.algebra.ops.Alias`);
+* qualify every column reference with its binding name, rejecting
+  unknown/ambiguous columns;
+* expand ``*`` / ``T.*``;
+* build ``Join``/``Select``/``Aggregate``/``Project``/``Distinct``/
+  ``Sort``/``Limit`` trees with SQL's evaluation order;
+* substitute ``$param`` context parameters with session values.
+
+Nested subqueries in WHERE (scalar/EXISTS/IN-subquery) are outside the
+paper's fragment (Section 5 assumes no nested subqueries) and raise
+:class:`~repro.errors.UnsupportedFeatureError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.errors import (
+    AmbiguousColumnError,
+    BindError,
+    ParameterError,
+    UnknownColumnError,
+    UnknownTableError,
+    UnsupportedFeatureError,
+)
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra import ops
+from repro.catalog.catalog import Catalog, ViewDef
+
+
+class _Scope:
+    """Column namespace for one SELECT block: binding → output columns."""
+
+    def __init__(self):
+        self.order: list[str] = []  # binding names in FROM order
+        self.columns: dict[str, tuple[ops.OutCol, ...]] = {}
+
+    def add(self, binding: str, columns: tuple[ops.OutCol, ...]) -> None:
+        key = binding.lower()
+        if key in self.columns:
+            raise BindError(f"duplicate table alias {binding!r}")
+        self.order.append(key)
+        self.columns[key] = columns
+
+    def resolve(self, ref: ast.ColumnRef) -> ops.OutCol:
+        if ref.table is not None:
+            cols = self.columns.get(ref.table.lower())
+            if cols is None:
+                raise UnknownTableError(ref.table)
+            for col in cols:
+                if col.name.lower() == ref.name.lower():
+                    return col
+            raise UnknownColumnError(ref.name, context=ref.table)
+        matches = []
+        for binding in self.order:
+            for col in self.columns[binding]:
+                if col.name.lower() == ref.name.lower():
+                    matches.append(col)
+        if not matches:
+            raise UnknownColumnError(ref.name)
+        if len(matches) > 1:
+            raise AmbiguousColumnError(ref.name, [str(m) for m in matches])
+        return matches[0]
+
+    def all_columns(self) -> list[ops.OutCol]:
+        result: list[ops.OutCol] = []
+        for binding in self.order:
+            result.extend(self.columns[binding])
+        return result
+
+    def binding_columns(self, binding: str) -> tuple[ops.OutCol, ...]:
+        cols = self.columns.get(binding.lower())
+        if cols is None:
+            raise UnknownTableError(binding)
+        return cols
+
+
+class Translator:
+    """Translates parsed queries into logical algebra trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        param_values: Optional[Mapping[str, object]] = None,
+        access_param_values: Optional[Mapping[str, object]] = None,
+        view_filter: Optional[Callable[[ViewDef], bool]] = None,
+        keep_view_scans: bool = False,
+        allow_access_params: bool = False,
+    ):
+        """``view_filter`` decides whether a view reference may be expanded
+        (the Database facade uses it to gate authorization views on
+        grants).  With ``keep_view_scans`` view references become
+        :class:`~repro.algebra.ops.ViewRel` leaves instead of being
+        inlined — used when building witness rewritings.  With
+        ``allow_access_params``, unbound ``$$`` parameters survive
+        binding (the inference engine treats them as opaque constants);
+        execution paths leave it False so a missing binding fails fast
+        with :class:`~repro.errors.ParameterError`.
+        """
+        self.catalog = catalog
+        self.param_values = dict(param_values or {})
+        self.access_param_values = dict(access_param_values or {})
+        self.view_filter = view_filter
+        self.keep_view_scans = keep_view_scans
+        self.allow_access_params = allow_access_params
+
+    # -- public entry points ------------------------------------------------
+
+    def translate(self, query: ast.QueryExpr) -> ops.Operator:
+        if isinstance(query, ast.SetOp):
+            left = self.translate(query.left)
+            right = self.translate(query.right)
+            if len(left.columns) != len(right.columns):
+                raise BindError(
+                    f"set operation arity mismatch: {len(left.columns)} vs "
+                    f"{len(right.columns)} columns"
+                )
+            return ops.SetOperation(query.op, query.all, left, right)
+        if isinstance(query, ast.SelectStmt):
+            return self._translate_select(query)
+        raise BindError(f"cannot translate {type(query).__name__}")
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _translate_select(self, stmt: ast.SelectStmt) -> ops.Operator:
+        scope = _Scope()
+        plan: Optional[ops.Operator] = None
+        for table_expr in stmt.from_items:
+            part = self._translate_table_expr(table_expr, scope)
+            plan = part if plan is None else ops.Join(plan, part, kind="cross")
+        if plan is None:
+            # SELECT without FROM: single empty row source.
+            plan = _DUAL
+
+        if stmt.where is not None:
+            plain, subqueries = self._split_subquery_conjuncts(stmt.where)
+            if plain is not None:
+                where = self._bind_expr(plain, scope, allow_aggregates=False)
+                plan = ops.Select(plan, where)
+            for node in subqueries:
+                plan = self._apply_subquery_conjunct(plan, node, scope)
+
+        has_aggregates = stmt.group_by or any(
+            ast.contains_aggregate(item.expr) for item in stmt.items
+        ) or (stmt.having is not None)
+
+        if has_aggregates:
+            plan, output_map = self._translate_aggregate(stmt, plan, scope)
+            item_exprs = output_map["items"]
+            if stmt.having is not None:
+                plan = ops.Select(plan, output_map["having"])
+        else:
+            item_exprs = self._bind_select_items(stmt, scope)
+
+        project_exprs = tuple(item_exprs)
+        plan_before_project = plan
+        plan = ops.Project(plan, project_exprs)
+
+        if stmt.distinct:
+            plan = ops.Distinct(plan)
+
+        if stmt.order_by:
+            keys = []
+            for order_item in stmt.order_by:
+                key = self._resolve_order_expr(
+                    order_item.expr, project_exprs, scope, has_aggregates
+                )
+                keys.append((key, order_item.descending))
+            plan = ops.Sort(plan, tuple(keys))
+
+        if stmt.limit is not None:
+            plan = ops.Limit(plan, stmt.limit, stmt.offset or 0)
+        return plan
+
+    def _bind_select_items(
+        self, stmt: ast.SelectStmt, scope: _Scope
+    ) -> list[tuple[ast.Expr, str]]:
+        items: list[tuple[ast.Expr, str]] = []
+        for index, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.Star):
+                cols = (
+                    scope.binding_columns(item.expr.table)
+                    if item.expr.table
+                    else scope.all_columns()
+                )
+                items.extend((col.ref(), col.name) for col in cols)
+                continue
+            bound = self._bind_expr(item.expr, scope, allow_aggregates=False)
+            items.append((bound, self._output_name(item, bound, index)))
+        return items
+
+    @staticmethod
+    def _output_name(item: ast.SelectItem, bound: ast.Expr, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(bound, ast.ColumnRef):
+            return bound.name
+        if isinstance(item.expr, ast.FuncCall):
+            return item.expr.name
+        return f"col{index + 1}"
+
+    # -- nested subqueries (paper future work) ----------------------------------
+
+    def _split_subquery_conjuncts(self, where: ast.Expr):
+        """Separate top-level [NOT] IN/EXISTS subquery conjuncts.
+
+        Returns (plain_predicate_or_None, list_of_subquery_nodes).
+        Subquery expressions anywhere else (under OR, in HAVING, ...)
+        are rejected — the paper's fragment excludes general nesting.
+        """
+        plain: list[ast.Expr] = []
+        subqueries: list[ast.Expr] = []
+        for conj in exprs.conjuncts(where):
+            node = conj
+            negate = False
+            while isinstance(node, ast.UnaryOp) and node.op == "not":
+                negate = not negate
+                node = node.operand
+            if isinstance(node, ast.InSubquery):
+                if negate:
+                    node = ast.InSubquery(node.operand, node.query, not node.negated)
+                subqueries.append(node)
+                continue
+            if isinstance(node, ast.ExistsSubquery):
+                if negate:
+                    node = ast.ExistsSubquery(node.query, not node.negated)
+                subqueries.append(node)
+                continue
+            for sub in ast.walk_expr(conj):
+                if isinstance(sub, (ast.InSubquery, ast.ExistsSubquery)):
+                    raise UnsupportedFeatureError(
+                        "subqueries are only supported as top-level WHERE "
+                        "conjuncts ([NOT] IN / [NOT] EXISTS)"
+                    )
+            plain.append(conj)
+        return exprs.make_conjunction(plain), subqueries
+
+    def _apply_subquery_conjunct(
+        self, plan: ops.Operator, node: ast.Expr, scope: _Scope
+    ) -> ops.Operator:
+        query = node.query
+        try:
+            inner = self.translate(query)
+        except (UnknownColumnError, UnknownTableError) as exc:
+            raise UnsupportedFeatureError(
+                f"correlated (or unresolvable) subquery: {exc}"
+            ) from exc
+        if isinstance(node, ast.InSubquery):
+            if len(inner.columns) != 1:
+                raise BindError("IN subquery must produce exactly one column")
+            operand = self._bind_expr(node.operand, scope, allow_aggregates=False)
+            return ops.SemiJoin(plan, inner, operand=operand, negated=node.negated)
+        return ops.SemiJoin(plan, inner, operand=None, negated=node.negated)
+
+    # -- FROM items -------------------------------------------------------------
+
+    def _translate_table_expr(
+        self, table_expr: ast.TableExpr, scope: _Scope
+    ) -> ops.Operator:
+        if isinstance(table_expr, ast.TableRef):
+            return self._translate_table_ref(table_expr, scope)
+        if isinstance(table_expr, ast.SubqueryRef):
+            inner = self.translate(table_expr.query)
+            self._check_unique_names(inner, f"subquery {table_expr.alias!r}")
+            aliased = ops.Alias(inner, table_expr.alias)
+            scope.add(table_expr.alias, aliased.columns)
+            return aliased
+        if isinstance(table_expr, ast.JoinRef):
+            left = self._translate_table_expr(table_expr.left, scope)
+            right = self._translate_table_expr(table_expr.right, scope)
+            condition = None
+            if table_expr.condition is not None:
+                condition = self._bind_expr(
+                    table_expr.condition, scope, allow_aggregates=False
+                )
+            kind = table_expr.kind
+            if kind == "right":
+                # Normalize RIGHT JOIN to LEFT JOIN with swapped inputs; the
+                # output column order follows the rewritten operand order.
+                left, right = right, left
+                kind = "left"
+            if kind == "full":
+                raise UnsupportedFeatureError("FULL OUTER JOIN is not supported")
+            return ops.Join(left, right, kind=kind, predicate=condition)
+        raise BindError(f"cannot translate table expression {type(table_expr).__name__}")
+
+    def _translate_table_ref(self, ref: ast.TableRef, scope: _Scope) -> ops.Operator:
+        binding = ref.binding_name
+        if self.catalog.has_table(ref.name):
+            schema = self.catalog.table(ref.name)
+            rel = ops.Rel(schema.name, binding, schema.column_names)
+            scope.add(binding, rel.columns)
+            return rel
+        if self.catalog.has_view(ref.name):
+            view = self.catalog.view(ref.name)
+            if self.view_filter is not None and not self.view_filter(view):
+                raise UnknownTableError(ref.name)
+            if self.keep_view_scans:
+                names = self.view_output_names(view)
+                leaf = ops.ViewRel(view.name, binding, names)
+                scope.add(binding, leaf.columns)
+                return leaf
+            inner = self.translate_view(view)
+            self._check_unique_names(inner, f"view {view.name!r}")
+            aliased = ops.Alias(inner, binding)
+            scope.add(binding, aliased.columns)
+            return aliased
+        raise UnknownTableError(ref.name)
+
+    def translate_view(self, view: ViewDef) -> ops.Operator:
+        """Translate a view body, instantiating parameters and renaming
+        output columns per the view's declared column list."""
+        query = self._instantiate(view.query)
+        inner = self.translate(query)
+        if view.column_names:
+            if len(view.column_names) != len(inner.columns):
+                raise BindError(
+                    f"view {view.name!r} declares {len(view.column_names)} columns "
+                    f"but its query produces {len(inner.columns)}"
+                )
+            renames = tuple(
+                (col.ref(), name)
+                for col, name in zip(inner.columns, view.column_names)
+            )
+            inner = ops.Project(inner, renames)
+        return inner
+
+    def view_output_names(self, view: ViewDef) -> tuple[str, ...]:
+        """Output column names of a view (expanding its body if needed)."""
+        if view.column_names:
+            return view.column_names
+        inner = self.translate_view(view)
+        return tuple(c.name for c in inner.columns)
+
+    def _instantiate(self, query: ast.QueryExpr) -> ast.QueryExpr:
+        """Substitute $params (and provided $$params) throughout a query."""
+        return _map_query_exprs(query, self._instantiate_expr)
+
+    def _instantiate_expr(self, expr: ast.Expr) -> ast.Expr:
+        expr = exprs.substitute_params(expr, self.param_values)
+        if self.access_param_values:
+            expr = exprs.substitute_access_params(expr, self.access_param_values)
+        return expr
+
+    @staticmethod
+    def _check_unique_names(plan: ops.Operator, context: str) -> None:
+        seen: set[str] = set()
+        for col in plan.columns:
+            key = col.name.lower()
+            if key in seen:
+                raise BindError(f"duplicate output column {col.name!r} in {context}")
+            seen.add(key)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _bind_expr(
+        self, expr: ast.Expr, scope: _Scope, allow_aggregates: bool
+    ) -> ast.Expr:
+        expr = self._instantiate_expr(expr)
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.ColumnRef):
+                return scope.resolve(node).ref()
+            if isinstance(node, ast.Param):
+                raise ParameterError(f"unbound parameter ${node.name}")
+            if isinstance(node, ast.AccessParam) and not self.allow_access_params:
+                raise ParameterError(
+                    f"access-pattern parameter $${node.name} requires a "
+                    "value at access time"
+                )
+            if isinstance(node, (ast.InSubquery, ast.ExistsSubquery)):
+                raise UnsupportedFeatureError(
+                    "subqueries are only supported as top-level WHERE conjuncts"
+                )
+            if isinstance(node, ast.OldColumnRef):
+                raise BindError("old(...) is only allowed in AUTHORIZE predicates")
+            if isinstance(node, ast.Star):
+                return None  # legal only inside count(*); checked below
+            if not allow_aggregates and ast.is_aggregate_call(node):
+                raise BindError(
+                    f"aggregate {node.name}() not allowed in this clause"
+                )
+            return None
+
+        bound = exprs.transform(expr, visit)
+        self._check_star_usage(bound)
+        return bound
+
+    @staticmethod
+    def _check_star_usage(expr: ast.Expr) -> None:
+        """Reject '*' anywhere except as the argument of count(*)."""
+        if isinstance(expr, ast.Star):
+            raise BindError("'*' is only allowed as a select item or in count(*)")
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.FuncCall):
+                for arg in node.args:
+                    if isinstance(arg, ast.Star) and node.name != "count":
+                        raise BindError("'*' argument is only allowed in count(*)")
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def _translate_aggregate(
+        self, stmt: ast.SelectStmt, plan: ops.Operator, scope: _Scope
+    ):
+        group_exprs: list[tuple[ast.Expr, str]] = []
+        group_index: dict[ast.Expr, str] = {}
+        for index, group in enumerate(stmt.group_by):
+            bound = self._bind_expr(group, scope, allow_aggregates=False)
+            if isinstance(bound, ast.ColumnRef):
+                name = bound.name
+            else:
+                name = f"group{index + 1}"
+            if bound not in group_index:
+                group_index[bound] = name
+                group_exprs.append((bound, name))
+
+        aggregates: list[tuple[ast.FuncCall, str]] = []
+        agg_index: dict[ast.FuncCall, str] = {}
+
+        def register_aggregate(call: ast.FuncCall) -> str:
+            if call in agg_index:
+                return agg_index[call]
+            name = f"agg{len(aggregates) + 1}"
+            agg_index[call] = name
+            aggregates.append((call, name))
+            return name
+
+        def rewrite_with_aggregates(expr: ast.Expr) -> ast.Expr:
+            """Bind an expression in the post-aggregation scope."""
+            bound = self._bind_agg_operand(expr, scope)
+            return self._fold_into_groups(
+                bound, group_index, register_aggregate
+            )
+
+        item_exprs: list[tuple[ast.Expr, str]] = []
+        for index, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.Star):
+                raise BindError("'*' select item is not allowed with GROUP BY")
+            rewritten = rewrite_with_aggregates(item.expr)
+            item_exprs.append(
+                (rewritten, self._output_name(item, rewritten, index))
+            )
+
+        having_expr: Optional[ast.Expr] = None
+        if stmt.having is not None:
+            having_expr = rewrite_with_aggregates(stmt.having)
+
+        agg_op = ops.Aggregate(plan, tuple(group_exprs), tuple(aggregates))
+        output = {"items": item_exprs}
+        if having_expr is not None:
+            output["having"] = having_expr
+        return agg_op, output
+
+    def _bind_agg_operand(self, expr: ast.Expr, scope: _Scope) -> ast.Expr:
+        """Bind column refs (incl. inside aggregate args) without rejecting
+        aggregate calls."""
+        expr = self._instantiate_expr(expr)
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.ColumnRef):
+                return scope.resolve(node).ref()
+            if isinstance(node, ast.Param):
+                raise ParameterError(f"unbound parameter ${node.name}")
+            return None
+
+        return exprs.transform(expr, visit)
+
+    def _fold_into_groups(
+        self,
+        expr: ast.Expr,
+        group_index: Mapping[ast.Expr, str],
+        register_aggregate,
+    ) -> ast.Expr:
+        """Rewrite a bound expression into the Aggregate's output scope.
+
+        Occurrences of group expressions become references to the group
+        output columns; aggregate calls are registered and become
+        references to aggregate output columns.  Any remaining base
+        column reference is an error (non-grouped column).
+        """
+        if expr in group_index:
+            return ast.ColumnRef(None, group_index[expr])
+        if ast.is_aggregate_call(expr):
+            name = register_aggregate(expr)
+            return ast.ColumnRef(None, name)
+        if isinstance(expr, ast.ColumnRef):
+            raise BindError(
+                f"column {expr} must appear in GROUP BY or inside an aggregate"
+            )
+        rebuilt = self._rebuild_children(
+            expr, lambda child: self._fold_into_groups(child, group_index, register_aggregate)
+        )
+        return rebuilt
+
+    @staticmethod
+    def _rebuild_children(expr: ast.Expr, fn) -> ast.Expr:
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, fn(expr.operand))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(fn(expr.operand), expr.negated)
+        if isinstance(expr, ast.InList):
+            return ast.InList(fn(expr.operand), tuple(fn(i) for i in expr.items), expr.negated)
+        if isinstance(expr, ast.Between):
+            return ast.Between(fn(expr.operand), fn(expr.low), fn(expr.high), expr.negated)
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(expr.name, tuple(fn(a) for a in expr.args), expr.distinct)
+        if isinstance(expr, ast.CaseExpr):
+            return ast.CaseExpr(
+                tuple((fn(c), fn(v)) for c, v in expr.branches),
+                fn(expr.default) if expr.default is not None else None,
+            )
+        return expr
+
+    # -- ORDER BY -------------------------------------------------------------------
+
+    def _resolve_order_expr(
+        self,
+        expr: ast.Expr,
+        project_exprs: tuple[tuple[ast.Expr, str], ...],
+        scope: _Scope,
+        has_aggregates: bool,
+    ) -> ast.Expr:
+        # 1. Match structurally against a projected expression.
+        try:
+            bound = (
+                self._bind_agg_operand(expr, scope)
+                if has_aggregates
+                else self._bind_expr(expr, scope, allow_aggregates=False)
+            )
+        except (UnknownColumnError, UnknownTableError, AmbiguousColumnError):
+            bound = None
+        if bound is not None:
+            for proj_expr, name in project_exprs:
+                if proj_expr == bound:
+                    return ast.ColumnRef(None, name)
+        # 2. Match by output alias/name (also covers refs that were folded
+        # through an Aggregate, e.g. ORDER BY s.name with output "name").
+        if isinstance(expr, ast.ColumnRef):
+            for _, name in project_exprs:
+                if name.lower() == expr.name.lower():
+                    return ast.ColumnRef(None, name)
+        raise BindError(
+            f"ORDER BY expression {expr} must appear in the select list"
+        )
+
+
+class _Dual(ops.Operator):
+    """One-row, zero-column relation backing FROM-less SELECTs."""
+
+    __slots__ = ()
+
+    @property
+    def columns(self) -> tuple[ops.OutCol, ...]:
+        return ()
+
+    def _describe(self) -> str:
+        return "Dual"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Dual)
+
+    def __hash__(self) -> int:
+        return hash(_Dual)
+
+
+_DUAL = _Dual()
+
+
+def _map_query_exprs(query: ast.QueryExpr, base_fn) -> ast.QueryExpr:
+    """Apply ``base_fn`` to every scalar expression in a query AST,
+    recursing into nested IN/EXISTS subqueries."""
+    if isinstance(query, ast.SetOp):
+        return ast.SetOp(
+            query.op,
+            query.all,
+            _map_query_exprs(query.left, base_fn),
+            _map_query_exprs(query.right, base_fn),
+        )
+    assert isinstance(query, ast.SelectStmt)
+
+    def fn(expr: ast.Expr) -> ast.Expr:
+        expr = base_fn(expr)
+
+        def visit(node: ast.Expr):
+            if isinstance(node, ast.InSubquery):
+                return ast.InSubquery(
+                    node.operand, _map_query_exprs(node.query, base_fn), node.negated
+                )
+            if isinstance(node, ast.ExistsSubquery):
+                return ast.ExistsSubquery(
+                    _map_query_exprs(node.query, base_fn), node.negated
+                )
+            return None
+
+        return exprs.transform(expr, visit)
+
+    def map_table(table_expr: ast.TableExpr) -> ast.TableExpr:
+        if isinstance(table_expr, ast.SubqueryRef):
+            return ast.SubqueryRef(_map_query_exprs(table_expr.query, fn), table_expr.alias)
+        if isinstance(table_expr, ast.JoinRef):
+            return ast.JoinRef(
+                map_table(table_expr.left),
+                map_table(table_expr.right),
+                table_expr.kind,
+                fn(table_expr.condition) if table_expr.condition is not None else None,
+            )
+        return table_expr
+
+    return ast.SelectStmt(
+        items=tuple(
+            ast.SelectItem(
+                item.expr if isinstance(item.expr, ast.Star) else fn(item.expr),
+                item.alias,
+            )
+            for item in query.items
+        ),
+        from_items=tuple(map_table(t) for t in query.from_items),
+        where=fn(query.where) if query.where is not None else None,
+        group_by=tuple(fn(g) for g in query.group_by),
+        having=fn(query.having) if query.having is not None else None,
+        distinct=query.distinct,
+        order_by=tuple(
+            ast.OrderItem(fn(o.expr), o.descending) for o in query.order_by
+        ),
+        limit=query.limit,
+        offset=query.offset,
+    )
+
+
+def translate_query(
+    query: ast.QueryExpr,
+    catalog: Catalog,
+    param_values: Optional[Mapping[str, object]] = None,
+    **kwargs,
+) -> ops.Operator:
+    """Convenience wrapper around :class:`Translator`."""
+    return Translator(catalog, param_values=param_values, **kwargs).translate(query)

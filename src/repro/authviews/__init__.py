@@ -1,0 +1,14 @@
+"""Authorization views (paper Section 2): parameterized views, access-
+pattern views, session contexts, and the grant registry."""
+
+from repro.authviews.session import SessionContext
+from repro.authviews.views import AuthorizationView, InstantiatedView, instantiate_view
+from repro.authviews.registry import GrantRegistry
+
+__all__ = [
+    "SessionContext",
+    "AuthorizationView",
+    "InstantiatedView",
+    "instantiate_view",
+    "GrantRegistry",
+]

@@ -1,0 +1,51 @@
+"""Secure application context (paper Section 3.1).
+
+When a user connects, a :class:`SessionContext` carries the values of
+the context parameters that parameterized authorization views refer to:
+``$user_id``, ``$time``, ``$location``, and any application-defined
+extras.  Instantiating the authorization views replaces each ``$param``
+with the session's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SessionContext:
+    """Parameter values for one database session/access."""
+
+    user_id: Optional[object] = None
+    time: Optional[object] = None
+    location: Optional[object] = None
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    def param_values(self) -> dict[str, object]:
+        """All context parameters as a ``name → value`` mapping."""
+        values: dict[str, object] = dict(self.extra)
+        if self.user_id is not None:
+            values["user_id"] = self.user_id
+        if self.time is not None:
+            values["time"] = self.time
+        if self.location is not None:
+            values["location"] = self.location
+        return values
+
+    def require(self, names: set[str]) -> dict[str, object]:
+        """Return values for ``names``, raising if any are missing."""
+        values = self.param_values()
+        missing = sorted(n for n in names if n not in values)
+        if missing:
+            raise ParameterError(
+                "session context is missing parameter(s): "
+                + ", ".join(f"${n}" for n in missing)
+            )
+        return {n: values[n] for n in names}
+
+    @property
+    def user(self) -> Optional[str]:
+        return None if self.user_id is None else str(self.user_id)

@@ -1,0 +1,132 @@
+"""Parameterized and access-pattern authorization views.
+
+An authorization view is a stored view definition whose query may
+contain ``$param`` context parameters and ``$$param`` access-pattern
+parameters.  For a given session, the *instantiated* authorization view
+is the definition with every ``$param`` replaced by the session's value
+(paper Section 2); validity of user queries is tested against the
+instantiated views.  ``$$`` parameters remain symbolic during inference
+(they are treated as opaque constants, Section 6) and are bound only
+when the view is actually evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.errors import ParameterError
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra.translate import _map_query_exprs
+from repro.authviews.session import SessionContext
+from repro.catalog.catalog import ViewDef
+
+
+def query_params(query: ast.QueryExpr) -> set[str]:
+    """Names of all ``$param`` context parameters in a query."""
+    names: set[str] = set()
+    _map_query_exprs(query, lambda e: _collect(e, names, access=False))
+    return names
+
+
+def query_access_params(query: ast.QueryExpr) -> set[str]:
+    """Names of all ``$$param`` access-pattern parameters in a query."""
+    names: set[str] = set()
+    _map_query_exprs(query, lambda e: _collect(e, names, access=True))
+    return names
+
+
+def _collect(expr: ast.Expr, into: set[str], access: bool) -> ast.Expr:
+    if access:
+        into.update(exprs.access_params_in(expr))
+    else:
+        into.update(exprs.params_in(expr))
+    return expr
+
+
+@dataclass(frozen=True)
+class AuthorizationView:
+    """A stored authorization view plus its parameter signature."""
+
+    definition: ViewDef
+    params: frozenset[str]
+    access_params: frozenset[str]
+
+    @classmethod
+    def from_def(cls, definition: ViewDef) -> "AuthorizationView":
+        return cls(
+            definition=definition,
+            params=frozenset(query_params(definition.query)),
+            access_params=frozenset(query_access_params(definition.query)),
+        )
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_access_pattern(self) -> bool:
+        return bool(self.access_params)
+
+    def instantiate(self, session: SessionContext) -> "InstantiatedView":
+        """Replace context parameters with the session's values."""
+        values = session.require(set(self.params))
+        query = _map_query_exprs(
+            self.definition.query,
+            lambda e: exprs.substitute_params(e, values),
+        )
+        return InstantiatedView(
+            view=self,
+            query=query,
+            param_values=dict(values),
+        )
+
+
+@dataclass(frozen=True)
+class InstantiatedView:
+    """An authorization view with context parameters bound.
+
+    ``query`` still contains ``$$`` access-pattern parameters if the
+    view declared any.
+    """
+
+    view: AuthorizationView
+    query: ast.QueryExpr
+    param_values: Mapping[str, object]
+
+    @property
+    def name(self) -> str:
+        return self.view.name
+
+    @property
+    def definition(self) -> ViewDef:
+        return self.view.definition
+
+    @property
+    def is_access_pattern(self) -> bool:
+        return self.view.is_access_pattern
+
+    def bind_access_params(
+        self, values: Optional[Mapping[str, object]]
+    ) -> ast.QueryExpr:
+        """Bind ``$$`` parameters for actual evaluation of the view."""
+        if not self.view.access_params:
+            return self.query
+        values = dict(values or {})
+        missing = sorted(self.view.access_params - set(values))
+        if missing:
+            raise ParameterError(
+                f"access-pattern view {self.name!r} requires value(s) for: "
+                + ", ".join(f"$${n}" for n in missing)
+            )
+        return _map_query_exprs(
+            self.query, lambda e: exprs.substitute_access_params(e, values)
+        )
+
+
+def instantiate_view(
+    definition: ViewDef, session: SessionContext
+) -> InstantiatedView:
+    """Convenience: wrap and instantiate a stored view definition."""
+    return AuthorizationView.from_def(definition).instantiate(session)

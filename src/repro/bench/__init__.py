@@ -1,0 +1,12 @@
+"""Benchmark harness utilities: experiment runners and table reporting."""
+
+from repro.bench.harness import Experiment, Measurement, time_callable
+from repro.bench.reporting import format_table, print_experiment_header
+
+__all__ = [
+    "Experiment",
+    "Measurement",
+    "time_callable",
+    "format_table",
+    "print_experiment_header",
+]

@@ -1,0 +1,79 @@
+"""Experiment harness.
+
+Each benchmark module (``benchmarks/bench_e*.py``) builds an
+:class:`Experiment`, adds :class:`Measurement` rows, and prints the
+resulting table — the series the corresponding figure/claim in
+EXPERIMENTS.md reports.  pytest-benchmark handles the per-operation
+timing; this harness handles the derived quantities (counts, ratios,
+acceptance rates) that timing alone does not capture.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class Measurement:
+    """One row of an experiment table."""
+
+    label: str
+    values: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Experiment:
+    """A named experiment accumulating measurement rows."""
+
+    id: str
+    title: str
+    claim: str  # the paper claim/figure this experiment operationalizes
+    rows: list[Measurement] = field(default_factory=list)
+
+    def add(self, label: str, **values: object) -> Measurement:
+        row = Measurement(label, values)
+        self.rows.append(row)
+        return row
+
+    def columns(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for key in row.values:
+                seen.setdefault(key)
+        return list(seen)
+
+    def report(self) -> str:
+        from repro.bench.reporting import format_table
+
+        header = [
+            f"== {self.id}: {self.title} ==",
+            f"   paper claim: {self.claim}",
+        ]
+        columns = ["case"] + self.columns()
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [row.label] + [row.values.get(c, "") for c in self.columns()]
+            )
+        return "\n".join(header) + "\n" + format_table(columns, table_rows)
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeat: int = 5,
+    warmup: int = 1,
+) -> tuple[float, float]:
+    """(median, stdev) wall-clock seconds of ``fn`` over ``repeat`` runs."""
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    median = statistics.median(samples)
+    stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    return median, stdev

@@ -1,0 +1,37 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: list[str], rows: Iterable[list[object]]) -> str:
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_experiment_header(experiment_id: str, title: str) -> None:
+    print()
+    print(f"===== {experiment_id}: {title} =====")

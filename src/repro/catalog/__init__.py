@@ -1,0 +1,28 @@
+"""System catalog: schemas, data types, and integrity constraints."""
+
+from repro.catalog.types import DataType, coerce_value, infer_type_name
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.constraints import (
+    CheckConstraint,
+    ForeignKey,
+    NotNull,
+    PrimaryKey,
+    TotalParticipation,
+    Unique,
+)
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "DataType",
+    "coerce_value",
+    "infer_type_name",
+    "Column",
+    "TableSchema",
+    "PrimaryKey",
+    "ForeignKey",
+    "Unique",
+    "NotNull",
+    "CheckConstraint",
+    "TotalParticipation",
+    "Catalog",
+]

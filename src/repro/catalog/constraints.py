@@ -1,0 +1,134 @@
+"""Integrity constraints.
+
+Besides the standard constraints (primary key, foreign key, unique,
+not-null, check), the catalog supports the generalized
+**total-participation** constraint that drives inference rules
+U3a/U3b/U3c of the paper: *every tuple of the core satisfying a core
+predicate has a join partner in the remainder satisfying a remainder
+predicate*.  A foreign key is the common special case (paper §5.6.3);
+"every full-time student is registered for some course" (Example 5.3)
+and "everyone who paid fees is registered" (Example 5.4) are
+non-FK instances.
+
+Constraint *visibility* matters for inference: the paper (§4.2) notes
+that integrity constraints the user is not authorized to know must not
+be used to declare queries valid, otherwise acceptance leaks the
+constraint itself.  Each constraint carries a ``visible_to`` set
+(``None`` = visible to everyone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class PrimaryKey:
+    table: str
+    columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"PRIMARY KEY {self.table}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class Unique:
+    table: str
+    columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"UNIQUE {self.table}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class NotNull:
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"NOT NULL {self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table(columns)`` references ``ref_table(ref_columns)``."""
+
+    table: str
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"FOREIGN KEY {self.table}({', '.join(self.columns)}) "
+            f"REFERENCES {self.ref_table}({', '.join(self.ref_columns)})"
+        )
+
+
+@dataclass(frozen=True)
+class CheckConstraint:
+    """Row-level check predicate over a single table's columns."""
+
+    table: str
+    predicate: ast.Expr
+
+    def __str__(self) -> str:
+        return f"CHECK {self.table}: {self.predicate}"
+
+
+@dataclass(frozen=True)
+class TotalParticipation:
+    """Every tuple of σ(core_pred)(core) joins some tuple of σ(remainder_pred)(remainder).
+
+    ``join_pairs`` lists ``(core_column, remainder_column)`` equality
+    pairs.  ``visible_to`` restricts which users may benefit from the
+    constraint during validity inference (``None`` = public).
+    """
+
+    core_table: str
+    remainder_table: str
+    join_pairs: tuple[tuple[str, str], ...]
+    core_pred: Optional[ast.Expr] = None
+    remainder_pred: Optional[ast.Expr] = None
+    visible_to: Optional[frozenset[str]] = None
+    name: str = ""
+
+    def is_visible_to(self, user: Optional[str]) -> bool:
+        if self.visible_to is None:
+            return True
+        return user is not None and user in self.visible_to
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{c}={r}" for c, r in self.join_pairs)
+        core = f"σ({self.core_pred})({self.core_table})" if self.core_pred else self.core_table
+        rem = (
+            f"σ({self.remainder_pred})({self.remainder_table})"
+            if self.remainder_pred
+            else self.remainder_table
+        )
+        return f"TOTAL PARTICIPATION {core} ⊆⋈[{pairs}] {rem}"
+
+
+def foreign_key_participation(fk: ForeignKey) -> TotalParticipation:
+    """Derive the total-participation constraint implied by a foreign key.
+
+    A FK guarantees a referenced tuple exists whenever the referencing
+    columns are non-null; we conservatively require NOT NULL semantics
+    by attaching an IS NOT NULL core predicate on each FK column.
+    """
+    pred: Optional[ast.Expr] = None
+    for col in fk.columns:
+        clause = ast.IsNull(ast.ColumnRef(None, col), negated=True)
+        pred = clause if pred is None else ast.BinaryOp("and", pred, clause)
+    ref_cols = fk.ref_columns or fk.columns
+    return TotalParticipation(
+        core_table=fk.table,
+        remainder_table=fk.ref_table,
+        join_pairs=tuple(zip(fk.columns, ref_cols)),
+        core_pred=pred,
+        remainder_pred=None,
+        name=f"fk_{fk.table}_{'_'.join(fk.columns)}",
+    )

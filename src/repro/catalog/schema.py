@@ -1,0 +1,57 @@
+"""Table schemas: named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import UnknownColumnError
+from repro.catalog.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    dtype: DataType
+    not_null: bool = False
+
+    def __str__(self) -> str:
+        suffix = " NOT NULL" if self.not_null else ""
+        return f"{self.name} {self.dtype.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered list of columns for a base table or view result."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(col.name.lower() == lowered for col in self.columns)
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise UnknownColumnError(name, context=self.name)
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, col in enumerate(self.columns):
+            if col.name.lower() == lowered:
+                return index
+        raise UnknownColumnError(name, context=self.name)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(col) for col in self.columns)
+        return f"{self.name}({cols})"

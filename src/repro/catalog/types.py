@@ -1,0 +1,78 @@
+"""SQL data types and value coercion.
+
+The engine is dynamically typed at run time (rows hold Python values),
+but every column carries a declared :class:`DataType` used for coercion
+on insert, for type checking during binding, and for workload
+generation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import TypeError_
+
+
+class DataType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @classmethod
+    def from_sql_name(cls, name: str) -> "DataType":
+        """Map a SQL type name to a DataType (``varchar(20)`` → TEXT, ...)."""
+        lowered = name.lower()
+        if lowered in ("int", "integer", "bigint", "smallint", "serial"):
+            return cls.INT
+        if lowered in ("float", "real", "double", "decimal", "numeric"):
+            return cls.FLOAT
+        if lowered in ("text", "varchar", "char", "string", "date", "timestamp"):
+            return cls.TEXT
+        if lowered in ("bool", "boolean"):
+            return cls.BOOL
+        raise TypeError_(f"unsupported SQL type: {name!r}")
+
+
+def coerce_value(value: object, dtype: DataType) -> object:
+    """Coerce ``value`` to ``dtype``; NULL (None) passes through any type."""
+    if value is None:
+        return None
+    if dtype is DataType.INT:
+        if isinstance(value, bool):
+            raise TypeError_(f"cannot store boolean {value!r} in INT column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeError_(f"cannot store {value!r} in INT column")
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeError_(f"cannot store boolean {value!r} in FLOAT column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeError_(f"cannot store {value!r} in FLOAT column")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeError_(f"cannot store {value!r} in TEXT column")
+    if dtype is DataType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise TypeError_(f"cannot store {value!r} in BOOL column")
+    raise TypeError_(f"unknown data type {dtype!r}")
+
+
+def infer_type_name(value: object) -> str:
+    """Human-readable type name of a Python value (for error messages)."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "text"
+    return type(value).__name__

@@ -1,0 +1,271 @@
+"""Interactive shell for exploring fine-grained access control.
+
+Run with ``python -m repro`` (optionally ``--workload university`` or
+``--workload bank``, and ``--script file.sql`` to preload a schema).
+
+Statements ending in ``;`` are executed as SQL under the current
+session and access-control mode.  Meta-commands:
+
+=================  ====================================================
+``\\user ID``       reconnect as a different user
+``\\mode M``        open | truman | non-truman | motro
+``\\views``         list authorization views available to this session
+``\\check SQL``     run only the validity check; print the decision,
+                   rule trace, and witness plan
+``\\explain SQL``   show the logical plan for a query
+``\\grant V U``     grant view V to user U (or PUBLIC)
+``\\tables``        list base tables
+``\\help``          this text
+``\\quit``          exit
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, TextIO
+
+from repro.db import Connection, Database
+from repro.errors import ReproError
+from repro.sql import parse_statement, ast
+
+
+BANNER = """repro — fine-grained access control by query rewriting (SIGMOD 2004)
+Type SQL terminated by ';', or \\help for meta-commands."""
+
+
+class Shell:
+    """A line-oriented REPL over one Database."""
+
+    def __init__(self, db: Database, out: TextIO = sys.stdout):
+        self.db = db
+        self.out = out
+        self.mode = "non-truman"
+        self.user: Optional[str] = None
+        self.conn: Connection = db.connect(user_id=None, mode=self.mode)
+        self._buffer: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def reconnect(self) -> None:
+        self.conn = self.db.connect(user_id=self.user, mode=self.mode)
+
+    # ------------------------------------------------------------------
+
+    def run(self, lines) -> None:
+        self.write(BANNER)
+        self._prompt()
+        for raw in lines:
+            line = raw.rstrip("\n")
+            if not self._feed(line):
+                break
+            self._prompt()
+
+    def _prompt(self) -> None:
+        user = self.user or "<anonymous>"
+        self.out.write(f"{user}@{self.mode}> ")
+        self.out.flush()
+
+    def _feed(self, line: str) -> bool:
+        """Process one input line; False means quit."""
+        stripped = line.strip()
+        if not stripped and not self._buffer:
+            return True
+        if stripped.startswith("\\") and not self._buffer:
+            return self._meta(stripped)
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            self._execute_sql(statement.rstrip("; \t\n"))
+        return True
+
+    # -- meta commands ------------------------------------------------------
+
+    def _meta(self, command: str) -> bool:
+        parts = command.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if head in ("\\q", "\\quit", "\\exit"):
+            self.write("bye")
+            return False
+        if head == "\\help":
+            self.write(__doc__)
+        elif head == "\\user":
+            self.user = rest.strip() or None
+            self.reconnect()
+            self.write(f"connected as {self.user!r}")
+        elif head == "\\mode":
+            mode = rest.strip().lower()
+            if mode not in ("open", "truman", "non-truman", "motro"):
+                self.write("modes: open | truman | non-truman | motro")
+            else:
+                self.mode = mode
+                self.reconnect()
+                self.write(f"access-control mode: {mode}")
+        elif head == "\\views":
+            self._list_views()
+        elif head == "\\tables":
+            for schema in self.db.catalog.tables():
+                self.write(f"  {schema}")
+        elif head == "\\grant":
+            self._grant(rest)
+        elif head == "\\check":
+            self._check(rest)
+        elif head == "\\explain":
+            self._explain(rest)
+        else:
+            self.write(f"unknown meta-command {head!r}; try \\help")
+        return True
+
+    def _list_views(self) -> None:
+        available = {
+            v.name for v in self.db.available_views(self.conn.session)
+        }
+        any_views = False
+        for view in self.db.catalog.views():
+            if not view.authorization:
+                continue
+            any_views = True
+            mark = "*" if view.name in available else " "
+            from repro.sql import render
+
+            self.write(f" {mark} {view.name}: {render(view.query)}")
+        if not any_views:
+            self.write("  (no authorization views deployed)")
+        self.write("  (* = available to this session)")
+
+    def _grant(self, rest: str) -> None:
+        parts = rest.split()
+        if len(parts) != 2:
+            self.write("usage: \\grant <view> <user|public>")
+            return
+        try:
+            self.db.grant(parts[0], to_user=parts[1])
+            self.write(f"granted {parts[0]} to {parts[1]}")
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def _check(self, sql: str) -> None:
+        if not sql.strip():
+            self.write("usage: \\check <select ...>")
+            return
+        try:
+            decision = self.db.check_validity(
+                sql.rstrip(";"), session=self.conn.session
+            )
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write(decision.describe())
+        if decision.witness is not None:
+            self.write("witness plan:")
+            self.write(decision.witness.pretty(1))
+
+    def _explain(self, sql: str) -> None:
+        if not sql.strip():
+            self.write("usage: \\explain <select ...>")
+            return
+        try:
+            statement = parse_statement(sql.rstrip(";"))
+            if not isinstance(statement, ast.QueryExpr):
+                self.write("\\explain expects a SELECT statement")
+                return
+            plan = self.db.plan_query(statement, self.conn.session)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write(plan.pretty())
+
+    # -- SQL execution -------------------------------------------------------
+
+    def _execute_sql(self, sql: str) -> None:
+        if not sql.strip():
+            return
+        try:
+            outcome = self.conn.execute(sql)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        from repro.db import Result
+
+        if isinstance(outcome, Result):
+            self._print_result(outcome)
+        elif isinstance(outcome, int):
+            self.write(f"{outcome} row(s) affected")
+        else:
+            self.write("ok")
+
+    def _print_result(self, result) -> None:
+        from repro.bench.reporting import format_table
+
+        if result.columns:
+            limited = result.rows[:50]
+            self.write(format_table(list(result.columns), [list(r) for r in limited]))
+            if len(result.rows) > len(limited):
+                self.write(f"... ({len(result.rows)} rows total)")
+            else:
+                self.write(f"({len(result.rows)} row(s))")
+        annotations = getattr(result, "annotations", None)
+        if annotations:
+            for note in annotations:
+                self.write(f"  note: {note}")
+
+
+def build_database(workload: Optional[str], script: Optional[str]) -> Database:
+    if workload == "university":
+        from repro.workloads.university import build_university
+
+        return build_university()
+    if workload == "bank":
+        from repro.workloads.bank import build_bank, grant_teller
+
+        db = build_bank()
+        grant_teller(db, "teller")
+        return db
+    db = Database()
+    if script:
+        with open(script) as handle:
+            db.execute_script(handle.read())
+    return db
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="fine-grained access control shell"
+    )
+    parser.add_argument(
+        "--workload", choices=["university", "bank"], default=None,
+        help="preload a generated demo workload",
+    )
+    parser.add_argument(
+        "--script", default=None, help="SQL script to execute at startup"
+    )
+    parser.add_argument(
+        "--user", default=None, help="initial session user id"
+    )
+    parser.add_argument(
+        "--mode", default="non-truman",
+        choices=["open", "truman", "non-truman", "motro"],
+        help="initial access-control mode",
+    )
+    args = parser.parse_args(argv)
+
+    db = build_database(args.workload, args.script)
+    shell = Shell(db)
+    shell.mode = args.mode
+    shell.user = args.user
+    shell.reconnect()
+    try:
+        shell.run(sys.stdin)
+    except KeyboardInterrupt:
+        shell.write("\nbye")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Query execution engine: scalar evaluation and operator execution."""
+
+from repro.engine.executor import Executor, ExecContext
+from repro.engine.evaluator import Evaluator, RowResolver
+
+__all__ = ["Executor", "ExecContext", "Evaluator", "RowResolver"]

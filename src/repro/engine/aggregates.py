@@ -1,0 +1,139 @@
+"""Aggregate function accumulators (SQL semantics).
+
+* ``count(*)`` counts rows; ``count(expr)`` counts non-NULL values.
+* ``sum``/``avg``/``min``/``max`` ignore NULLs and return NULL over an
+  empty (or all-NULL) input; ``count`` returns 0.
+* ``DISTINCT`` variants deduplicate non-NULL values first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExecutionError, TypeError_
+
+
+class Accumulator:
+    """Base accumulator: feed values with add(), read with result()."""
+
+    def add(self, value: object) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def result(self) -> object:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CountStar(Accumulator):
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class Count(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+        self.count = 0
+        self.seen: set = set()
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class Sum(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+        self.total: Optional[float] = None
+        self.seen: set = set()
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_(f"sum() on non-numeric value {value!r}")
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Optional[float]:
+        return self.total
+
+
+class Avg(Accumulator):
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+        self.total = 0.0
+        self.count = 0
+        self.seen: set = set()
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_(f"avg() on non-numeric value {value!r}")
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class MinMax(Accumulator):
+    def __init__(self, is_min: bool):
+        self.is_min = is_min
+        self.best: object = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+            return
+        try:
+            smaller = value < self.best
+        except TypeError as exc:
+            raise TypeError_(
+                f"min/max on incomparable values {value!r}, {self.best!r}"
+            ) from exc
+        if smaller == self.is_min:
+            self.best = value
+
+    def result(self) -> object:
+        return self.best
+
+
+def make_accumulator(name: str, distinct: bool, star: bool) -> Accumulator:
+    """Factory keyed on aggregate function name."""
+    lowered = name.lower()
+    if lowered == "count":
+        return CountStar() if star else Count(distinct)
+    if lowered == "sum":
+        return Sum(distinct)
+    if lowered == "avg":
+        return Avg(distinct)
+    if lowered == "min":
+        return MinMax(is_min=True)
+    if lowered == "max":
+        return MinMax(is_min=False)
+    raise ExecutionError(f"unknown aggregate function {name!r}")

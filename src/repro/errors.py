@@ -1,0 +1,116 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+subsystems: SQL front end, catalog, execution engine, and the two access
+control models.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an unrecognized character sequence."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class CatalogError(ReproError):
+    """Base class for catalog errors (unknown tables, duplicate names, ...)."""
+
+
+class UnknownTableError(CatalogError):
+    def __init__(self, name: str):
+        super().__init__(f"unknown table or view: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(CatalogError):
+    def __init__(self, name: str, context: str = ""):
+        suffix = f" in {context}" if context else ""
+        super().__init__(f"unknown column: {name!r}{suffix}")
+        self.name = name
+
+
+class AmbiguousColumnError(CatalogError):
+    def __init__(self, name: str, candidates: list[str]):
+        super().__init__(
+            f"ambiguous column {name!r}; candidates: {', '.join(sorted(candidates))}"
+        )
+        self.name = name
+        self.candidates = candidates
+
+
+class DuplicateNameError(CatalogError):
+    def __init__(self, name: str):
+        super().__init__(f"name already exists: {name!r}")
+        self.name = name
+
+
+class BindError(ReproError):
+    """Raised when an AST cannot be bound/translated against the catalog."""
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime failures during query execution."""
+
+
+class TypeError_(ExecutionError):
+    """Raised for type mismatches during evaluation (named to avoid builtins)."""
+
+
+class IntegrityError(ExecutionError):
+    """Raised when a DML statement would violate a declared constraint."""
+
+
+class ParameterError(ReproError):
+    """Raised when view parameters are missing or of the wrong kind."""
+
+
+class AccessControlError(ReproError):
+    """Base class for access-control failures."""
+
+
+class QueryRejectedError(AccessControlError):
+    """Raised by the Non-Truman model when a query cannot be proven valid.
+
+    Carries the :class:`~repro.nontruman.decision.ValidityDecision` so
+    callers can inspect why the query was rejected.
+    """
+
+    def __init__(self, message: str, decision=None):
+        super().__init__(message)
+        self.decision = decision
+
+
+class UpdateRejectedError(AccessControlError):
+    """Raised when an insert/update/delete fails its authorization predicate."""
+
+
+class GrantError(AccessControlError):
+    """Raised for malformed or unauthorized GRANT operations."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when a statement uses SQL the engine deliberately omits.
+
+    The paper (Section 5) assumes queries without nested subqueries; the
+    validity checker raises this error for constructs outside the
+    supported fragment rather than silently mis-answering.
+    """

@@ -1,0 +1,5 @@
+"""Motro's annotated-partial-answer model (paper §7 related work)."""
+
+from repro.motro.model import AnnotatedResult, MotroRewriter, motro_query
+
+__all__ = ["AnnotatedResult", "MotroRewriter", "motro_query"]

@@ -1,0 +1,242 @@
+"""Motro's access-control model [20], as described in paper §7.
+
+"In the model proposed by Motro, depending on the authorization, the
+user may get only a part of the answer to a query; however, unlike with
+the Oracle VPD model, instead of just getting a partial answer, the
+user also gets a description indicating in what way the answer is
+partial (e.g., 'only grades of user-id 11 have been returned')."
+
+The paper also records the model's limits, which this implementation
+honors: "only conjunctive queries/views are handled ... set difference
+and aggregation can turn a partial answer into an incorrect answer."
+
+Concretely:
+
+* the query must be select-project-join (optionally DISTINCT/ORDER
+  BY/LIMIT); aggregates and set operations are refused with an
+  explanatory error rather than mis-answered;
+* each base table is restricted to the union of the user's
+  *whole-row selection views* over it (views of shape
+  ``select * from T where P``, instantiated for the session); the
+  applied restriction is reported as a human-readable annotation;
+* a table with no such view contributes no rows, annotated accordingly.
+
+This third model completes the comparative story: VPD/Truman modify
+silently, Motro modifies *and tells you*, Non-Truman never modifies.
+Benchmark E11 contrasts the three on a shared workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.sql import ast, parse_statement, render
+from repro.sql.render import _render_expr
+from repro.algebra import expr as exprs
+from repro.authviews.session import SessionContext
+from repro.authviews.views import AuthorizationView
+from repro.db import Result
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass
+class AnnotatedResult(Result):
+    """A (possibly partial) answer plus Motro-style annotations."""
+
+    annotations: list[str] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.annotations)
+
+    def describe(self) -> str:
+        lines = [f"{len(self.rows)} row(s)"]
+        for note in self.annotations:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+class MotroRewriter:
+    """Restricts a query to the user's authorized fragments, with notes."""
+
+    def __init__(self, db: "Database", session: SessionContext):
+        self.db = db
+        self.session = session
+        self.annotations: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def restrict(self, query: ast.QueryExpr) -> ast.QueryExpr:
+        if isinstance(query, ast.SetOp):
+            raise UnsupportedFeatureError(
+                "Motro's model handles conjunctive queries only; a set "
+                "operation could turn a partial answer into an incorrect one"
+            )
+        assert isinstance(query, ast.SelectStmt)
+        self._reject_non_conjunctive(query)
+        new_from = tuple(
+            self._restrict_table(item) for item in query.from_items
+        )
+        return ast.SelectStmt(
+            items=query.items,
+            from_items=new_from,
+            where=query.where,
+            group_by=query.group_by,
+            having=query.having,
+            distinct=query.distinct,
+            order_by=query.order_by,
+            limit=query.limit,
+            offset=query.offset,
+        )
+
+    def _reject_non_conjunctive(self, stmt: ast.SelectStmt) -> None:
+        if stmt.group_by or stmt.having is not None:
+            raise UnsupportedFeatureError(
+                "Motro's model cannot return partial aggregates: "
+                "an aggregate over a partial answer is an incorrect answer"
+            )
+        for item in stmt.items:
+            if not isinstance(item.expr, ast.Star) and ast.contains_aggregate(
+                item.expr
+            ):
+                raise UnsupportedFeatureError(
+                    "Motro's model cannot return partial aggregates"
+                )
+        if stmt.where is not None:
+            for node in ast.walk_expr(stmt.where):
+                if isinstance(node, (ast.InSubquery, ast.ExistsSubquery)):
+                    raise UnsupportedFeatureError(
+                        "Motro's model handles conjunctive queries only"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _restrict_table(self, table_expr: ast.TableExpr) -> ast.TableExpr:
+        if isinstance(table_expr, ast.JoinRef):
+            if table_expr.kind != "inner":
+                raise UnsupportedFeatureError(
+                    "Motro's model handles conjunctive queries only"
+                )
+            return ast.JoinRef(
+                self._restrict_table(table_expr.left),
+                self._restrict_table(table_expr.right),
+                table_expr.kind,
+                table_expr.condition,
+            )
+        if isinstance(table_expr, ast.SubqueryRef):
+            raise UnsupportedFeatureError(
+                "Motro's model handles conjunctive queries only"
+            )
+        assert isinstance(table_expr, ast.TableRef)
+        if not self.db.catalog.has_table(table_expr.name):
+            return table_expr  # view references pass through
+
+        predicate, note = self._authorized_predicate(table_expr.name)
+        binding = table_expr.binding_name
+        self.annotations.append(f"{binding}: {note}")
+        restricted = ast.SelectStmt(
+            items=(ast.SelectItem(ast.Star()),),
+            from_items=(ast.TableRef(table_expr.name),),
+            where=predicate,
+        )
+        return ast.SubqueryRef(query=restricted, alias=binding)
+
+    def _authorized_predicate(
+        self, table: str
+    ) -> tuple[Optional[ast.Expr], str]:
+        """The disjunction of the user's whole-row selection views on
+        ``table``, plus the annotation text."""
+        schema = self.db.catalog.table(table)
+        fragments: list[ast.Expr] = []
+        notes: list[str] = []
+        for view_def in self.db.catalog.views():
+            if not view_def.authorization:
+                continue
+            if not self.db.grants.is_granted(view_def.name, self.session.user):
+                continue
+            shape = self._selection_view_shape(view_def, schema)
+            if shape is None:
+                continue
+            predicate, unrestricted = shape
+            if unrestricted:
+                return None, f"all rows of {table} are authorized"
+            fragments.append(predicate)
+            notes.append(_render_expr(predicate))
+        if not fragments:
+            return (
+                ast.Literal(False),
+                f"no rows of {table} are authorized for this session",
+            )
+        disjunction = fragments[0]
+        for fragment in fragments[1:]:
+            disjunction = ast.BinaryOp("or", disjunction, fragment)
+        return (
+            disjunction,
+            f"only rows of {table} satisfying {' OR '.join(notes)} are returned",
+        )
+
+    def _selection_view_shape(self, view_def, schema):
+        """Match ``select * from T where P`` (whole-row selection view).
+
+        Returns (instantiated predicate, unrestricted?) or None.
+        """
+        query = view_def.query
+        if not isinstance(query, ast.SelectStmt):
+            return None
+        if query.group_by or query.having or query.distinct:
+            return None
+        if len(query.from_items) != 1 or not isinstance(
+            query.from_items[0], ast.TableRef
+        ):
+            return None
+        if query.from_items[0].name.lower() != schema.name.lower():
+            return None
+        # must expose every column (star, or all columns listed)
+        if len(query.items) == 1 and isinstance(query.items[0].expr, ast.Star):
+            exposes_all = True
+        else:
+            named = [
+                item.expr.name.lower()
+                for item in query.items
+                if isinstance(item.expr, ast.ColumnRef)
+            ]
+            exposes_all = set(named) >= {
+                c.lower() for c in schema.column_names
+            }
+        if not exposes_all:
+            return None
+        if query.where is None:
+            return None, True
+        predicate = exprs.substitute_params(
+            query.where, self.session.param_values()
+        )
+        if exprs.params_in(predicate) or exprs.access_params_in(predicate):
+            return None  # access-pattern views are not selection fragments
+        binding = query.from_items[0].binding_name
+
+        def strip_binding(node: ast.Expr):
+            if isinstance(node, ast.ColumnRef) and node.table is not None:
+                if node.table.lower() in (binding.lower(), schema.name.lower()):
+                    return ast.ColumnRef(None, node.name)
+            return None
+
+        return exprs.transform(predicate, strip_binding), False
+
+
+def motro_query(db: "Database", sql, session: SessionContext) -> AnnotatedResult:
+    """Answer ``sql`` with Motro's annotated-partial-answer semantics."""
+    query = parse_statement(sql) if isinstance(sql, str) else sql
+    if not isinstance(query, ast.QueryExpr):
+        raise UnsupportedFeatureError("motro_query expects a SELECT statement")
+    rewriter = MotroRewriter(db, session)
+    restricted = rewriter.restrict(query)
+    result = db.execute_query(restricted, session=session, mode="open")
+    return AnnotatedResult(
+        columns=result.columns,
+        rows=result.rows,
+        annotations=rewriter.annotations,
+    )

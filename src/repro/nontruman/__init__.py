@@ -1,0 +1,17 @@
+"""The Non-Truman model (paper Sections 4-5): validity inference.
+
+Public surface:
+
+* :class:`~repro.nontruman.checker.ValidityChecker` — the full engine
+  (rules U1, U2, U3a/b/c, C1, C2, C3a/b);
+* :class:`~repro.nontruman.decision.ValidityDecision` — the outcome,
+  carrying the witness rewriting and the rule derivation trace;
+* :class:`~repro.nontruman.cache.ValidityCache` — the Section 5.6
+  decision cache.
+"""
+
+from repro.nontruman.decision import Validity, ValidityDecision
+from repro.nontruman.checker import ValidityChecker
+from repro.nontruman.cache import ValidityCache
+
+__all__ = ["Validity", "ValidityDecision", "ValidityChecker", "ValidityCache"]

@@ -1,0 +1,407 @@
+"""Canonical query blocks for validity inference.
+
+The inference rules (paper Section 5) reason about queries of the form
+``select A from R where P`` — flattened select-project-join blocks —
+optionally wrapped in grouping/aggregation.  This module converts bound
+logical plans (:mod:`repro.algebra.ops`) into:
+
+* :class:`SPJBlock` — tables (base relations, authorization-view scans,
+  or opaque subplans), normalized predicate conjuncts, output
+  expressions, and a distinct flag;
+* :class:`AggBlock` — an inner SPJBlock plus group expressions,
+  aggregate calls, having conjuncts, and final outputs.
+
+Derived tables (Alias over an SPJ subtree) are flattened with binding
+renaming; non-flattenable subtrees (nested aggregates, set operations,
+outer joins, LIMIT) become *opaque* table instances handled
+compositionally by rule U2/C2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra import ops
+from repro.algebra.normalize import normalize_predicate
+
+
+@dataclass(frozen=True)
+class TableInstance:
+    """One entry in a block's FROM multiset."""
+
+    relation: str  # base-table name, view name, or "<subquery>"
+    binding: str
+    kind: str  # "table" | "view" | "opaque"
+    columns: tuple[str, ...]
+    #: logical plan for opaque instances (checked recursively via U2/C2)
+    subplan: Optional[ops.Operator] = field(default=None, compare=False)
+
+    @property
+    def is_base_table(self) -> bool:
+        return self.kind == "table"
+
+
+@dataclass(frozen=True)
+class SemiJoinSpec:
+    """A [NOT] IN/EXISTS subquery conjunct attached to a block.
+
+    ``operand`` is expressed over the block's table bindings (None for
+    the EXISTS form); ``subplan`` is the uncorrelated inner query,
+    validated recursively (rule U2/C2) during matching.
+    """
+
+    subplan: "ops.Operator" = field(compare=False)
+    operand: Optional[ast.Expr] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SPJBlock:
+    """Flattened select-project-join block (bag semantics)."""
+
+    tables: tuple[TableInstance, ...]
+    conjuncts: tuple[ast.Expr, ...]
+    outputs: tuple[tuple[ast.Expr, str], ...]
+    distinct: bool = False
+    semijoins: tuple[SemiJoinSpec, ...] = ()
+
+    @property
+    def base_tables(self) -> tuple[TableInstance, ...]:
+        return tuple(t for t in self.tables if t.kind == "table")
+
+    def binding_of(self, binding: str) -> TableInstance:
+        for table in self.tables:
+            if table.binding == binding:
+                return table
+        raise KeyError(binding)
+
+    def with_outputs(self, outputs) -> "SPJBlock":
+        return SPJBlock(
+            self.tables, self.conjuncts, tuple(outputs), self.distinct,
+            self.semijoins,
+        )
+
+    def describe(self) -> str:
+        tables = ", ".join(f"{t.relation} {t.binding}" for t in self.tables)
+        preds = " AND ".join(str(c) for c in self.conjuncts) or "true"
+        outs = ", ".join(f"{e} AS {n}" for e, n in self.outputs)
+        head = "SELECT DISTINCT" if self.distinct else "SELECT"
+        return f"{head} {outs} FROM {tables} WHERE {preds}"
+
+
+@dataclass(frozen=True)
+class AggBlock:
+    """Aggregation over an SPJ block."""
+
+    inner: SPJBlock
+    group_exprs: tuple[tuple[ast.Expr, str], ...]
+    aggregates: tuple[tuple[ast.FuncCall, str], ...]
+    having: tuple[ast.Expr, ...]  # over group/agg output names (binding None)
+    outputs: tuple[tuple[ast.Expr, str], ...]  # over group/agg output names
+    distinct: bool = False
+
+    def describe(self) -> str:
+        groups = ", ".join(f"{e}" for e, _ in self.group_exprs)
+        aggs = ", ".join(f"{a} AS {n}" for a, n in self.aggregates)
+        return (
+            f"AGG[{aggs}] GROUP BY [{groups}] HAVING "
+            f"[{' AND '.join(str(h) for h in self.having) or 'true'}] "
+            f"OVER ({self.inner.describe()})"
+        )
+
+
+class _Partial:
+    """Mutable accumulator while flattening an operator tree."""
+
+    __slots__ = ("tables", "conjuncts", "outputs", "semijoins")
+
+    def __init__(self):
+        self.tables: list[TableInstance] = []
+        self.conjuncts: list[ast.Expr] = []
+        # ordered outputs: (expr over table bindings, OutCol of the plan)
+        self.outputs: list[tuple[ast.Expr, ops.OutCol]] = []
+        self.semijoins: list[SemiJoinSpec] = []
+
+    def colmap(self) -> dict[tuple[Optional[str], str], ast.Expr]:
+        mapping: dict[tuple[Optional[str], str], ast.Expr] = {}
+        for expr, col in self.outputs:
+            binding = col.binding.lower() if col.binding else None
+            mapping.setdefault((binding, col.name.lower()), expr)
+            # Unqualified lookups (binding None) also resolve by name.
+            mapping.setdefault((None, col.name.lower()), expr)
+        return mapping
+
+    def substitute(self, expr: ast.Expr) -> ast.Expr:
+        mapping = self.colmap()
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.ColumnRef):
+                key = (node.table.lower() if node.table else None, node.name.lower())
+                replacement = mapping.get(key)
+                if replacement is not None:
+                    return replacement
+            return None
+
+        return exprs.transform(expr, visit)
+
+
+class BlockBuilder:
+    """Converts logical plans to blocks; owns binding uniquification."""
+
+    def __init__(self):
+        self._used_bindings: set[str] = set()
+        self._counter = itertools.count(1)
+
+    def _fresh_binding(self, base: str) -> str:
+        candidate = base
+        while candidate.lower() in self._used_bindings:
+            candidate = f"{base}_{next(self._counter)}"
+        self._used_bindings.add(candidate.lower())
+        return candidate
+
+    # -- public -----------------------------------------------------------
+
+    def to_query_form(self, plan: ops.Operator):
+        """Convert to SPJBlock or AggBlock; None if not block-shaped.
+
+        Aggregate shapes are tried first — ``to_spj`` would otherwise
+        swallow a top-level Aggregate as one opaque instance.
+        """
+        agg = self.to_agg(plan)
+        if agg is not None:
+            return agg
+        return self.to_spj(plan)
+
+    def to_spj(self, plan: ops.Operator) -> Optional[SPJBlock]:
+        """Flatten to an SPJBlock; None if the tree has agg/set-op shape."""
+        distinct = False
+        if isinstance(plan, ops.Distinct):
+            distinct = True
+            plan = plan.child
+        partial = self._build(plan, allow_opaque=True)
+        if partial is None:
+            return None
+        outputs = tuple((expr, col.name) for expr, col in partial.outputs)
+        return SPJBlock(
+            tables=tuple(partial.tables),
+            conjuncts=tuple(
+                dict.fromkeys(
+                    c
+                    for conj in partial.conjuncts
+                    for c in normalize_predicate(conj)
+                )
+            ),
+            outputs=outputs,
+            distinct=distinct,
+            semijoins=tuple(partial.semijoins),
+        )
+
+    def to_agg(self, plan: ops.Operator) -> Optional[AggBlock]:
+        """Match Project(Select*(Aggregate(inner))) shapes."""
+        distinct = False
+        if isinstance(plan, ops.Distinct):
+            distinct = True
+            plan = plan.child
+
+        outputs: Optional[tuple[tuple[ast.Expr, str], ...]] = None
+        if isinstance(plan, ops.Project):
+            outputs = plan.exprs
+            plan = plan.child
+
+        having: list[ast.Expr] = []
+        while isinstance(plan, ops.Select):
+            having.extend(normalize_predicate(plan.predicate))
+            plan = plan.child
+
+        if not isinstance(plan, ops.Aggregate):
+            return None
+        agg = plan
+        inner_partial = self._build(agg.child, allow_opaque=True)
+        if inner_partial is None:
+            return None
+
+        group_exprs = tuple(
+            (inner_partial.substitute(expr), name) for expr, name in agg.group_exprs
+        )
+        aggregates = tuple(
+            (
+                ast.FuncCall(
+                    call.name,
+                    tuple(
+                        arg if isinstance(arg, ast.Star) else inner_partial.substitute(arg)
+                        for arg in call.args
+                    ),
+                    call.distinct,
+                ),
+                name,
+            )
+            for call, name in agg.aggregates
+        )
+        if outputs is None:
+            outputs = tuple(
+                (ast.ColumnRef(None, col.name), col.name) for col in agg.columns
+            )
+
+        # Inner outputs: the columns the aggregation consumes.
+        needed: list[tuple[ast.Expr, str]] = []
+        for expr, name in group_exprs:
+            needed.append((expr, name))
+        inner_block = SPJBlock(
+            tables=tuple(inner_partial.tables),
+            conjuncts=tuple(
+                dict.fromkeys(
+                    c
+                    for conj in inner_partial.conjuncts
+                    for c in normalize_predicate(conj)
+                )
+            ),
+            outputs=tuple(needed),
+            distinct=False,
+            semijoins=tuple(inner_partial.semijoins),
+        )
+        return AggBlock(
+            inner=inner_block,
+            group_exprs=group_exprs,
+            aggregates=aggregates,
+            having=tuple(having),
+            outputs=tuple(outputs),
+            distinct=distinct,
+        )
+
+    # -- recursive flattening ------------------------------------------------
+
+    def _build(self, plan: ops.Operator, allow_opaque: bool) -> Optional[_Partial]:
+        if type(plan).__name__ == "_Dual":
+            # FROM-less SELECT: one row, no columns, no tables.
+            return _Partial()
+        if isinstance(plan, ops.Rel):
+            return self._leaf(plan, kind="table")
+        if isinstance(plan, ops.ViewRel):
+            return self._leaf(plan, kind="view")
+        if isinstance(plan, ops.Select):
+            partial = self._build(plan.child, allow_opaque)
+            if partial is None:
+                return None
+            partial.conjuncts.append(partial.substitute(plan.predicate))
+            return partial
+        if isinstance(plan, ops.Project):
+            partial = self._build(plan.child, allow_opaque)
+            if partial is None:
+                return None
+            partial.outputs = [
+                (partial.substitute(expr), ops.OutCol(None, name))
+                for expr, name in plan.exprs
+            ]
+            return partial
+        if isinstance(plan, ops.SemiJoin):
+            left = self._build(plan.left, allow_opaque)
+            if left is None:
+                return self._opaque(plan) if allow_opaque else None
+            operand = (
+                left.substitute(plan.operand) if plan.operand is not None else None
+            )
+            left.semijoins.append(
+                SemiJoinSpec(
+                    subplan=plan.right, operand=operand, negated=plan.negated
+                )
+            )
+            return left
+        if isinstance(plan, ops.Join):
+            if plan.kind not in ("inner", "cross"):
+                return self._opaque(plan) if allow_opaque else None
+            left = self._build(plan.left, allow_opaque)
+            right = self._build(plan.right, allow_opaque)
+            if left is None or right is None:
+                return None
+            merged = _Partial()
+            merged.tables = left.tables + right.tables
+            merged.conjuncts = left.conjuncts + right.conjuncts
+            merged.outputs = left.outputs + right.outputs
+            merged.semijoins = left.semijoins + right.semijoins
+            if plan.predicate is not None:
+                merged.conjuncts.append(merged.substitute(plan.predicate))
+            return merged
+        if isinstance(plan, ops.Alias):
+            inner = self._build(plan.child, allow_opaque=False)
+            if inner is None:
+                if allow_opaque:
+                    return self._opaque(plan)
+                return None
+            partial = _Partial()
+            partial.tables = inner.tables
+            partial.conjuncts = inner.conjuncts
+            partial.semijoins = inner.semijoins
+            partial.outputs = [
+                (expr, ops.OutCol(plan.binding, col.name))
+                for expr, col in inner.outputs
+            ]
+            return partial
+        if isinstance(plan, ops.Sort):
+            # Order is irrelevant to multiset equivalence.
+            return self._build(plan.child, allow_opaque)
+        if allow_opaque and isinstance(
+            plan, (ops.Aggregate, ops.Distinct, ops.SetOperation, ops.Limit)
+        ):
+            return self._opaque(plan)
+        return None
+
+    def _leaf(self, plan, kind: str) -> _Partial:
+        binding = self._fresh_binding(plan.binding)
+        instance = TableInstance(
+            relation=plan.name,
+            binding=binding,
+            kind=kind,
+            columns=plan.schema_columns,
+        )
+        partial = _Partial()
+        partial.tables = [instance]
+        partial.outputs = [
+            (ast.ColumnRef(binding, c), ops.OutCol(plan.binding, c))
+            for c in plan.schema_columns
+        ]
+        return partial
+
+    def _opaque(self, plan: ops.Operator) -> _Partial:
+        """Wrap a non-flattenable subtree as an opaque table instance."""
+        if isinstance(plan, ops.Alias):
+            base_name = plan.binding
+            columns = tuple(c.name for c in plan.columns)
+            subplan = plan.child
+            out_binding = plan.binding
+        else:
+            base_name = "subquery"
+            columns = tuple(c.name for c in plan.columns)
+            subplan = plan
+            out_binding = None
+        binding = self._fresh_binding(base_name)
+        instance = TableInstance(
+            relation="<subquery>",
+            binding=binding,
+            kind="opaque",
+            columns=columns,
+            subplan=subplan,
+        )
+        partial = _Partial()
+        partial.tables = [instance]
+        partial.outputs = [
+            (ast.ColumnRef(binding, c), ops.OutCol(out_binding, c)) for c in columns
+        ]
+        return partial
+
+
+def block_output_columns(block: SPJBlock) -> set[tuple[str, str]]:
+    """(binding, column) pairs referenced by outputs and conjuncts."""
+    cols: set[tuple[str, str]] = set()
+    for expr, _ in block.outputs:
+        for ref in exprs.columns_in(expr):
+            if ref.table:
+                cols.add((ref.table, ref.name))
+    for conj in block.conjuncts:
+        for ref in exprs.columns_in(conj):
+            if ref.table:
+                cols.add((ref.table, ref.name))
+    return cols

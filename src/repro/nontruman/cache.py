@@ -1,0 +1,144 @@
+"""Validity-decision caching (paper Section 5.6, "Optimizations of
+Validity Checking").
+
+Two mechanisms from the paper:
+
+* **Session caching** — "if the same query is reissued multiple times in
+  a session, we can cache the results of the validity check".  We key on
+  (user, exact query AST).
+* **Prepared statements** — "for ODBC/JDBC prepared statements, we can
+  analyze the query without the actual parameters ... and come up with a
+  cheap test that is used each time the query is executed".  We support
+  this by caching on a *parameter-stripped signature*: literals in the
+  query are replaced by placeholders, and the cached entry records which
+  placeholder positions must equal which session parameters for the
+  cached decision to carry over.
+
+Conditional decisions depend on the database state, so cache entries
+are stamped with a data-version counter and dropped when underlying
+data changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.nontruman.decision import ValidityDecision, Validity
+
+
+def query_signature(query: ast.QueryExpr) -> tuple:
+    """Structural signature of a query with literals abstracted out.
+
+    Returns ``(skeleton, literals)`` where ``skeleton`` is the query
+    with every literal replaced by an indexed placeholder and
+    ``literals`` is the tuple of extracted values.
+    """
+    literals: list[object] = []
+
+    def strip(expr: ast.Expr) -> ast.Expr:
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.Literal) and node.value is not None:
+                literals.append(node.value)
+                return ast.AccessParam(f"_lit{len(literals)}")
+            return None
+
+        return exprs.transform(expr, visit)
+
+    from repro.algebra.translate import _map_query_exprs
+
+    skeleton = _map_query_exprs(query, strip)
+    return skeleton, tuple(literals)
+
+
+@dataclass
+class _Entry:
+    validity: Validity
+    reason: str
+    literals: tuple
+    #: indices (into the literal tuple) that must match the session user
+    user_positions: frozenset[int]
+    data_version: int
+
+
+class ValidityCache:
+    """Decision cache with exact and prepared-signature lookups."""
+
+    def __init__(self):
+        self._entries: dict[tuple, _Entry] = {}
+        self.data_version = 0
+        self.hits = 0
+        self.misses = 0
+
+    def invalidate_data(self) -> None:
+        """Call on any data change; drops conditional decisions."""
+        self.data_version += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def _key(self, user: Optional[str], skeleton: ast.QueryExpr) -> tuple:
+        return (user, skeleton)
+
+    def lookup(
+        self, user: Optional[str], query: ast.QueryExpr, user_value: object
+    ) -> Optional[tuple[Validity, str]]:
+        skeleton, literals = query_signature(query)
+        entry = self._entries.get(self._key(user, skeleton))
+        if entry is None:
+            self.misses += 1
+            return None
+        # Conditional validity depends on the database state, and so do
+        # rejections (a query invalid today may become conditionally
+        # valid after an insert — Example 4.2's enrollment threshold).
+        # Only UNCONDITIONAL acceptances are state-independent.
+        if (
+            entry.validity is not Validity.UNCONDITIONAL
+            and entry.data_version != self.data_version
+        ):
+            self.misses += 1
+            return None
+        if entry.literals == literals:
+            self.hits += 1
+            return entry.validity, entry.reason
+        # Prepared-statement reuse: the same skeleton with different
+        # constants carries over iff the positions that previously held
+        # the session parameter still do, and all other literals match.
+        for index, (old, new) in enumerate(zip(entry.literals, literals)):
+            if index in entry.user_positions:
+                if new != user_value:
+                    self.misses += 1
+                    return None
+            elif old != new:
+                self.misses += 1
+                return None
+        self.hits += 1
+        return entry.validity, entry.reason
+
+    def store(
+        self,
+        user: Optional[str],
+        query: ast.QueryExpr,
+        user_value: object,
+        validity: Validity,
+        reason: str,
+    ) -> None:
+        skeleton, literals = query_signature(query)
+        user_positions = frozenset(
+            index for index, value in enumerate(literals) if value == user_value
+        )
+        self._entries[self._key(user, skeleton)] = _Entry(
+            validity=validity,
+            reason=reason,
+            literals=literals,
+            user_positions=user_positions,
+            data_version=self.data_version,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,1808 @@
+"""Rewriting queries using authorization views — the inference core.
+
+Implements the paper's rules on the block representation:
+
+* **U1/U2** — cover every base-table instance of the query block with
+  (injectively mapped) authorization-view applications whose predicates
+  are entailed by the query's, re-applying residual predicates and
+  projections on top (Section 5.2);
+* **U3a/U3b/U3c** — a view may have *extra* tables (a remainder) if a
+  visible total-participation integrity constraint makes the join
+  lossless (Section 5.3).  Multiset semantics are tracked: the
+  elimination is *exact* when the remainder join attributes cover a key
+  of the remainder (each core tuple has exactly one partner), otherwise
+  it *inflates* multiplicities and is only usable under DISTINCT or for
+  duplicate-free queries;
+* **C3a/C3b** — the remainder may instead be eliminated when the query
+  pins all join attributes to constants and a *probe* on the remainder
+  is (recursively) conditionally valid **and non-empty in the current
+  database state** (Section 5.4).  This yields conditional validity;
+* aggregate queries — either by rewriting the aggregation input with
+  exact multiplicity and re-aggregating (U2), or by matching an
+  aggregate view, including selections that pin the view's group-by
+  columns, which require a group-existence probe and yield conditional
+  validity (Examples 4.1/4.2).
+
+Every acceptance constructs an executable *witness* plan over
+:class:`~repro.algebra.ops.ViewRel` leaves; soundness tests execute
+witnesses against the original queries.
+
+Deviations from the paper, both sound (documented in DESIGN.md):
+
+* general U3c/C3b multiplicity *reconstruction by division* is not
+  performed; instead exactness is established through key reasoning
+  (the paper's own examples — FK joins, key-pinned probes — all fall in
+  this class);
+* Example 4.1's ``q1`` (scalar aggregate pinned to one group) is
+  classified *conditionally* valid with a group-existence probe, since
+  on states where the group is absent the scalar query returns a NULL
+  row while any view rewriting returns no row.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra import ops
+from repro.algebra.implication import PredicateTheory
+from repro.algebra.normalize import normalize_predicate
+from repro.catalog.catalog import Catalog
+from repro.nontruman.blocks import AggBlock, SPJBlock, TableInstance
+from repro.nontruman.decision import RuleApplication
+
+#: aggregates unaffected by duplicate multiplicity
+_DUPLICATE_INSENSITIVE = ("min", "max")
+
+
+@dataclass(frozen=True)
+class CandidateView:
+    """An instantiated authorization view in matchable form."""
+
+    name: str
+    block: object  # SPJBlock | AggBlock
+    output_names: tuple[str, ...]
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.block, AggBlock)
+
+
+@dataclass
+class Elimination:
+    """One remainder table removed from a view application."""
+
+    table: TableInstance  # view-side instance
+    rule: str  # "U3" or "C3"
+    exact: bool
+    detail: str
+    probe_plan: Optional[ops.Operator] = None  # C3 only
+
+
+@dataclass
+class Application:
+    """One way of using a view to cover part of the query block."""
+
+    view: CandidateView
+    mapping: dict[str, str]  # view binding -> query binding
+    covered: frozenset[str]  # query bindings covered
+    eliminations: list[Elimination] = field(default_factory=list)
+    #: ψ-mapped view conjuncts over the mapped part (query bindings)
+    mapped_conjuncts: tuple[ast.Expr, ...] = ()
+    #: (query binding, column) -> view output name
+    available: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: chosen values for the view's $$ access-pattern parameters (§6)
+    access_bindings: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def exact(self) -> bool:
+        return all(e.exact for e in self.eliminations)
+
+    @property
+    def conditional(self) -> bool:
+        return any(e.rule == "C3" for e in self.eliminations)
+
+    def rule_labels(self, distinct_context: bool) -> list[str]:
+        labels = []
+        for elim in self.eliminations:
+            if elim.rule == "U3":
+                labels.append("U3c" if elim.exact else ("U3b" if distinct_context else "U3a"))
+            else:
+                labels.append("C3b" if elim.exact else "C3a")
+        return labels
+
+
+@dataclass
+class DependentJoinCandidate:
+    """Covering one query table via an access-pattern view (§6).
+
+    ``anchor_col`` (a column of another query instance) drives the $$
+    parameter per row; the equality ``key_col = anchor_col`` from the
+    query is enforced by construction.
+    """
+
+    view: CandidateView
+    table: TableInstance
+    param_name: str
+    key_col: ast.ColumnRef  # column of the covered instance
+    anchor_col: ast.ColumnRef  # column of another instance
+    mapped_conjuncts: tuple[ast.Expr, ...]
+    available: dict[tuple[str, str], str]
+
+
+@dataclass
+class Rewriting:
+    """A successful rewriting of a query block."""
+
+    witness: ops.Operator
+    conditional: bool
+    trace: list[RuleApplication]
+    views_used: tuple[str, ...]
+    probes_executed: int = 0
+
+
+class MatchError(Exception):
+    """Internal control flow: this cover attempt fails."""
+
+
+class BlockMatcher:
+    """Matches query blocks against candidate views.
+
+    ``probe_runner(plan) -> bool`` executes a probe against the current
+    database state and reports non-emptiness; ``subcheck(plan) ->
+    Optional[str]`` recursively decides validity of a probe/opaque
+    subplan, returning "unconditional"/"conditional" or None (invalid)
+    along with its witness via ``subwitness``.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        views: list[CandidateView],
+        probe_runner: Callable[[ops.Operator], bool],
+        subcheck: Callable[[ops.Operator], Optional["Rewriting"]],
+        user: Optional[str] = None,
+        max_cover_nodes: int = 20000,
+        allow_conditional: bool = True,
+        allow_u3: bool = True,
+        enable_dependent_joins: bool = True,
+        enable_overlap_covers: bool = True,
+        enable_reaggregation: bool = True,
+    ):
+        self.catalog = catalog
+        self.views = views
+        self.probe_runner = probe_runner
+        self.subcheck = subcheck
+        self.user = user
+        self.max_cover_nodes = max_cover_nodes
+        self.allow_conditional = allow_conditional
+        self.allow_u3 = allow_u3
+        self.enable_dependent_joins = enable_dependent_joins
+        self.enable_overlap_covers = enable_overlap_covers
+        self.enable_reaggregation = enable_reaggregation
+        self.probes_executed = 0
+        self._binding_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # SPJ matching
+    # ------------------------------------------------------------------
+
+    def match_spj(self, block: SPJBlock) -> Optional[Rewriting]:
+        theory = PredicateTheory(block.conjuncts)
+        if theory.unsat:
+            return self._empty_rewriting(block)
+
+        base = [t for t in block.tables if t.kind == "table"]
+        if not base:
+            return self._assemble(block, [], theory, {})
+
+        duplicate_free = block.distinct or self._duplicate_free(block, theory)
+
+        applications: dict[str, list[Application]] = {t.binding: [] for t in base}
+        for view in self.views:
+            if view.is_aggregate:
+                continue
+            for application in self._enumerate_applications(view, block, theory):
+                if not application.exact and not duplicate_free:
+                    continue
+                if application.conditional and not self.allow_conditional:
+                    continue
+                for binding in application.covered:
+                    applications[binding].append(application)
+
+        # Instances with no direct application may still be reachable
+        # through an access-pattern view driven by a join column (§6).
+        dependent: dict[str, list[DependentJoinCandidate]] = {}
+        for table in base:
+            if applications[table.binding]:
+                continue
+            candidates = (
+                self._dependent_join_candidates(table, block, theory)
+                if self.enable_dependent_joins
+                else []
+            )
+            if not candidates:
+                return None
+            dependent[table.binding] = candidates
+
+        # Backtracking cover search: pick the instance with the fewest
+        # applications, try each (exact/unconditional first).
+        budget = [self.max_cover_nodes]
+        search_bindings = frozenset(
+            t.binding for t in base if t.binding not in dependent
+        )
+
+        def search(uncovered: frozenset[str], chosen: list[Application]):
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            if not uncovered:
+                try:
+                    return self._assemble(block, chosen, theory, dependent)
+                except MatchError:
+                    return None
+            target = min(
+                uncovered, key=lambda b: len(applications[b])
+            )
+            candidates = [
+                a
+                for a in applications[target]
+                if a.covered <= uncovered
+            ]
+            candidates.sort(
+                key=lambda a: (a.conditional, not a.exact, len(a.eliminations), -len(a.covered))
+            )
+            for application in candidates:
+                result = search(uncovered - application.covered, chosen + [application])
+                if result is not None:
+                    return result
+            return None
+
+        result = search(search_bindings, [])
+        if result is not None:
+            return result
+        if not self.enable_overlap_covers:
+            return None
+
+        # §5.6.2 future work, implemented here: allow view applications
+        # to OVERLAP on a table instance (the "decompose A⋈B⋈C as
+        # (A⋈B)⋈(B⋈C)" case).  Sound when each doubly-covered instance
+        # has a declared key exposed by every application covering it:
+        # the witness equi-joins the view scans on that key, and since
+        # keys are unique the multiplicities stay exact.
+        def overlap_ok(application: Application, already: frozenset[str]) -> bool:
+            for binding in application.covered & already:
+                table = next(t for t in block.tables if t.binding == binding)
+                keys = self.catalog.keys_for(table.relation)
+                if not any(
+                    all(
+                        (binding, col.lower()) in application.available
+                        for col in key
+                    )
+                    for key in keys
+                ):
+                    return False
+            return True
+
+        def overlap_search(uncovered: frozenset[str], chosen: list[Application]):
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            if not uncovered:
+                try:
+                    return self._assemble(block, chosen, theory, dependent)
+                except MatchError:
+                    return None
+            already = frozenset(
+                b for a in chosen for b in a.covered
+            )
+            target = min(uncovered, key=lambda b: len(applications[b]))
+            candidates = [
+                a
+                for a in applications[target]
+                if overlap_ok(a, already)
+            ]
+            candidates.sort(
+                key=lambda a: (a.conditional, not a.exact, len(a.covered & already))
+            )
+            for application in candidates:
+                result = overlap_search(
+                    uncovered - application.covered, chosen + [application]
+                )
+                if result is not None:
+                    return result
+            return None
+
+        budget[0] = max(budget[0], self.max_cover_nodes // 4)
+        return overlap_search(search_bindings, [])
+
+    # -- application enumeration -------------------------------------------
+
+    def _enumerate_applications(
+        self, view: CandidateView, block: SPJBlock, theory: PredicateTheory
+    ):
+        vblock: SPJBlock = view.block
+        vtables = list(vblock.tables)
+        if any(t.kind != "table" for t in vtables):
+            return  # views over views/subqueries are not matchable
+        by_relation: dict[str, list[TableInstance]] = {}
+        for qt in block.tables:
+            if qt.kind == "table":
+                by_relation.setdefault(qt.relation.lower(), []).append(qt)
+
+        REMAINDER = None
+        choices = []
+        for vt in vtables:
+            options = list(by_relation.get(vt.relation.lower(), ()))
+            choices.append(options + [REMAINDER])
+
+        for assignment in itertools.product(*choices):
+            mapped = [
+                (vt, qt) for vt, qt in zip(vtables, assignment) if qt is not None
+            ]
+            if not mapped:
+                continue
+            targets = [qt.binding for _, qt in mapped]
+            if len(set(targets)) != len(targets):
+                continue  # mapping must be injective
+            remainder = [vt for vt, qt in zip(vtables, assignment) if qt is None]
+            application = self._try_application(
+                view, vblock, mapped, remainder, block, theory
+            )
+            if application is not None:
+                yield application
+
+    def _try_application(
+        self,
+        view: CandidateView,
+        vblock: SPJBlock,
+        mapped: list[tuple[TableInstance, TableInstance]],
+        remainder: list[TableInstance],
+        block: SPJBlock,
+        theory: PredicateTheory,
+    ) -> Optional[Application]:
+        psi = {vt.binding: qt.binding for vt, qt in mapped}
+        mapped_bindings = set(psi)
+        remainder_bindings = {t.binding for t in remainder}
+
+        mapped_conjuncts: list[ast.Expr] = []
+        remainder_conjuncts: list[ast.Expr] = []  # touch remainder tables
+        for conj in vblock.conjuncts:
+            refs = exprs.bindings_in(conj)
+            if refs <= mapped_bindings or not refs:
+                mapped_conjuncts.append(exprs.rename_bindings(conj, psi))
+            elif refs <= mapped_bindings | remainder_bindings:
+                remainder_conjuncts.append(conj)
+            else:
+                return None
+
+        # The view must not filter out rows the query needs: every view
+        # predicate over the mapped part must be entailed by the query.
+        # Access-pattern conjuncts ``col = $$p`` are satisfiable by
+        # *choosing* $$p, provided the query pins col to a constant
+        # (Section 6: $$ parameters may be bound to any value).
+        access_bindings: dict[str, object] = {}
+        effective_conjuncts: list[ast.Expr] = []
+        for conj in mapped_conjuncts:
+            ap = self._access_pattern_pin(conj, theory)
+            if ap is not None:
+                name, value = ap
+                if name in access_bindings and access_bindings[name] != value:
+                    return None
+                access_bindings[name] = value
+                effective_conjuncts.append(
+                    ast.BinaryOp("=", conj.left, ast.Literal(value))
+                    if isinstance(conj, ast.BinaryOp)
+                    else conj
+                )
+                continue
+            if exprs.access_params_in(conj):
+                return None  # unresolvable $$ parameter use
+            if not theory.entails(conj):
+                return None
+            effective_conjuncts.append(conj)
+        mapped_conjuncts = effective_conjuncts
+
+        if remainder and any(
+            exprs.access_params_in(c) for c in remainder_conjuncts
+        ):
+            return None  # $$ parameters in the remainder are unsupported
+        eliminations = self._eliminate_remainder(
+            block, vblock, psi, remainder, remainder_conjuncts, theory
+        )
+        if eliminations is None:
+            return None
+
+        # Column availability offered by this application.
+        available: dict[tuple[str, str], str] = {}
+        for (expr, name), out_name in zip(vblock.outputs, view.output_names):
+            if isinstance(expr, ast.ColumnRef) and expr.table in psi:
+                available[(psi[expr.table], expr.name.lower())] = out_name
+
+        return Application(
+            view=view,
+            mapping=psi,
+            covered=frozenset(psi.values()),
+            eliminations=eliminations,
+            mapped_conjuncts=tuple(mapped_conjuncts),
+            available=available,
+            access_bindings=tuple(sorted(access_bindings.items())),
+        )
+
+    @staticmethod
+    def _access_pattern_pin(
+        conj: ast.Expr, theory: PredicateTheory
+    ) -> Optional[tuple[str, object]]:
+        """Match ``col = $$p`` where the query pins col to a constant."""
+        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
+            return None
+        left, right = conj.left, conj.right
+        if isinstance(left, ast.AccessParam) and isinstance(right, ast.ColumnRef):
+            left, right = right, left
+        if not (
+            isinstance(left, ast.ColumnRef) and isinstance(right, ast.AccessParam)
+        ):
+            return None
+        if not theory.pinned(left):
+            return None
+        return right.name, theory.constant_of(left)
+
+    # -- remainder elimination (rules U3 / C3) ---------------------------------
+
+    def _eliminate_remainder(
+        self,
+        block: SPJBlock,
+        vblock: SPJBlock,
+        psi: dict[str, str],
+        remainder: list[TableInstance],
+        remainder_conjuncts: list[ast.Expr],
+        theory: PredicateTheory,
+    ) -> Optional[list[Elimination]]:
+        if not remainder:
+            return []
+        view_theory = PredicateTheory(vblock.conjuncts)
+        remaining = list(remainder)
+        conjuncts = list(remainder_conjuncts)
+        eliminations: list[Elimination] = []
+
+        progress = True
+        while remaining and progress:
+            progress = False
+            for table in list(remaining):
+                other = {t.binding for t in remaining if t is not table}
+                involved = [
+                    c for c in conjuncts if table.binding in exprs.bindings_in(c)
+                ]
+                if any(exprs.bindings_in(c) & other for c in involved):
+                    continue  # joins another remainder table; try later
+                local = [
+                    c for c in involved if exprs.bindings_in(c) == {table.binding}
+                ]
+                cross = [c for c in involved if c not in local]
+                join_pairs = self._as_join_pairs(cross, table.binding, psi)
+                if join_pairs is None:
+                    continue
+                elimination = self._try_u3(
+                    block, vblock, table, local, join_pairs, view_theory, psi, theory
+                ) if self.allow_u3 else None
+                if elimination is None and self.allow_conditional:
+                    elimination = self._try_c3(table, local, join_pairs, theory)
+                if elimination is None:
+                    continue
+                eliminations.append(elimination)
+                remaining.remove(table)
+                conjuncts = [c for c in conjuncts if c not in involved]
+                progress = True
+        if remaining:
+            return None
+        return eliminations
+
+    @staticmethod
+    def _as_join_pairs(
+        cross: list[ast.Expr], rem_binding: str, psi: dict[str, str]
+    ) -> Optional[list[tuple[ast.ColumnRef, str]]]:
+        """Cross conjuncts as (mapped core column, remainder column) pairs."""
+        pairs = []
+        for conj in cross:
+            if not (
+                isinstance(conj, ast.BinaryOp)
+                and conj.op == "="
+                and isinstance(conj.left, ast.ColumnRef)
+                and isinstance(conj.right, ast.ColumnRef)
+            ):
+                return None
+            left, right = conj.left, conj.right
+            if left.table == rem_binding:
+                left, right = right, left
+            if right.table != rem_binding or left.table not in psi:
+                return None
+            core_col = ast.ColumnRef(psi[left.table], left.name)
+            pairs.append((core_col, right.name, left))
+        return pairs
+
+    def _try_u3(
+        self,
+        block: SPJBlock,
+        vblock: SPJBlock,
+        table: TableInstance,
+        local: list[ast.Expr],
+        join_pairs,
+        view_theory: PredicateTheory,
+        psi: dict[str, str],
+        query_theory: PredicateTheory,
+    ) -> Optional[Elimination]:
+        """Lossless remainder via a total-participation constraint.
+
+        The constraint's core may be *anchored* at any base-table
+        instance of the final query whose join columns lie in the same
+        equality class as the view's core join columns — this covers
+        both the direct case (the anchor is the mapped image of the
+        view's own core table, Examples 5.1-5.3) and the transitive
+        case of Example 5.4, where ``FeesPaid.student_id =
+        Students.student_id = Registered.student_id`` lets the FeesPaid
+        participation constraint justify dropping Registered.
+        """
+        for constraint in self.catalog.participations(self.user):
+            if constraint.remainder_table.lower() != table.relation.lower():
+                continue
+            cc_by_rc = {rc.lower(): cc for cc, rc in constraint.join_pairs}
+            # Every view join pair must be guaranteed by the constraint.
+            if any(rc.lower() not in cc_by_rc for _, rc, _ in join_pairs):
+                continue
+
+            anchors = [
+                t
+                for t in block.tables
+                if t.kind == "table"
+                and t.relation.lower() == constraint.core_table.lower()
+            ]
+            for anchor in anchors:
+                if not all(
+                    query_theory.same_class(
+                        ast.ColumnRef(anchor.binding, cc_by_rc[rc.lower()]),
+                        mapped_core_col,
+                    )
+                    for mapped_core_col, rc, _ in join_pairs
+                ):
+                    continue
+                # Anchor tuples must fall inside the constraint's scope.
+                # The witness re-applies the query's residual predicate,
+                # so only rows the query keeps need a partner: scope may
+                # come from the query's predicate, or from the view's own
+                # when the anchor is the mapped image of the view core.
+                if constraint.core_pred is not None:
+                    scoped = _qualify(constraint.core_pred, anchor.binding)
+                    in_scope = query_theory.entails(scoped)
+                    if not in_scope:
+                        view_core_bindings = {
+                            vc.table for _, _, vc in join_pairs
+                        }
+                        if len(view_core_bindings) == 1:
+                            vb = next(iter(view_core_bindings))
+                            if psi.get(vb) == anchor.binding:
+                                in_scope = view_theory.entails(
+                                    _qualify(constraint.core_pred, vb)
+                                )
+                    if not in_scope:
+                        continue
+                # The guaranteed partner must satisfy the view's
+                # remainder predicate.
+                if local:
+                    guaranteed = (
+                        list(
+                            normalize_predicate(
+                                _qualify(
+                                    constraint.remainder_pred, table.binding
+                                )
+                            )
+                        )
+                        if constraint.remainder_pred is not None
+                        else []
+                    )
+                    partner_theory = PredicateTheory(guaranteed)
+                    if not all(partner_theory.entails(c) for c in local):
+                        continue
+                exact = self._remainder_key_covered(
+                    table, {rc for _, rc, _ in join_pairs}, extra_theory=None
+                )
+                return Elimination(
+                    table=table,
+                    rule="U3",
+                    exact=exact,
+                    detail=(
+                        f"remainder {table.relation} eliminated by constraint "
+                        f"[{constraint}] anchored at {anchor.relation} "
+                        f"{anchor.binding}"
+                        + (
+                            "; key-exact multiplicity"
+                            if exact
+                            else "; set-level only"
+                        )
+                    ),
+                )
+        return None
+
+    def _try_c3(
+        self,
+        table: TableInstance,
+        local: list[ast.Expr],
+        join_pairs,
+        theory: PredicateTheory,
+    ) -> Optional[Elimination]:
+        """Conditional remainder elimination via a database-state probe."""
+        if not join_pairs:
+            return None
+        instantiated: list[ast.Expr] = []
+        pinned_cols = set()
+        for mapped_core_col, rem_col, _ in join_pairs:
+            if not theory.pinned(mapped_core_col):
+                return None  # C3a condition 2: P_j attrs must be instantiated
+            value = theory.constant_of(mapped_core_col)
+            instantiated.append(
+                ast.BinaryOp(
+                    "=", ast.ColumnRef(table.binding, rem_col), ast.Literal(value)
+                )
+            )
+            pinned_cols.add(rem_col.lower())
+
+        probe_conjuncts = list(local) + instantiated
+        probe_plan = self._build_probe(table, probe_conjuncts)
+
+        # The probe must itself be (at least conditionally) valid —
+        # otherwise accepting the query leaks the remainder's content
+        # (Example 4.3).
+        sub = self.subcheck(probe_plan)
+        if sub is None:
+            return None
+        self.probes_executed += 1 + sub.probes_executed
+        if not self.probe_runner(probe_plan):
+            return None  # probe empty: remainder may not match; reject
+
+        probe_theory = PredicateTheory(normalize_predicate(
+            exprs.make_conjunction(probe_conjuncts)
+        ))
+        for col in table.columns:
+            ref = ast.ColumnRef(table.binding, col)
+            if probe_theory.pinned(ref):
+                pinned_cols.add(col.lower())
+        exact = self._remainder_key_covered(table, pinned_cols, extra_theory=None)
+        return Elimination(
+            table=table,
+            rule="C3",
+            exact=exact,
+            detail=(
+                f"remainder {table.relation} eliminated by non-empty probe "
+                f"[{' AND '.join(str(c) for c in probe_conjuncts)}]"
+                + ("; key-exact multiplicity" if exact else "; set-level only")
+            ),
+            probe_plan=probe_plan,
+        )
+
+    def _build_probe(
+        self, table: TableInstance, conjuncts: list[ast.Expr]
+    ) -> ops.Operator:
+        rel = ops.Rel(table.relation, table.binding, table.columns)
+        plan: ops.Operator = rel
+        predicate = exprs.make_conjunction(conjuncts)
+        if predicate is not None:
+            plan = ops.Select(plan, predicate)
+        return ops.Project(plan, ((ast.Literal(1), "one"),))
+
+    def _remainder_key_covered(
+        self, table: TableInstance, covered_cols: set, extra_theory
+    ) -> bool:
+        covered = {c.lower() if isinstance(c, str) else c for c in covered_cols}
+        for key in self.catalog.keys_for(table.relation):
+            if all(col.lower() in covered for col in key):
+                return True
+        return False
+
+    # -- duplicate-freeness (Example 5.5's "distinct can be dropped") -----------
+
+    def _duplicate_free(self, block: SPJBlock, theory: PredicateTheory) -> bool:
+        """True if the block's output cannot contain duplicates: the
+        outputs (plus pinned columns) cover a key of every table
+        instance."""
+        out_cols: set[tuple[str, str]] = set()
+        for expr, _ in block.outputs:
+            if isinstance(expr, ast.ColumnRef) and expr.table:
+                out_cols.add((expr.table, expr.name.lower()))
+
+        for table in block.tables:
+            if table.kind != "table":
+                return False
+            keys = self.catalog.keys_for(table.relation)
+            if not keys:
+                return False
+            satisfied = False
+            for key in keys:
+                ok = True
+                for col in key:
+                    ref = ast.ColumnRef(table.binding, col)
+                    in_output = (table.binding, col.lower()) in out_cols
+                    if not in_output and not theory.pinned(ref):
+                        # also usable if equal to an output column
+                        if not any(
+                            theory.same_class(ref, ast.ColumnRef(b, c))
+                            for b, c in out_cols
+                        ):
+                            ok = False
+                            break
+                if ok:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    # -- assembly of the witness plan ------------------------------------------
+
+    def _dependent_join_candidates(
+        self, table: TableInstance, block: SPJBlock, theory: PredicateTheory
+    ) -> list[DependentJoinCandidate]:
+        """Access-pattern views able to cover ``table`` via a join column."""
+        candidates: list[DependentJoinCandidate] = []
+        # Query equality conjuncts linking this instance to another.
+        links: dict[str, list[ast.ColumnRef]] = {}
+        for conj in block.conjuncts:
+            if not (
+                isinstance(conj, ast.BinaryOp)
+                and conj.op == "="
+                and isinstance(conj.left, ast.ColumnRef)
+                and isinstance(conj.right, ast.ColumnRef)
+            ):
+                continue
+            left, right = conj.left, conj.right
+            if left.table == table.binding and right.table != table.binding:
+                links.setdefault(left.name.lower(), []).append(right)
+            elif right.table == table.binding and left.table != table.binding:
+                links.setdefault(right.name.lower(), []).append(left)
+
+        for view in self.views:
+            if view.is_aggregate:
+                continue
+            vblock: SPJBlock = view.block
+            if len(vblock.tables) != 1 or vblock.tables[0].kind != "table":
+                continue
+            vt = vblock.tables[0]
+            if vt.relation.lower() != table.relation.lower():
+                continue
+            psi = {vt.binding: table.binding}
+            key_col: Optional[ast.ColumnRef] = None
+            param_name: Optional[str] = None
+            mapped: list[ast.Expr] = []
+            usable = True
+            for conj in vblock.conjuncts:
+                renamed = exprs.rename_bindings(conj, psi)
+                if (
+                    isinstance(renamed, ast.BinaryOp)
+                    and renamed.op == "="
+                    and isinstance(renamed.left, ast.ColumnRef)
+                    and isinstance(renamed.right, ast.AccessParam)
+                ):
+                    if key_col is not None:
+                        usable = False
+                        break
+                    key_col = renamed.left
+                    param_name = renamed.right.name
+                    continue
+                if exprs.access_params_in(renamed):
+                    usable = False
+                    break
+                if not theory.entails(renamed):
+                    usable = False
+                    break
+                mapped.append(renamed)
+            if not usable or key_col is None:
+                continue
+            anchors = links.get(key_col.name.lower(), [])
+            available: dict[tuple[str, str], str] = {}
+            for (expr, _), out_name in zip(vblock.outputs, view.output_names):
+                if isinstance(expr, ast.ColumnRef) and expr.table in psi:
+                    available[(psi[expr.table], expr.name.lower())] = out_name
+            for anchor in anchors:
+                candidates.append(
+                    DependentJoinCandidate(
+                        view=view,
+                        table=table,
+                        param_name=param_name,
+                        key_col=key_col,
+                        anchor_col=anchor,
+                        mapped_conjuncts=tuple(
+                            mapped + [ast.BinaryOp("=", key_col, anchor)]
+                        ),
+                        available=available,
+                    )
+                )
+        return candidates
+
+    def _assemble(
+        self,
+        block: SPJBlock,
+        chosen: list[Application],
+        theory: PredicateTheory,
+        dependent: Optional[dict[str, list[DependentJoinCandidate]]] = None,
+    ) -> Rewriting:
+        trace: list[RuleApplication] = []
+        views_used: list[str] = []
+        conditional = False
+        probes = 0
+
+        # Column availability: view applications + view scans + opaque
+        # subplans that are part of the block.
+        available: dict[tuple[str, str], ast.ColumnRef] = {}
+        leaves: list[ops.Operator] = []
+        inflated = False
+
+        #: query binding -> [(application, witness binding)] — more than
+        #: one entry means an overlapping cover (joined on a key below)
+        coverage: dict[str, list[tuple[Application, str]]] = {}
+        for index, application in enumerate(chosen):
+            witness_binding = f"v{next(self._binding_counter)}"
+            leaves.append(
+                ops.ViewRel(
+                    application.view.name,
+                    witness_binding,
+                    application.view.output_names,
+                    access_args=application.access_bindings,
+                )
+            )
+            for qb in application.covered:
+                coverage.setdefault(qb, []).append((application, witness_binding))
+            for (qb, col), out_name in application.available.items():
+                available.setdefault(
+                    (qb, col), ast.ColumnRef(witness_binding, out_name)
+                )
+            views_used.append(application.view.name)
+            if application.conditional:
+                conditional = True
+            if not application.exact:
+                inflated = True
+            labels = application.rule_labels(block.distinct)
+            if not labels:
+                labels = ["U2"]
+            for label, elim in itertools.zip_longest(
+                labels, application.eliminations
+            ):
+                detail = elim.detail if elim else (
+                    f"covered {sorted(application.covered)} with view "
+                    f"{application.view.name}"
+                )
+                trace.append(RuleApplication(label or "U2", detail))
+            if application.eliminations:
+                trace.append(
+                    RuleApplication(
+                        "U2",
+                        f"view {application.view.name} covers "
+                        f"{sorted(application.covered)}",
+                    )
+                )
+            probes += sum(1 for e in application.eliminations if e.rule == "C3")
+
+        for table in block.tables:
+            if table.kind == "view":
+                leaves.append(
+                    ops.ViewRel(table.relation, table.binding, table.columns)
+                )
+                for col in table.columns:
+                    available[(table.binding, col.lower())] = ast.ColumnRef(
+                        table.binding, col
+                    )
+                views_used.append(table.relation)
+                trace.append(
+                    RuleApplication("U1", f"authorization view scan {table.relation}")
+                )
+            elif table.kind == "opaque":
+                sub = self.subcheck(table.subplan)
+                if sub is None:
+                    raise MatchError("opaque subquery not valid")
+                leaves.append(ops.Alias(sub.witness, table.binding))
+                for col in table.columns:
+                    available[(table.binding, col.lower())] = ast.ColumnRef(
+                        table.binding, col
+                    )
+                conditional = conditional or sub.conditional
+                probes += sub.probes_executed
+                views_used.extend(sub.views_used)
+                trace.append(
+                    RuleApplication(
+                        "C2" if sub.conditional else "U2",
+                        f"subquery {table.binding} valid by recursion",
+                    )
+                )
+                trace.extend(sub.trace)
+
+        applied_conjuncts: list[ast.Expr] = []
+        for application in chosen:
+            applied_conjuncts.extend(application.mapped_conjuncts)
+
+        def rewrite(expr: ast.Expr) -> ast.Expr:
+            def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                if isinstance(node, ast.ColumnRef) and node.table is not None:
+                    key = (node.table, node.name.lower())
+                    replacement = available.get(key)
+                    if replacement is None:
+                        # A pinned column can be replaced by its constant.
+                        if theory.pinned(node):
+                            return ast.Literal(theory.constant_of(node))
+                        raise MatchError(f"column {node} not available from views")
+                    return replacement
+                return None
+
+            return exprs.transform(expr, visit)
+
+        plan: Optional[ops.Operator] = None
+        for leaf in leaves:
+            plan = leaf if plan is None else ops.Join(plan, leaf, kind="cross")
+
+        # Place dependent joins (§6): each needs its anchor column to be
+        # available from the plan built so far; chains resolve iteratively.
+        pending = dict(dependent or {})
+        while pending:
+            placed_binding = None
+            for binding, candidates in pending.items():
+                for candidate in candidates:
+                    anchor_key = (
+                        candidate.anchor_col.table,
+                        candidate.anchor_col.name.lower(),
+                    )
+                    if anchor_key not in available or plan is None:
+                        continue
+                    dj_binding = f"v{next(self._binding_counter)}"
+                    plan = ops.DependentJoin(
+                        left=plan,
+                        view_name=candidate.view.name,
+                        view_binding=dj_binding,
+                        view_columns=candidate.view.output_names,
+                        param_name=candidate.param_name,
+                        key_expr=available[anchor_key],
+                    )
+                    for (qb, col), out_name in candidate.available.items():
+                        available.setdefault(
+                            (qb, col), ast.ColumnRef(dj_binding, out_name)
+                        )
+                    applied_conjuncts.extend(candidate.mapped_conjuncts)
+                    views_used.append(candidate.view.name)
+                    trace.append(
+                        RuleApplication(
+                            "AP",
+                            f"dependent join: {candidate.table.relation} via "
+                            f"access-pattern view {candidate.view.name} "
+                            f"($${candidate.param_name} := {candidate.anchor_col})",
+                        )
+                    )
+                    placed_binding = binding
+                    break
+                if placed_binding:
+                    break
+            if placed_binding is None:
+                raise MatchError("dependent join anchor not available")
+            del pending[placed_binding]
+
+        # Residual conjuncts: those not entailed by the union of applied
+        # view predicates (including dependent-join key equalities).
+        applied_theory = PredicateTheory(applied_conjuncts)
+        residual = [
+            c for c in block.conjuncts if not applied_theory.entails(c)
+        ]
+        rewritten_residual = [rewrite(c) for c in residual]
+        rewritten_outputs = [(rewrite(e), name) for e, name in block.outputs]
+
+        # Overlapping covers: join the duplicate coverages on a key of
+        # the shared instance (exactness argument: the key is unique, so
+        # each side contributes the instance's tuple exactly once).
+        for qb, coverers in coverage.items():
+            if len(coverers) < 2:
+                continue
+            table = next(t for t in block.tables if t.binding == qb)
+            key = self._joint_key(table, [a for a, _ in coverers])
+            if key is None:
+                raise MatchError(
+                    f"overlapping cover of {qb} lacks a commonly exposed key"
+                )
+            first_app, first_binding = coverers[0]
+            for other_app, other_binding in coverers[1:]:
+                for col in key:
+                    left_ref = ast.ColumnRef(
+                        first_binding, first_app.available[(qb, col.lower())]
+                    )
+                    right_ref = ast.ColumnRef(
+                        other_binding, other_app.available[(qb, col.lower())]
+                    )
+                    rewritten_residual.append(
+                        ast.BinaryOp("=", left_ref, right_ref)
+                    )
+                trace.append(
+                    RuleApplication(
+                        "U2",
+                        f"overlapping cover of {qb} joined on key "
+                        f"({', '.join(key)})",
+                    )
+                )
+
+        if plan is None:
+            from repro.algebra.translate import _DUAL
+
+            plan = _DUAL
+        predicate = exprs.make_conjunction(rewritten_residual)
+        if predicate is not None:
+            plan = ops.Select(plan, predicate)
+
+        # [NOT] IN / [NOT] EXISTS subquery conjuncts: the inner query
+        # must itself be valid (rule U2/C2); the semijoin is re-applied
+        # over the witness with the operand rewritten.
+        for spec in block.semijoins:
+            sub = self.subcheck(spec.subplan)
+            if sub is None:
+                raise MatchError("subquery of IN/EXISTS conjunct not valid")
+            operand = rewrite(spec.operand) if spec.operand is not None else None
+            plan = ops.SemiJoin(
+                plan, sub.witness, operand=operand, negated=spec.negated
+            )
+            conditional = conditional or sub.conditional
+            probes += sub.probes_executed
+            views_used.extend(sub.views_used)
+            trace.append(
+                RuleApplication(
+                    "C2" if sub.conditional else "U2",
+                    ("NOT " if spec.negated else "")
+                    + ("IN" if spec.operand is not None else "EXISTS")
+                    + " subquery valid by recursion",
+                )
+            )
+            trace.extend(sub.trace)
+        plan = ops.Project(plan, tuple(rewritten_outputs))
+        if block.distinct or inflated:
+            plan = ops.Distinct(plan)
+
+        return Rewriting(
+            witness=plan,
+            conditional=conditional,
+            trace=trace,
+            views_used=tuple(dict.fromkeys(views_used)),
+            probes_executed=probes,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate matching
+    # ------------------------------------------------------------------
+
+    def match_agg(self, block: AggBlock) -> Optional[Rewriting]:
+        """Match an aggregate query block (three strategies).
+
+        1. rewrite the aggregation input exactly and re-apply the
+           aggregate (rule U2);
+        2. match an aggregate view with compatible grouping, including
+           group-pinning selections (Examples 4.1/4.2);
+        3. *re-aggregate* a finer-grained aggregate view — sum of sums,
+           sum of counts, min of mins, avg from sum+count (the
+           aggregate-rewriting literature the paper builds on, [8, 14,
+           26] in its references).
+        """
+        result = self._agg_via_inner_rewrite(block)
+        if result is not None:
+            return result
+        for view in self.views:
+            if not view.is_aggregate:
+                continue
+            result = self._agg_via_view(block, view)
+            if result is not None:
+                return result
+        if self.enable_reaggregation:
+            for view in self.views:
+                if not view.is_aggregate:
+                    continue
+                result = self._agg_via_reaggregation(block, view)
+                if result is not None:
+                    return result
+        return None
+
+    # -- Path A: rewrite the aggregation input, re-aggregate (rule U2) ----------
+
+    def _agg_via_inner_rewrite(self, block: AggBlock) -> Optional[Rewriting]:
+        insensitive = all(
+            call.name.lower() in _DUPLICATE_INSENSITIVE or call.distinct
+            for call, _ in block.aggregates
+        )
+        # Columns the aggregation consumes, as uniquely named inner outputs.
+        needed: dict[ast.ColumnRef, str] = {}
+
+        def collect(expr: ast.Expr) -> None:
+            for ref in exprs.columns_in(expr):
+                if ref.table is not None and ref not in needed:
+                    needed[ref] = f"c{len(needed) + 1}"
+
+        for expr, _ in block.group_exprs:
+            collect(expr)
+        for call, _ in block.aggregates:
+            for arg in call.args:
+                if not isinstance(arg, ast.Star):
+                    collect(arg)
+
+        inner = SPJBlock(
+            tables=block.inner.tables,
+            conjuncts=block.inner.conjuncts,
+            outputs=tuple((ref, name) for ref, name in needed.items()),
+            distinct=insensitive,
+            semijoins=block.inner.semijoins,
+        )
+        rewriting = self.match_spj(inner)
+        if rewriting is None:
+            return None
+
+        mapping = {ref: ast.ColumnRef(None, name) for ref, name in needed.items()}
+
+        def remap(expr: ast.Expr) -> ast.Expr:
+            return exprs.substitute_columns(expr, mapping)
+
+        group_exprs = tuple((remap(e), n) for e, n in block.group_exprs)
+        aggregates = tuple(
+            (
+                ast.FuncCall(
+                    c.name,
+                    tuple(a if isinstance(a, ast.Star) else remap(a) for a in c.args),
+                    c.distinct,
+                ),
+                n,
+            )
+            for c, n in block.aggregates
+        )
+        plan: ops.Operator = ops.Aggregate(rewriting.witness, group_exprs, aggregates)
+        having = exprs.make_conjunction(block.having)
+        if having is not None:
+            plan = ops.Select(plan, having)
+        plan = ops.Project(plan, block.outputs)
+        if block.distinct:
+            plan = ops.Distinct(plan)
+        trace = rewriting.trace + [
+            RuleApplication("U2", "re-applied aggregation over rewritten input")
+        ]
+        return Rewriting(
+            witness=plan,
+            conditional=rewriting.conditional,
+            trace=trace,
+            views_used=rewriting.views_used,
+            probes_executed=rewriting.probes_executed,
+        )
+
+    # -- Path B: match an aggregate authorization view ---------------------------
+
+    def _agg_via_view(self, block: AggBlock, view: CandidateView) -> Optional[Rewriting]:
+        vblock: AggBlock = view.block
+        q_inner = block.inner
+        if q_inner.semijoins:
+            return None  # handled by the inner-rewrite path only
+        if any(t.kind != "table" for t in q_inner.tables):
+            return None
+        if any(t.kind != "table" for t in vblock.inner.tables):
+            return None
+        if len(vblock.inner.tables) != len(q_inner.tables):
+            return None
+
+        # View exposure: group/agg internal name -> view output column.
+        exposure: dict[str, str] = {}
+        for (expr, _), out_name in zip(vblock.outputs, view.output_names):
+            if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                exposure.setdefault(expr.name.lower(), out_name)
+
+        by_relation: dict[str, list[TableInstance]] = {}
+        for qt in q_inner.tables:
+            by_relation.setdefault(qt.relation.lower(), []).append(qt)
+        choices = [
+            by_relation.get(vt.relation.lower(), []) for vt in vblock.inner.tables
+        ]
+        for assignment in itertools.product(*choices):
+            bindings = [qt.binding for qt in assignment]
+            if len(set(bindings)) != len(bindings):
+                continue
+            psi = {
+                vt.binding: qt.binding
+                for vt, qt in zip(vblock.inner.tables, assignment)
+            }
+            result = self._try_agg_mapping(block, view, vblock, psi, exposure)
+            if result is not None:
+                return result
+        return None
+
+    def _try_agg_mapping(
+        self,
+        block: AggBlock,
+        view: CandidateView,
+        vblock: AggBlock,
+        psi: dict[str, str],
+        exposure: dict[str, str],
+    ) -> Optional[Rewriting]:
+        theory = PredicateTheory(block.inner.conjuncts)
+        mapped_vconj = [
+            exprs.rename_bindings(c, psi) for c in vblock.inner.conjuncts
+        ]
+        # The view must not filter rows the query aggregates over.
+        if not all(theory.entails(c) for c in mapped_vconj):
+            return None
+
+        # Group expressions, mapped into the query's bindings.
+        mapped_groups: dict[ast.Expr, str] = {}
+        for expr, name in vblock.group_exprs:
+            if name.lower() not in exposure:
+                continue  # group column not exposed by the view
+            mapped_groups[exprs.rename_bindings(expr, psi)] = exposure[name.lower()]
+
+        # Every query group expression must be one of the view's.
+        group_rename: dict[str, str] = {}  # query group name -> view output col
+        matched_group_exprs: set[ast.Expr] = set()
+        for expr, name in block.group_exprs:
+            if expr not in mapped_groups:
+                return None
+            group_rename[name.lower()] = mapped_groups[expr]
+            matched_group_exprs.add(expr)
+
+        # Query conjuncts: rewritable over view group outputs (selection
+        # σ on the view), or entailed by the view's own predicate.
+        vtheory = PredicateTheory(mapped_vconj)
+        sigma_conjuncts: list[ast.Expr] = []
+        for conj in block.inner.conjuncts:
+            rewritten = self._rewrite_over_groups(conj, mapped_groups)
+            if rewritten is not None:
+                sigma_conjuncts.append(rewritten)
+            elif not vtheory.entails(conj):
+                return None
+
+        # Aggregates: each must be computed by the view.  The view's
+        # aggregate arguments are mapped through ψ into the query's
+        # bindings before comparison.
+        mapped_vaggs: list[tuple[ast.FuncCall, str]] = []
+        for vcall, vname in vblock.aggregates:
+            mapped_vaggs.append(
+                (
+                    ast.FuncCall(
+                        vcall.name,
+                        tuple(
+                            a
+                            if isinstance(a, ast.Star)
+                            else exprs.rename_bindings(a, psi)
+                            for a in vcall.args
+                        ),
+                        vcall.distinct,
+                    ),
+                    vname,
+                )
+            )
+        agg_rename: dict[str, str] = {}  # query agg name -> view output col
+        for call, name in block.aggregates:
+            found = None
+            for mapped_vcall, vname in mapped_vaggs:
+                if mapped_vcall == call and vname.lower() in exposure:
+                    found = exposure[vname.lower()]
+                    break
+            if found is None:
+                return None
+            agg_rename[name.lower()] = found
+
+        # Extra view groups must be pinned to constants by the query.
+        extra_groups = [
+            (expr, out)
+            for expr, out in mapped_groups.items()
+            if expr not in matched_group_exprs
+        ]
+        pins: list[ast.Expr] = []
+        for expr, out in extra_groups:
+            if not theory.pinned(expr):
+                return None
+            pins.append(
+                ast.BinaryOp(
+                    "=", ast.ColumnRef(None, out), ast.Literal(theory.constant_of(expr))
+                )
+            )
+
+        # HAVING bookkeeping (over the view's output namespace).
+        def to_view_names(expr: ast.Expr) -> Optional[ast.Expr]:
+            ok = True
+
+            def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                nonlocal ok
+                if isinstance(node, ast.ColumnRef) and node.table is None:
+                    target = group_rename.get(node.name.lower()) or agg_rename.get(
+                        node.name.lower()
+                    )
+                    if target is None:
+                        ok = False
+                        return None
+                    return ast.ColumnRef(None, target)
+                return None
+
+            result = exprs.transform(expr, visit)
+            return result if ok else None
+
+        q_having = []
+        for conj in block.having:
+            rewritten = to_view_names(conj)
+            if rewritten is None:
+                return None
+            q_having.append(rewritten)
+
+        having_theory = PredicateTheory(
+            [c for p in (q_having, pins) for c in p]
+        )
+        unmet_having = []
+        for conj in vblock.having:
+            rewritten = self._rename_over_exposure(conj, exposure)
+            if rewritten is None or not having_theory.entails(rewritten):
+                # Unexposed or unproven HAVING: only the probe path (which
+                # evaluates the view itself, HAVING included) can justify it.
+                unmet_having.append(conj)
+
+        scalar = not block.group_exprs
+
+        def build_view_plan() -> ops.Operator:
+            binding = f"v{next(self._binding_counter)}"
+            leaf = ops.ViewRel(view.name, binding, view.output_names)
+
+            def qualify(expr: ast.Expr) -> ast.Expr:
+                def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                    if isinstance(node, ast.ColumnRef) and node.table is None:
+                        return ast.ColumnRef(binding, node.name)
+                    return None
+
+                return exprs.transform(expr, visit)
+
+            conjuncts = [qualify(c) for c in pins + sigma_conjuncts + q_having]
+            plan: ops.Operator = leaf
+            predicate = exprs.make_conjunction(conjuncts)
+            if predicate is not None:
+                plan = ops.Select(plan, predicate)
+            outputs = []
+            for expr, name in block.outputs:
+                rewritten = to_view_names(expr)
+                if rewritten is None:
+                    raise MatchError("output not exposed by aggregate view")
+                outputs.append((qualify(rewritten), name))
+            plan = ops.Project(plan, tuple(outputs))
+            if block.distinct:
+                plan = ops.Distinct(plan)
+            return plan
+
+        if not scalar:
+            # Row-for-row correspondence needs the view's HAVING met.
+            if unmet_having:
+                return None
+            try:
+                plan = build_view_plan()
+            except MatchError:
+                return None
+            # Pinned extra groups simply select matching view rows — the
+            # correspondence holds on all states, so this is unconditional.
+            return Rewriting(
+                witness=plan,
+                conditional=False,
+                trace=[
+                    RuleApplication(
+                        "U2",
+                        f"aggregate view {view.name} matches grouping "
+                        f"{[n for _, n in block.group_exprs]}",
+                    )
+                ],
+                views_used=(view.name,),
+            )
+
+        # Scalar query: all view groups pinned; probe for group existence.
+        probe_binding = f"v{next(self._binding_counter)}"
+        probe_leaf = ops.ViewRel(view.name, probe_binding, view.output_names)
+
+        def probe_qualify(expr: ast.Expr) -> ast.Expr:
+            def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                if isinstance(node, ast.ColumnRef) and node.table is None:
+                    return ast.ColumnRef(probe_binding, node.name)
+                return None
+
+            return exprs.transform(expr, visit)
+
+        probe_pred = exprs.make_conjunction(
+            [probe_qualify(c) for c in pins + sigma_conjuncts]
+        )
+        probe_plan: ops.Operator = probe_leaf
+        if probe_pred is not None:
+            probe_plan = ops.Select(probe_plan, probe_pred)
+        probe_plan = ops.Project(probe_plan, ((ast.Literal(1), "one"),))
+
+        if not self.allow_conditional:
+            return None
+        self.probes_executed += 1
+        if self.probe_runner(probe_plan):
+            try:
+                plan = build_view_plan()
+            except MatchError:
+                return None
+            return Rewriting(
+                witness=plan,
+                conditional=True,
+                trace=[
+                    RuleApplication(
+                        "C3a",
+                        f"aggregate view {view.name}: pinned group exists "
+                        "in the current state (probe non-empty)",
+                    )
+                ],
+                views_used=(view.name,),
+                probes_executed=1,
+            )
+
+        # Probe empty: with no HAVING on the view, the aggregation input
+        # is provably empty on every PA-equivalent state, so the scalar
+        # aggregate is a constant row.
+        if vblock.having:
+            return None
+        constant_row: dict[str, ast.Expr] = {}
+        for call, name in block.aggregates:
+            if call.name.lower() == "count":
+                constant_row[name.lower()] = ast.Literal(0)
+            else:
+                constant_row[name.lower()] = ast.Literal(None)
+
+        def to_constants(expr: ast.Expr) -> ast.Expr:
+            def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                if isinstance(node, ast.ColumnRef) and node.table is None:
+                    value = constant_row.get(node.name.lower())
+                    if value is None:
+                        raise MatchError("non-aggregate output in empty scalar case")
+                    return value
+                return None
+
+            return exprs.transform(expr, visit)
+
+        from repro.algebra.translate import _DUAL
+
+        try:
+            outputs = tuple(
+                (to_constants(expr), name) for expr, name in block.outputs
+            )
+            having_expr = exprs.make_conjunction(
+                [to_constants(c) for c in block.having]
+            )
+        except MatchError:
+            return None
+        plan = _DUAL
+        if having_expr is not None:
+            plan = ops.Select(plan, having_expr)
+        plan = ops.Project(plan, outputs)
+        return Rewriting(
+            witness=plan,
+            conditional=True,
+            trace=[
+                RuleApplication(
+                    "C3a",
+                    f"aggregate view {view.name}: pinned group absent on all "
+                    "PA-equivalent states; scalar aggregate is constant",
+                )
+            ],
+            views_used=(view.name,),
+            probes_executed=1,
+        )
+
+    # -- Path C: re-aggregation over a finer-grained aggregate view -------------
+
+    def _agg_via_reaggregation(
+        self, block: AggBlock, view: CandidateView
+    ) -> Optional[Rewriting]:
+        """Q groups coarser than V's: derive Q's aggregates from V's.
+
+        Requirements: V has no HAVING (subgroup filtering would corrupt
+        the re-aggregated totals), predicates match exactly modulo
+        selections over V's group columns, every Q group expression is
+        one of V's, and each Q aggregate is derivable:
+
+        * ``count(*)``  = sum of V's ``count(*)``;
+        * ``sum(x)``    = sum of V's ``sum(x)``;
+        * ``min/max(x)``= min/max of V's ``min/max(x)``;
+        * ``avg(x)``    = sum(V.sum(x)) / sum(V.count(x)).
+        """
+        vblock: AggBlock = view.block
+        q_inner = block.inner
+        if vblock.having or q_inner.semijoins or vblock.inner.semijoins:
+            return None
+        if block.having:
+            return None  # coarse HAVING over derived aggregates: unsupported
+        if any(t.kind != "table" for t in q_inner.tables):
+            return None
+        if any(t.kind != "table" for t in vblock.inner.tables):
+            return None
+        if len(vblock.inner.tables) != len(q_inner.tables):
+            return None
+
+        exposure: dict[str, str] = {}
+        for (expr, _), out_name in zip(vblock.outputs, view.output_names):
+            if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                exposure.setdefault(expr.name.lower(), out_name)
+
+        by_relation: dict[str, list[TableInstance]] = {}
+        for qt in q_inner.tables:
+            by_relation.setdefault(qt.relation.lower(), []).append(qt)
+        choices = [
+            by_relation.get(vt.relation.lower(), []) for vt in vblock.inner.tables
+        ]
+        for assignment in itertools.product(*choices):
+            bindings = [qt.binding for qt in assignment]
+            if len(set(bindings)) != len(bindings):
+                continue
+            psi = {
+                vt.binding: qt.binding
+                for vt, qt in zip(vblock.inner.tables, assignment)
+            }
+            result = self._try_reaggregation(block, view, vblock, psi, exposure)
+            if result is not None:
+                return result
+        return None
+
+    def _try_reaggregation(
+        self,
+        block: AggBlock,
+        view: CandidateView,
+        vblock: AggBlock,
+        psi: dict[str, str],
+        exposure: dict[str, str],
+    ) -> Optional[Rewriting]:
+        theory = PredicateTheory(block.inner.conjuncts)
+        mapped_vconj = [exprs.rename_bindings(c, psi) for c in vblock.inner.conjuncts]
+        if not all(theory.entails(c) for c in mapped_vconj):
+            return None
+
+        mapped_groups: dict[ast.Expr, str] = {}
+        for expr, name in vblock.group_exprs:
+            if name.lower() not in exposure:
+                return None  # all finer group columns must be exposed
+            mapped_groups[exprs.rename_bindings(expr, psi)] = exposure[name.lower()]
+
+        # Q's groups: subset of V's (strict subset is the point here).
+        group_rename: dict[str, str] = {}
+        matched: set[ast.Expr] = set()
+        for expr, name in block.group_exprs:
+            if expr not in mapped_groups:
+                return None
+            group_rename[name.lower()] = mapped_groups[expr]
+            matched.add(expr)
+
+        # Q conjuncts beyond the view's: only over V's group columns.
+        vtheory = PredicateTheory(mapped_vconj)
+        sigma_conjuncts: list[ast.Expr] = []
+        for conj in block.inner.conjuncts:
+            rewritten = self._rewrite_over_groups(conj, mapped_groups)
+            if rewritten is not None:
+                sigma_conjuncts.append(rewritten)
+            elif not vtheory.entails(conj):
+                return None
+
+        # Map V's aggregate outputs: name -> (call, exposed column).
+        v_aggs: dict[tuple, str] = {}
+        for vcall, vname in vblock.aggregates:
+            if vname.lower() not in exposure:
+                continue
+            mapped_call = ast.FuncCall(
+                vcall.name,
+                tuple(
+                    a if isinstance(a, ast.Star) else exprs.rename_bindings(a, psi)
+                    for a in vcall.args
+                ),
+                vcall.distinct,
+            )
+            v_aggs[mapped_call] = exposure[vname.lower()]
+
+        def exposed(call: ast.FuncCall) -> Optional[str]:
+            return v_aggs.get(call)
+
+        binding = f"v{next(self._binding_counter)}"
+
+        def col(name: str) -> ast.ColumnRef:
+            return ast.ColumnRef(binding, name)
+
+        # Derive each Q aggregate; collect (inner agg call over the view
+        # scan, internal name) plus a post-aggregation expression.
+        inner_aggs: list[tuple[ast.FuncCall, str]] = []
+        post_exprs: dict[str, ast.Expr] = {}  # q agg name -> expr over inner names
+
+        def fresh(call: ast.FuncCall) -> str:
+            name = f"r{len(inner_aggs) + 1}"
+            inner_aggs.append((call, name))
+            return name
+
+        for call, qname in block.aggregates:
+            if call.distinct:
+                return None  # distinct aggregates do not re-aggregate
+            fname = call.name.lower()
+            if fname == "count":
+                source = exposed(call)
+                if source is None:
+                    return None
+                total = fresh(ast.FuncCall("sum", (col(source),)))
+                # SQL count is 0 (not NULL) over an empty group set —
+                # but with no qualifying view rows the coarse group does
+                # not exist either, so plain sum is exact per group.
+                post_exprs[qname.lower()] = ast.ColumnRef(None, total)
+            elif fname == "sum":
+                source = exposed(call)
+                if source is None:
+                    return None
+                total = fresh(ast.FuncCall("sum", (col(source),)))
+                post_exprs[qname.lower()] = ast.ColumnRef(None, total)
+            elif fname in ("min", "max"):
+                source = exposed(call)
+                if source is None:
+                    return None
+                best = fresh(ast.FuncCall(fname, (col(source),)))
+                post_exprs[qname.lower()] = ast.ColumnRef(None, best)
+            elif fname == "avg":
+                sum_call = ast.FuncCall("sum", call.args)
+                count_call = ast.FuncCall("count", call.args)
+                sum_src = exposed(sum_call)
+                count_src = exposed(count_call)
+                if sum_src is None or count_src is None:
+                    return None
+                total = fresh(ast.FuncCall("sum", (col(sum_src),)))
+                count = fresh(ast.FuncCall("sum", (col(count_src),)))
+                post_exprs[qname.lower()] = ast.CaseExpr(
+                    branches=(
+                        (
+                            ast.BinaryOp(">", ast.ColumnRef(None, count), ast.Literal(0)),
+                            ast.BinaryOp(
+                                "/",
+                                ast.ColumnRef(None, total),
+                                ast.ColumnRef(None, count),
+                            ),
+                        ),
+                    ),
+                    default=None,
+                )
+            else:
+                return None
+
+        if not block.group_exprs:
+            # Scalar re-aggregation: over an empty view the Aggregate
+            # still yields one row (sum -> NULL, matching SQL's scalar
+            # semantics for sum/min/max/avg) but count must become 0.
+            for call, qname in block.aggregates:
+                if call.name.lower() == "count":
+                    inner = post_exprs[qname.lower()]
+                    post_exprs[qname.lower()] = ast.FuncCall(
+                        "coalesce", (inner, ast.Literal(0))
+                    )
+
+        # Assemble the witness: σ(pins) over the view scan, re-aggregate,
+        # project the query's outputs.
+        def qualify(expr: ast.Expr) -> ast.Expr:
+            def visit(node: ast.Expr) -> Optional[ast.Expr]:
+                if isinstance(node, ast.ColumnRef) and node.table is None:
+                    return ast.ColumnRef(binding, node.name)
+                return None
+
+            return exprs.transform(expr, visit)
+
+        plan: ops.Operator = ops.ViewRel(view.name, binding, view.output_names)
+        predicate = exprs.make_conjunction([qualify(c) for c in sigma_conjuncts])
+        if predicate is not None:
+            plan = ops.Select(plan, predicate)
+        group_exprs = tuple(
+            (col(group_rename[name.lower()]), name)
+            for _, name in block.group_exprs
+        )
+        plan = ops.Aggregate(plan, group_exprs, tuple(inner_aggs))
+
+        def to_outputs(expr: ast.Expr) -> Optional[ast.Expr]:
+            ok = True
+
+            def visit(node: ast.Expr):
+                nonlocal ok
+                if isinstance(node, ast.ColumnRef) and node.table is None:
+                    lowered = node.name.lower()
+                    if lowered in post_exprs:
+                        return post_exprs[lowered]
+                    if lowered in group_rename:
+                        return ast.ColumnRef(None, node.name)
+                    ok = False
+                return None
+
+            result = exprs.transform(expr, visit)
+            return result if ok else None
+
+        outputs = []
+        for expr, name in block.outputs:
+            rewritten = to_outputs(expr)
+            if rewritten is None:
+                return None
+            outputs.append((rewritten, name))
+        plan = ops.Project(plan, tuple(outputs))
+        if block.distinct:
+            plan = ops.Distinct(plan)
+
+        return Rewriting(
+            witness=plan,
+            conditional=False,
+            trace=[
+                RuleApplication(
+                    "U2",
+                    f"re-aggregated the finer-grained view {view.name} "
+                    f"(groups {[n for _, n in vblock.group_exprs]} -> "
+                    f"{[n for _, n in block.group_exprs]})",
+                )
+            ],
+            views_used=(view.name,),
+        )
+
+    @staticmethod
+    def _rewrite_over_groups(
+        conj: ast.Expr, mapped_groups: dict[ast.Expr, str]
+    ) -> Optional[ast.Expr]:
+        """Rewrite a conjunct so it references only view group outputs."""
+        ok = True
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            nonlocal ok
+            if node in mapped_groups:
+                return ast.ColumnRef(None, mapped_groups[node])
+            if isinstance(node, ast.ColumnRef) and node.table is not None:
+                ok = False
+            return None
+
+        result = exprs.transform(conj, visit)
+        return result if ok else None
+
+    @staticmethod
+    def _rename_over_exposure(
+        conj: ast.Expr, exposure: dict[str, str]
+    ) -> Optional[ast.Expr]:
+        ok = True
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            nonlocal ok
+            if isinstance(node, ast.ColumnRef) and node.table is None:
+                target = exposure.get(node.name.lower())
+                if target is None:
+                    ok = False
+                    return None
+                return ast.ColumnRef(None, target)
+            return None
+
+        result = exprs.transform(conj, visit)
+        return result if ok else None
+
+    def _joint_key(
+        self, table: TableInstance, coverers: list[Application]
+    ) -> Optional[tuple[str, ...]]:
+        """A key of ``table`` exposed by every covering application."""
+        for key in self.catalog.keys_for(table.relation):
+            if all(
+                all(
+                    (table.binding, col.lower()) in app.available for col in key
+                )
+                for app in coverers
+            ):
+                return key
+        return None
+
+    def _empty_rewriting(self, block: SPJBlock) -> Rewriting:
+        """Unsatisfiable predicate: the query is empty on every state."""
+        from repro.algebra.translate import _DUAL
+
+        plan = ops.Select(_DUAL, ast.Literal(False))
+        witness = ops.Project(plan, tuple(block.outputs))
+        return Rewriting(
+            witness=witness,
+            conditional=False,
+            trace=[
+                RuleApplication(
+                    "U2", "predicate unsatisfiable: query is empty on all states"
+                )
+            ],
+            views_used=(),
+        )
+
+
+def _qualify(predicate: ast.Expr, binding: str) -> ast.Expr:
+    """Qualify unqualified column refs in a constraint predicate."""
+
+    def visit(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.ColumnRef) and node.table is None:
+            return ast.ColumnRef(binding, node.name)
+        return None
+
+    return exprs.transform(predicate, visit)

@@ -1,0 +1,201 @@
+"""Cost model and best-plan extraction (Volcano's original purpose).
+
+Cardinality estimation is deliberately textbook-simple — the
+reproduction's claims are about *relative* plan quality (e.g. the
+redundant joins Truman rewrites introduce, experiment E4), not absolute
+estimates:
+
+* scan: table row count (from a stats callback);
+* selection: 10% per equality conjunct on a non-key column, exact 1-row
+  for a pinned key, 30% per inequality;
+* join: ``|L|·|R| / max(|L|,|R|)`` for equi-joins (primary-key-ish
+  assumption), ``|L|·|R|`` for cross joins;
+* distinct/aggregate: 10% of input; project: pass-through.
+
+Operation costs follow a hash-join/hash-aggregate model: linear in the
+inputs plus output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.optimizer.dag import Memo, OpNode
+
+
+@dataclass
+class PlanChoice:
+    """Extracted best plan: chosen operation per equivalence node."""
+
+    cost: float
+    rows: float
+    op: Optional[OpNode]
+    children: tuple["PlanChoice", ...] = ()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.op is None:
+            return f"{pad}<leaf>"
+        head = (
+            f"{pad}{self.op.kind}{list(self.op.params)[:1]} "
+            f"(rows={self.rows:.0f}, cost={self.cost:.0f})"
+        )
+        lines = [head]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+class CostModel:
+    """Estimates cardinalities and costs over a memo.
+
+    ``distinct_count(table, column) -> Optional[int]`` (e.g. from
+    :class:`~repro.optimizer.statistics.TableStatistics`) refines
+    equi-join and equality-selection selectivities; without it the
+    model falls back to fixed textbook constants.
+    """
+
+    def __init__(
+        self,
+        row_count: Callable[[str], int],
+        distinct_count: Optional[Callable[[str, str], Optional[int]]] = None,
+    ):
+        self.row_count = row_count
+        self.distinct_count = distinct_count
+
+    def _column_distinct(self, col) -> Optional[int]:
+        """Distinct count for a canonical ``relname#k`` column ref."""
+        if self.distinct_count is None or col.table is None:
+            return None
+        relation = col.table.split("#")[0]
+        return self.distinct_count(relation, col.name)
+
+    def estimate_rows(self, memo: Memo, eq_id: int, _seen=None) -> float:
+        node = memo.node(eq_id)
+        if node.rows is not None:
+            return node.rows
+        if _seen is None:
+            _seen = set()
+        if node.id in _seen:
+            return 1.0
+        _seen.add(node.id)
+        best: Optional[float] = None
+        for op in node.operations:
+            rows = self._op_rows(memo, op, _seen)
+            if best is None or rows < best:
+                best = rows
+        node.rows = best if best is not None else 1.0
+        return node.rows
+
+    def _op_rows(self, memo: Memo, op: OpNode, seen) -> float:
+        if op.kind == "scan":
+            return max(float(self.row_count(op.params[0])), 1.0)
+        if op.kind == "viewscan":
+            return max(float(self.row_count(op.params[0])), 1.0)
+        child_rows = [self.estimate_rows(memo, c, seen) for c in op.children]
+        if op.kind == "select":
+            selectivity = 1.0
+            for conj in op.params:
+                selectivity *= self._conjunct_selectivity(conj)
+            return max(child_rows[0] * selectivity, 1.0)
+        if op.kind == "join":
+            kind, pred = op.params
+            product = child_rows[0] * child_rows[1]
+            if not pred:
+                return product
+            selectivity = 1.0
+            informed = False
+            for conj in pred:
+                estimate = self._equi_join_selectivity(conj)
+                if estimate is not None:
+                    selectivity *= estimate
+                    informed = True
+            if informed:
+                return max(product * selectivity, 1.0)
+            return max(product / max(child_rows[0], child_rows[1], 1.0), 1.0)
+        if op.kind in ("distinct", "aggregate"):
+            return max(child_rows[0] * 0.1, 1.0)
+        if op.kind == "project":
+            return child_rows[0]
+        if op.kind == "setop":
+            return child_rows[0] + child_rows[1]
+        return child_rows[0] if child_rows else 1.0
+
+    def _conjunct_selectivity(self, conj) -> float:
+        from repro.sql import ast
+
+        if (
+            isinstance(conj, ast.BinaryOp)
+            and conj.op == "="
+            and isinstance(conj.left, ast.ColumnRef)
+            and isinstance(conj.right, ast.Literal)
+        ):
+            distinct = self._column_distinct(conj.left)
+            if distinct:
+                return 1.0 / distinct
+        return 0.1
+
+    def _equi_join_selectivity(self, conj) -> Optional[float]:
+        from repro.sql import ast
+
+        if not (
+            isinstance(conj, ast.BinaryOp)
+            and conj.op == "="
+            and isinstance(conj.left, ast.ColumnRef)
+            and isinstance(conj.right, ast.ColumnRef)
+        ):
+            return None
+        left = self._column_distinct(conj.left)
+        right = self._column_distinct(conj.right)
+        if left and right:
+            return 1.0 / max(left, right)
+        return None
+
+    def op_cost(self, memo: Memo, op: OpNode) -> float:
+        """Local processing cost (children's costs added separately)."""
+        child_rows = [self.estimate_rows(memo, c) for c in op.children]
+        out_rows = self._op_rows(memo, op, set())
+        if op.kind in ("scan", "viewscan"):
+            return out_rows
+        if op.kind == "select":
+            return child_rows[0]
+        if op.kind == "join":
+            return child_rows[0] + child_rows[1] + out_rows
+        if op.kind in ("distinct", "aggregate", "project"):
+            return child_rows[0]
+        if op.kind == "setop":
+            return child_rows[0] + child_rows[1]
+        return sum(child_rows)
+
+
+def best_plan(
+    memo: Memo, eq_id: int, model: CostModel, _memo_table: Optional[dict] = None
+) -> PlanChoice:
+    """Volcano extraction: cheapest plan rooted at an equivalence node."""
+    if _memo_table is None:
+        _memo_table = {}
+    root = memo.find(eq_id)
+    if root in _memo_table:
+        return _memo_table[root]
+    # Cycle guard: give a provisional infinite cost during recursion.
+    _memo_table[root] = PlanChoice(cost=float("inf"), rows=1.0, op=None)
+    node = memo.node(root)
+    best: Optional[PlanChoice] = None
+    for op in node.operations:
+        children = tuple(
+            best_plan(memo, c, model, _memo_table) for c in op.children
+        )
+        if any(c.cost == float("inf") for c in children):
+            continue
+        cost = model.op_cost(memo, op) + sum(c.cost for c in children)
+        if best is None or cost < best.cost:
+            best = PlanChoice(
+                cost=cost,
+                rows=model.estimate_rows(memo, root),
+                op=op,
+                children=children,
+            )
+    result = best if best is not None else _memo_table[root]
+    _memo_table[root] = result
+    return result

@@ -1,0 +1,381 @@
+"""DAG expansion: transformation rules applied to a fixpoint (§5.6.1).
+
+Implemented rules:
+
+* **join commutativity** — ``A ⋈ B → B ⋈ A``;
+* **join associativity** — ``(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)`` with predicate
+  conjuncts redistributed by the binding sets they reference;
+* **select-join merge** — ``σ_P(A ⋈_J B) → A ⋈_{J∧P} B``;
+* **join-split pushdown** — conjuncts referencing one side only are
+  pushed into a selection below the join;
+* **select-select collapse** — ``σ_P(σ_Q(E)) → σ_{P∧Q}(E)``;
+* **subsumption derivations** ([25], §5.6.1) — ``σ_P(E)`` computable
+  from ``σ_Q(E)`` when P ⇒ Q, and ``π_A(E)`` from ``π_B(E)`` when A ⊆ B;
+  these let a query's stronger selection or narrower projection be
+  derived from a view's weaker/wider one.
+
+Rules only ever *add* operations (possibly merging equivalence nodes via
+hash-consing), so a fixpoint exists; a node budget guards pathological
+blowup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql import ast
+from repro.sql.parser import Parser
+from repro.algebra import expr as exprs
+from repro.algebra.implication import PredicateTheory
+from repro.optimizer.dag import Memo, OpNode
+
+
+def _pred_bindings(params: tuple) -> set[str]:
+    names: set[str] = set()
+    for conj in params:
+        names |= exprs.bindings_in(conj)
+    return names
+
+
+class Expander:
+    """Applies transformation rules to a memo until fixpoint."""
+
+    def __init__(self, memo: Memo, max_operations: int = 50000,
+                 enable_subsumption: bool = True,
+                 enable_select_rules: bool = True):
+        """``enable_select_rules=False`` restricts expansion to join
+        commutativity/associativity — the textbook join-order memo shown
+        in Figure 1.  The full ruleset additionally moves selections
+        around, which multiplies predicate placements and is only
+        tractable for the small (≤ 4 relation) queries the validity
+        checker sees."""
+        self.memo = memo
+        self.max_operations = max_operations
+        self.enable_subsumption = enable_subsumption
+        self.enable_select_rules = enable_select_rules
+        self.iterations = 0
+        #: eq root id -> binding names produced (for predicate routing)
+        self._bindings: dict[int, frozenset[str]] = {}
+
+    # -- binding bookkeeping --------------------------------------------------
+
+    def bindings_of(self, eq_id: int) -> frozenset[str]:
+        root = self.memo.find(eq_id)
+        cached = self._bindings.get(root)
+        if cached is not None:
+            return cached
+        node = self.memo.node(root)
+        result: frozenset[str] = frozenset()
+        for op in node.operations:
+            if op.kind == "scan":
+                result = frozenset({op.params[1]})
+                break
+            if op.kind == "viewscan":
+                result = frozenset({op.params[1]})
+                break
+            if op.kind in ("join", "setop"):
+                result = self.bindings_of(op.children[0]) | self.bindings_of(
+                    op.children[1]
+                )
+                break
+            if op.kind in ("select", "distinct", "semijoin", "dependentjoin"):
+                result = self.bindings_of(op.children[0])
+                break
+            if op.kind in ("project", "aggregate"):
+                result = self.bindings_of(op.children[0])
+                break
+        self._bindings[root] = result
+        return result
+
+    # -- main loop ----------------------------------------------------------------
+
+    def subsumption_pass(self) -> int:
+        """Apply only the subsumption derivations to a fixpoint.
+
+        Used after unifying (unexpanded) view DAGs with an
+        already-expanded query DAG — per §5.6.2 the basic rules do not
+        require equivalence rules to be applied to the views, only the
+        derivations that let a query node be computed from a view node.
+        """
+        passes = 0
+        changed = True
+        while changed and self.memo.op_count < self.max_operations:
+            passes += 1
+            before = self.memo.op_count + self.memo.merges
+            self._apply_subsumption()
+            changed = self.memo.op_count + self.memo.merges != before
+        return passes
+
+    def expand(self) -> int:
+        """Run to fixpoint; returns the number of passes."""
+        changed = True
+        while changed and self.memo.op_count < self.max_operations:
+            changed = False
+            self.iterations += 1
+            self._bindings.clear()
+            for eq_id, op in list(self.memo.operations()):
+                if self.memo.op_count >= self.max_operations:
+                    break
+                eq_root = self.memo.find(eq_id)
+                before = self.memo.op_count + self.memo.merges
+                self._apply_rules(eq_root, op)
+                if self.memo.op_count + self.memo.merges != before:
+                    changed = True
+            if self.enable_subsumption:
+                before = self.memo.op_count + self.memo.merges
+                self._apply_subsumption()
+                if self.memo.op_count + self.memo.merges != before:
+                    changed = True
+        return self.iterations
+
+    # -- individual rules -------------------------------------------------------------
+
+    def _apply_rules(self, eq_root: int, op: OpNode) -> None:
+        if op.kind == "join":
+            self._join_commutativity(eq_root, op)
+            self._join_associativity(eq_root, op)
+            if self.enable_select_rules:
+                self._join_split(eq_root, op)
+        elif op.kind == "select" and self.enable_select_rules:
+            self._select_join_merge(eq_root, op)
+            self._select_select(eq_root, op)
+        elif op.kind == "project" and self.enable_select_rules:
+            self._select_pull_through_project(eq_root, op)
+
+    def _join_commutativity(self, eq_root: int, op: OpNode) -> None:
+        kind, params = op.params
+        if kind not in ("inner", "cross"):
+            return
+        self.memo.add_operation(
+            "join", op.params, (op.children[1], op.children[0]), target_eq=eq_root
+        )
+
+    def _join_associativity(self, eq_root: int, op: OpNode) -> None:
+        """(A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C), redistributing conjuncts."""
+        kind, outer_pred = op.params
+        if kind not in ("inner", "cross"):
+            return
+        left_eq, right_eq = op.children
+        left_node = self.memo.node(left_eq)
+        for child_op in list(left_node.operations):
+            if child_op.kind != "join":
+                continue
+            inner_kind, inner_pred = child_op.params
+            if inner_kind not in ("inner", "cross"):
+                continue
+            eq_a, eq_b = child_op.children
+            all_conjuncts = tuple(outer_pred) + tuple(inner_pred)
+            b_bind = self.bindings_of(eq_b)
+            c_bind = self.bindings_of(right_eq)
+            a_bind = self.bindings_of(eq_a)
+            bc_pred = []
+            rest_pred = []
+            for conj in all_conjuncts:
+                refs = exprs.bindings_in(conj)
+                if refs <= (b_bind | c_bind) and refs & c_bind:
+                    bc_pred.append(conj)
+                else:
+                    rest_pred.append(conj)
+            bc_kind = "inner" if bc_pred else "cross"
+            bc_eq = self.memo.add_operation(
+                "join",
+                (bc_kind, tuple(sorted(bc_pred, key=repr))),
+                (eq_b, right_eq),
+            )
+            new_kind = "inner" if rest_pred else "cross"
+            self.memo.add_operation(
+                "join",
+                (new_kind, tuple(sorted(rest_pred, key=repr))),
+                (eq_a, bc_eq),
+                target_eq=eq_root,
+            )
+
+    def _join_split(self, eq_root: int, op: OpNode) -> None:
+        """Push single-side conjuncts below the join."""
+        kind, pred = op.params
+        if kind != "inner" or not pred:
+            return
+        left_eq, right_eq = op.children
+        left_bind = self.bindings_of(left_eq)
+        right_bind = self.bindings_of(right_eq)
+        left_only, right_only, cross = exprs.split_join_predicate(
+            pred, set(left_bind), set(right_bind)
+        )
+        if not left_only and not right_only:
+            return
+        new_left = left_eq
+        if left_only:
+            new_left = self.memo.add_operation(
+                "select", tuple(sorted(left_only, key=repr)), (left_eq,)
+            )
+        new_right = right_eq
+        if right_only:
+            new_right = self.memo.add_operation(
+                "select", tuple(sorted(right_only, key=repr)), (right_eq,)
+            )
+        new_kind = "inner" if cross else "cross"
+        self.memo.add_operation(
+            "join",
+            (new_kind, tuple(sorted(cross, key=repr))),
+            (new_left, new_right),
+            target_eq=eq_root,
+        )
+
+    def _select_join_merge(self, eq_root: int, op: OpNode) -> None:
+        """σ_P(A ⋈_J B) → A ⋈_{J∧P} B in the same equivalence node."""
+        pred = op.params
+        child_node = self.memo.node(op.children[0])
+        for child_op in list(child_node.operations):
+            if child_op.kind != "join":
+                continue
+            kind, join_pred = child_op.params
+            if kind not in ("inner", "cross"):
+                continue
+            combined = tuple(sorted(set(join_pred) | set(pred), key=repr))
+            self.memo.add_operation(
+                "join", ("inner", combined), child_op.children, target_eq=eq_root
+            )
+
+    def _select_select(self, eq_root: int, op: OpNode) -> None:
+        """σ_P(σ_Q(E)) → σ_{P∧Q}(E)."""
+        pred = op.params
+        child_node = self.memo.node(op.children[0])
+        for child_op in list(child_node.operations):
+            if child_op.kind != "select":
+                continue
+            combined = tuple(sorted(set(pred) | set(child_op.params), key=repr))
+            self.memo.add_operation(
+                "select", combined, child_op.children, target_eq=eq_root
+            )
+
+    def _select_pull_through_project(self, eq_root: int, op: OpNode) -> None:
+        """π_B(σ_P(Z)) → π_B(σ_P'(π_{B∪cols(P)}(Z))).
+
+        Pulling the selection above a widened projection lets the inner
+        projection unify (via π-subset subsumption) with a view that
+        projects more columns under a weaker predicate — the composite
+        needed for ``σ stronger-than-view`` rewritings.
+        """
+        (pairs,) = op.params
+        cols_b = self._column_project(op)
+        if cols_b is None:
+            return
+        child_node = self.memo.node(op.children[0])
+        for child_op in list(child_node.operations):
+            if child_op.kind != "select":
+                continue
+            pred = child_op.params
+            pred_cols = set()
+            for conj in pred:
+                pred_cols |= exprs.columns_in(conj)
+            if any(c.table is None for c in pred_cols):
+                return
+            extended = list(cols_b)
+            name_of: dict[ast.ColumnRef, str] = {
+                expr: name for expr, name in cols_b
+            }
+            for col in sorted(pred_cols, key=str):
+                if col not in name_of:
+                    fresh = f"_s{len(extended)}"
+                    extended.append((col, fresh))
+                    name_of[col] = fresh
+            inner_proj = self.memo.add_operation(
+                "project", (tuple(extended),), (child_op.children[0],)
+            )
+            renamed_pred = tuple(
+                sorted(
+                    (
+                        exprs.substitute_columns(
+                            conj,
+                            {c: ast.ColumnRef(None, name_of[c]) for c in pred_cols},
+                        )
+                        for conj in pred
+                    ),
+                    key=repr,
+                )
+            )
+            sel = self.memo.add_operation("select", renamed_pred, (inner_proj,))
+            outer = tuple(
+                (ast.ColumnRef(None, name), name) for _, name in cols_b
+            )
+            self.memo.add_operation(
+                "project", (outer,), (sel,), target_eq=eq_root
+            )
+
+    # -- subsumption ([25]) ---------------------------------------------------------------
+
+    def _apply_subsumption(self) -> None:
+        """σ_P(E) from σ_Q(E) when P ⇒ Q; π_A(E) from π_B(E) when A ⊆ B."""
+        selects: dict[int, list[tuple[int, OpNode]]] = {}
+        projects: dict[int, list[tuple[int, OpNode]]] = {}
+        for eq_id, op in self.memo.operations():
+            root = self.memo.find(eq_id)
+            if op.kind == "select":
+                selects.setdefault(self.memo.find(op.children[0]), []).append(
+                    (root, op)
+                )
+            elif op.kind == "project":
+                projects.setdefault(self.memo.find(op.children[0]), []).append(
+                    (root, op)
+                )
+
+        for child, group in selects.items():
+            if len(group) < 2:
+                continue
+            for i, (eq_p, op_p) in enumerate(group):
+                theory = PredicateTheory(op_p.params)
+                for j, (eq_q, op_q) in enumerate(group):
+                    if i == j or eq_p == eq_q:
+                        continue
+                    if all(theory.entails(c) for c in op_q.params):
+                        # P ⇒ Q: evaluate σ_P over the σ_Q result.
+                        q_result_eq = eq_q
+                        self.memo.add_operation(
+                            "select", op_p.params, (q_result_eq,), target_eq=eq_p
+                        )
+
+        for child, group in projects.items():
+            if len(group) < 2:
+                continue
+            for i, (eq_a, op_a) in enumerate(group):
+                cols_a = self._column_project(op_a)
+                if cols_a is None:
+                    continue
+                for j, (eq_b, op_b) in enumerate(group):
+                    if i == j or eq_a == eq_b:
+                        continue
+                    cols_b = self._column_project(op_b)
+                    if cols_b is None:
+                        continue
+                    mapping = dict(cols_b)
+                    if all(expr in mapping for expr, _ in cols_a):
+                        renamed = tuple(
+                            (ast.ColumnRef(None, mapping[expr]), name)
+                            for expr, name in cols_a
+                        )
+                        self.memo.add_operation(
+                            "project", (renamed,), (eq_b,), target_eq=eq_a
+                        )
+
+    @staticmethod
+    def _column_project(op: OpNode) -> Optional[list[tuple[ast.Expr, str]]]:
+        """(expr, name) pairs if the project is column-only."""
+        (pairs,) = op.params
+        result = []
+        for expr, name in pairs:
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            result.append((expr, name))
+        return result
+
+
+def expand_memo(memo: Memo, max_operations: int = 50000,
+                enable_subsumption: bool = True,
+                enable_select_rules: bool = True) -> int:
+    """Expand ``memo`` to fixpoint; returns the number of passes."""
+    return Expander(
+        memo,
+        max_operations=max_operations,
+        enable_subsumption=enable_subsumption,
+        enable_select_rules=enable_select_rules,
+    ).expand()

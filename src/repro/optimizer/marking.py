@@ -1,0 +1,63 @@
+"""Bottom-up validity marking on the AND-OR DAG (paper §5.6.2).
+
+Given the root equivalence nodes of the user's instantiated
+authorization views (marked valid a priori — rule U1), the marking
+propagates:
+
+1. an equivalence node is valid if **any** of its operation children is
+   valid;
+2. an operation node is valid if **all** of its child equivalence nodes
+   are valid (rule U2).
+
+The query is unconditionally valid (per the basic rules) iff its root
+equivalence node ends up marked.  The paper notes this misses some
+rewritings (e.g. covers requiring a relation to be joined redundantly);
+the block matcher is the more complete engine — tests cross-check the
+two on the cases the DAG should find.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.optimizer.dag import Memo
+
+
+def mark_validity(memo: Memo, view_roots: Iterable[int]) -> int:
+    """Mark valid nodes; returns the number of valid equivalence nodes.
+
+    ``view_roots`` are the equivalence node ids of the authorization
+    views' root expressions (after unification with the query DAG).
+    """
+    for root in view_roots:
+        memo.node(root).valid = True
+
+    changed = True
+    passes = 0
+    while changed:
+        changed = False
+        passes += 1
+        for eq in memo.equivalence_nodes():
+            for op in eq.operations:
+                if op.valid:
+                    continue
+                if op.kind == "scan":
+                    # A base-relation scan is never valid by itself —
+                    # only through a view that covers it.
+                    continue
+                if op.kind == "viewscan":
+                    # Rule U1: authorization-view scans are valid.
+                    op.valid = True
+                    changed = True
+                    continue
+                if op.children and all(memo.node(c).valid for c in op.children):
+                    op.valid = True
+                    changed = True
+            if not eq.valid and any(op.valid for op in eq.operations):
+                eq.valid = True
+                changed = True
+    return sum(1 for eq in memo.equivalence_nodes() if eq.valid)
+
+
+def is_valid(memo: Memo, eq_id: int) -> bool:
+    return memo.node(eq_id).valid

@@ -1,0 +1,164 @@
+"""Volcano optimizer facade: optimization + DAG-based validity checking.
+
+Ties together memo construction, rule-based expansion, view
+unification, validity marking (§5.6.2), and cost-based plan extraction.
+Used by experiments E1 (Figure 1 DAG statistics) and E2 (marking
+overhead) and cross-checked against the block-based checker in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.algebra import ops
+from repro.optimizer.cost import CostModel, PlanChoice, best_plan
+from repro.optimizer.dag import Memo, insert_plan
+from repro.optimizer.expand import expand_memo
+from repro.optimizer.marking import mark_validity
+
+
+@dataclass
+class DagStatistics:
+    """Shape of an expanded AND-OR DAG (Figure 1 quantities)."""
+
+    eq_nodes: int
+    op_nodes: int
+    plans: int
+    merges: int
+    expansion_passes: int
+
+
+@dataclass
+class OptimizeResult:
+    plan: PlanChoice
+    statistics: DagStatistics
+    optimize_seconds: float
+
+
+@dataclass
+class DagValidityResult:
+    valid: bool
+    statistics: DagStatistics
+    marking_seconds: float
+    total_seconds: float
+    valid_eq_nodes: int
+
+
+class VolcanoOptimizer:
+    """A small Volcano: expand, unify, mark, extract."""
+
+    def __init__(
+        self,
+        row_count: Callable[[str], int],
+        max_operations: int = 50000,
+        enable_subsumption: bool = True,
+        distinct_count=None,
+    ):
+        """``distinct_count(table, column)`` (e.g. from TableStatistics)
+        refines the cost model's selectivity estimates."""
+        self.row_count = row_count
+        self.max_operations = max_operations
+        self.enable_subsumption = enable_subsumption
+        self.distinct_count = distinct_count
+
+    def _statistics(self, memo: Memo, root: int, passes: int) -> DagStatistics:
+        return DagStatistics(
+            eq_nodes=memo.eq_count,
+            op_nodes=memo.op_count,
+            plans=memo.plan_count(root),
+            merges=memo.merges,
+            expansion_passes=passes,
+        )
+
+    # -- plain optimization -----------------------------------------------------
+
+    def optimize(self, plan: ops.Operator) -> OptimizeResult:
+        started = time.perf_counter()
+        memo = Memo()
+        root = insert_plan(memo, plan)
+        passes = expand_memo(
+            memo,
+            max_operations=self.max_operations,
+            enable_subsumption=self.enable_subsumption,
+        )
+        model = CostModel(self.row_count, self.distinct_count)
+        choice = best_plan(memo, root, model)
+        elapsed = time.perf_counter() - started
+        return OptimizeResult(
+            plan=choice,
+            statistics=self._statistics(memo, root, passes),
+            optimize_seconds=elapsed,
+        )
+
+    def expand_only(
+        self, plan: ops.Operator, joins_only: bool = False
+    ) -> tuple[Memo, int, DagStatistics]:
+        """Insert + expand without costing; used by experiment E1.
+
+        ``joins_only=True`` restricts expansion to join commutativity
+        and associativity — the Figure 1 join-order memo, tractable to
+        larger relation counts."""
+        memo = Memo()
+        root = insert_plan(memo, plan)
+        passes = expand_memo(
+            memo,
+            max_operations=self.max_operations,
+            enable_subsumption=self.enable_subsumption and not joins_only,
+            enable_select_rules=not joins_only,
+        )
+        return memo, root, self._statistics(memo, root, passes)
+
+    # -- validity checking (§5.6.2) -------------------------------------------------
+
+    def check_validity(
+        self,
+        query_plan: ops.Operator,
+        view_plans: list[ops.Operator],
+        expand_views: bool = False,
+    ) -> DagValidityResult:
+        """Basic-rule (U1/U2) validity via DAG marking.
+
+        Per the paper, the basic rules do not require equivalence rules
+        to be applied to the views — their unexpanded DAGs are unified
+        with the expanded query DAG (``expand_views=False``).  The
+        complex-rule experiments set ``expand_views=True`` to measure
+        the extra cost the paper anticipates.
+        """
+        from repro.optimizer.expand import Expander
+
+        started = time.perf_counter()
+        memo = Memo()
+        query_root = insert_plan(memo, query_plan)
+        expand_memo(
+            memo,
+            max_operations=self.max_operations,
+            enable_subsumption=self.enable_subsumption,
+        )
+        view_roots = [insert_plan(memo, vp) for vp in view_plans]
+        if expand_views:
+            passes = expand_memo(
+                memo,
+                max_operations=self.max_operations,
+                enable_subsumption=self.enable_subsumption,
+            )
+        else:
+            # §5.6.2: the views' DAGs are unified UNEXPANDED; only the
+            # subsumption derivations run so that view roots differing
+            # from query subexpressions by a weaker selection / wider
+            # projection still connect.
+            expander = Expander(memo, max_operations=self.max_operations)
+            passes = (
+                expander.subsumption_pass() if self.enable_subsumption else 0
+            )
+        mark_started = time.perf_counter()
+        valid_count = mark_validity(memo, view_roots)
+        finished = time.perf_counter()
+        return DagValidityResult(
+            valid=memo.node(query_root).valid,
+            statistics=self._statistics(memo, query_root, passes),
+            marking_seconds=finished - mark_started,
+            total_seconds=finished - started,
+            valid_eq_nodes=valid_count,
+        )

@@ -1,0 +1,65 @@
+"""Table statistics for the cost model (ANALYZE support).
+
+The Volcano paper's search is only as good as its cardinality
+estimates.  :class:`TableStatistics` snapshots row counts and
+per-column distinct counts from the live tables; the cost model uses
+them for textbook equi-join selectivity (``1 / max(d_left, d_right)``)
+and equality-selection selectivity (``1 / d``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass
+class TableStats:
+    rows: int
+    distinct: dict[str, int] = field(default_factory=dict)
+
+    def distinct_count(self, column: str) -> int:
+        return max(self.distinct.get(column.lower(), 1), 1)
+
+
+class TableStatistics:
+    """Snapshot of per-table statistics, refreshed by :meth:`analyze`."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self._stats: dict[str, TableStats] = {}
+
+    def analyze(self) -> None:
+        """Recompute statistics for every base table."""
+        self._stats.clear()
+        for schema in self.db.catalog.tables():
+            table = self.db.table(schema.name)
+            distinct = {
+                col.name.lower(): table.distinct_count(col.name)
+                for col in schema.columns
+            }
+            self._stats[schema.name.lower()] = TableStats(
+                rows=table.row_count, distinct=distinct
+            )
+
+    def row_count(self, table: str) -> int:
+        stats = self._stats.get(table.lower())
+        if stats is not None:
+            return stats.rows
+        # Fall back to the live table (un-analyzed database).
+        try:
+            return self.db.table(table).row_count
+        except Exception:
+            return 1
+
+    def distinct_count(self, table: str, column: str) -> Optional[int]:
+        stats = self._stats.get(table.lower())
+        if stats is None:
+            try:
+                return self.db.table(table).distinct_count(column)
+            except Exception:
+                return None
+        return stats.distinct_count(column)

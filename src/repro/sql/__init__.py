@@ -1,0 +1,32 @@
+"""SQL front end: lexer, parser, AST, and SQL renderer.
+
+The supported fragment covers everything the paper's examples use:
+
+* ``SELECT [DISTINCT]`` with expressions, aggregates, ``GROUP BY`` /
+  ``HAVING``, ``ORDER BY``, ``LIMIT``;
+* comma joins and explicit ``[INNER|LEFT|RIGHT] JOIN ... ON``;
+* ``UNION [ALL]`` / ``INTERSECT`` / ``EXCEPT``;
+* ``CREATE TABLE`` with PK/FK/NOT NULL/UNIQUE/CHECK constraints;
+* ``CREATE [AUTHORIZATION] VIEW`` with ``$param`` and ``$$param``
+  (access-pattern) parameters;
+* ``INSERT`` / ``UPDATE`` / ``DELETE``;
+* ``GRANT SELECT ON view TO user``;
+* the paper's Section 4.4 ``AUTHORIZE INSERT/UPDATE/DELETE ON ...``
+  statements, including ``old(...)`` references.
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_statement, parse_statements, parse_query
+from repro.sql.render import render
+from repro.sql import ast
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_statement",
+    "parse_statements",
+    "parse_query",
+    "render",
+    "ast",
+]

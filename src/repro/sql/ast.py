@@ -1,0 +1,478 @@
+"""Abstract syntax tree for the supported SQL fragment.
+
+All nodes are frozen dataclasses with structural equality, which the
+rest of the system relies on (e.g. hash-consing in the optimizer DAG and
+signatures in the validity cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, str, bool, or None (SQL NULL)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference, e.g. ``Grades.student_id``."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class OldColumnRef(Expr):
+    """``old(Table.col)`` — pre-image reference in AUTHORIZE UPDATE (§4.4)."""
+
+    table: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        inner = f"{self.table}.{self.name}" if self.table else self.name
+        return f"old({inner})"
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Context parameter ``$name`` (e.g. ``$user_id``, ``$time``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class AccessParam(Expr):
+    """Access-pattern parameter ``$$name`` (must be bound at access time)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"$${self.name}"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``Table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator: comparisons, arithmetic, AND/OR, LIKE, ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: NOT, unary minus."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {op})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with a literal/parameter list."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        items = ", ".join(str(item) for item in self.items)
+        return f"({self.operand} {op} ({items}))"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)`` — paper future work: nested queries.
+
+    Only supported as a top-level WHERE conjunct (translated to a
+    semi/anti join); the subquery must be uncorrelated.
+    """
+
+    operand: Expr
+    query: "QueryExpr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        return f"({self.operand} {op} (<subquery>))"
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(Expr):
+    """``[NOT] EXISTS (SELECT ...)`` with an uncorrelated subquery."""
+
+    query: "QueryExpr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"({op} (<subquery>))"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand} {op} {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar or aggregate function call.
+
+    Aggregates (``count``, ``sum``, ``avg``, ``min``, ``max``) are
+    distinguished during binding, not parsing.  ``count(*)`` is
+    represented with a single :class:`Star` argument.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``CASE [WHEN cond THEN value]... [ELSE value] END`` (searched form)."""
+
+    branches: tuple[tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.branches:
+            parts.append(f"WHEN {cond} THEN {value}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    return isinstance(expr, FuncCall) and expr.name.lower() in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if ``expr`` contains an aggregate function call anywhere."""
+    if is_aggregate_call(expr):
+        return True
+    return any(contains_aggregate(child) for child in expr_children(expr))
+
+
+def expr_children(expr: Expr) -> tuple[Expr, ...]:
+    """Direct sub-expressions of ``expr`` (uniform tree walking)."""
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnaryOp):
+        return (expr.operand,)
+    if isinstance(expr, IsNull):
+        return (expr.operand,)
+    if isinstance(expr, InList):
+        return (expr.operand, *expr.items)
+    if isinstance(expr, InSubquery):
+        return (expr.operand,)  # the nested query is not a scalar child
+    if isinstance(expr, ExistsSubquery):
+        return ()
+    if isinstance(expr, Between):
+        return (expr.operand, expr.low, expr.high)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    if isinstance(expr, CaseExpr):
+        children: list[Expr] = []
+        for cond, value in expr.branches:
+            children.append(cond)
+            children.append(value)
+        if expr.default is not None:
+            children.append(expr.default)
+        return tuple(children)
+    return ()
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    for child in expr_children(expr):
+        yield from walk_expr(child)
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableExpr(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TableRef(TableExpr):
+    """Base table or view reference with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableExpr):
+    """Derived table: ``(SELECT ...) AS alias``."""
+
+    query: "SelectStmt"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinRef(TableExpr):
+    """Explicit join: ``left [INNER|LEFT|RIGHT|CROSS] JOIN right [ON cond]``."""
+
+    left: TableExpr
+    right: TableExpr
+    kind: str  # "inner" | "left" | "right" | "cross"
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Query statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    expr: Expr
+    descending: bool = False
+
+
+class QueryExpr(Node):
+    """A query: SELECT statement or set operation over queries."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectStmt(QueryExpr):
+    items: tuple[SelectItem, ...]
+    from_items: tuple[TableExpr, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SetOp(QueryExpr):
+    """``UNION [ALL]`` / ``INTERSECT [ALL]`` / ``EXCEPT [ALL]``."""
+
+    op: str  # "union" | "intersect" | "except"
+    all: bool
+    left: QueryExpr
+    right: QueryExpr
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ForeignKeySpec(Node):
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CheckSpec(Node):
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class CreateTable(Node):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKeySpec, ...] = ()
+    uniques: tuple[tuple[str, ...], ...] = ()
+    checks: tuple[CheckSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateView(Node):
+    name: str
+    query: QueryExpr
+    authorization: bool = False
+    column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropStmt(Node):
+    kind: str  # "table" | "view"
+    name: str
+
+
+@dataclass(frozen=True)
+class Grant(Node):
+    privilege: str  # "select"
+    object_name: str
+    grantee: str
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert(Node):
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    query: Optional[QueryExpr] = None
+
+
+@dataclass(frozen=True)
+class Update(Node):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Node):
+    table: str
+    where: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Update authorization (paper Section 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransactionStmt(Node):
+    """BEGIN [TRANSACTION] / COMMIT / ROLLBACK."""
+
+    action: str  # "begin" | "commit" | "rollback"
+
+
+@dataclass(frozen=True)
+class AuthorizeStmt(Node):
+    """``AUTHORIZE INSERT|UPDATE|DELETE ON table[(cols)] WHERE pred``."""
+
+    action: str  # "insert" | "update" | "delete"
+    table: str
+    columns: tuple[str, ...] = ()
+    where: Optional[Expr] = None
+
+
+Statement = Union[
+    QueryExpr,
+    TransactionStmt,
+    CreateTable,
+    CreateView,
+    DropStmt,
+    Grant,
+    Insert,
+    Update,
+    Delete,
+    AuthorizeStmt,
+]

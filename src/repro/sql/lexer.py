@@ -1,0 +1,198 @@
+"""Hand-written SQL lexer.
+
+Produces a list of :class:`~repro.sql.tokens.Token`.  Supports:
+
+* ``--`` line comments and ``/* ... */`` block comments;
+* single-quoted string literals with ``''`` escaping;
+* double-quoted identifiers;
+* integer and decimal numeric literals (with optional exponent);
+* ``$name`` context parameters and ``$$name`` access-pattern parameters.
+
+Keywords are case-insensitive and normalized to lower case; identifiers
+preserve their case but comparisons elsewhere are case-insensitive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Single-pass lexer over a SQL source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(self._token(TokenType.EOF, ""))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _token(self, type_: TokenType, value: str) -> Token:
+        return Token(type_, value, self.pos, self.line, self.column)
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.pos, self.line, self.column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if _is_ident_start(ch):
+            return self._lex_word()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch == "'":
+            return self._lex_string()
+        if ch == '"':
+            return self._lex_quoted_ident()
+        if ch == "$":
+            return self._lex_param()
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                token = self._token(TokenType.OP, op)
+                self._advance(len(op))
+                return token
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_word(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        while self.pos < len(self.source) and _is_ident_char(self._peek()):
+            self._advance()
+        word = self.source[start : self.pos]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start, start_line, start_col)
+        return Token(TokenType.IDENT, word, start, start_line, start_col)
+
+    def _lex_number(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        return Token(
+            TokenType.NUMBER, self.source[start : self.pos], start, start_line, start_col
+        )
+
+    def _lex_string(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                parts.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(parts), start, start_line, start_col)
+
+    def _lex_quoted_ident(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated quoted identifier")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        return Token(TokenType.IDENT, "".join(parts), start, start_line, start_col)
+
+    def _lex_param(self) -> Token:
+        start = self.pos
+        start_line, start_col = self.line, self.column
+        access_pattern = self._peek(1) == "$"
+        self._advance(2 if access_pattern else 1)
+        name_start = self.pos
+        while self.pos < len(self.source) and (
+            _is_ident_char(self._peek()) or self._peek().isdigit()
+        ):
+            self._advance()
+        name = self.source[name_start : self.pos]
+        if not name:
+            raise self._error("expected parameter name after '$'")
+        type_ = TokenType.AP_PARAM if access_pattern else TokenType.PARAM
+        return Token(type_, name, start, start_line, start_col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list of tokens ending with EOF."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,702 @@
+"""Recursive-descent parser for the supported SQL fragment."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+
+class Parser:
+    """Parses one or more SQL statements from a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        where = f"line {token.line}, column {token.column}"
+        found = token.value if token.type is not TokenType.EOF else "<end of input>"
+        return ParseError(f"{message}; found {found!r} at {where}")
+
+    def _expect_keyword(self, word: str) -> Token:
+        if self.current.is_keyword(word):
+            return self._advance()
+        raise self._error(f"expected keyword {word.upper()!r}")
+
+    def _expect_op(self, op: str) -> Token:
+        if self.current.is_op(op):
+            return self._advance()
+        raise self._error(f"expected {op!r}")
+
+    def _expect_ident(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self._advance().value
+        raise self._error("expected identifier")
+
+    def _accept_keyword(self, *words: str) -> Optional[str]:
+        if self.current.is_keyword(*words):
+            return self._advance().value
+        return None
+
+    def _accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self._advance()
+            return True
+        return False
+
+    # -- entry points ----------------------------------------------------
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while self.current.type is not TokenType.EOF:
+            statements.append(self.parse_statement())
+            while self._accept_op(";"):
+                pass
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("select"):
+            return self.parse_query()
+        if token.is_op("("):
+            return self.parse_query()
+        if token.is_keyword("create"):
+            return self._parse_create()
+        if token.is_keyword("drop"):
+            return self._parse_drop()
+        if token.is_keyword("insert"):
+            return self._parse_insert()
+        if token.is_keyword("update"):
+            return self._parse_update()
+        if token.is_keyword("delete"):
+            return self._parse_delete()
+        if token.is_keyword("grant"):
+            return self._parse_grant()
+        if token.is_keyword("authorize"):
+            return self._parse_authorize()
+        if token.is_keyword("begin"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.TransactionStmt("begin")
+        if token.is_keyword("commit"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.TransactionStmt("commit")
+        if token.is_keyword("rollback"):
+            self._advance()
+            self._accept_keyword("transaction")
+            return ast.TransactionStmt("rollback")
+        raise self._error("expected a SQL statement")
+
+    # -- queries -----------------------------------------------------------
+
+    def parse_query(self) -> ast.QueryExpr:
+        left = self._parse_query_term()
+        while self.current.is_keyword("union", "intersect", "except"):
+            op = self._advance().value
+            all_flag = bool(self._accept_keyword("all"))
+            if not all_flag:
+                self._accept_keyword("distinct")
+            right = self._parse_query_term()
+            left = ast.SetOp(op=op, all=all_flag, left=left, right=right)
+        return left
+
+    def _parse_query_term(self) -> ast.QueryExpr:
+        if self._accept_op("("):
+            query = self.parse_query()
+            self._expect_op(")")
+            return query
+        return self._parse_select()
+
+    def _parse_select(self) -> ast.SelectStmt:
+        self._expect_keyword("select")
+        distinct = False
+        if self._accept_keyword("distinct"):
+            distinct = True
+        else:
+            self._accept_keyword("all")
+
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+
+        from_items: list[ast.TableExpr] = []
+        if self._accept_keyword("from"):
+            from_items.append(self._parse_table_expr())
+            while self._accept_op(","):
+                from_items.append(self._parse_table_expr())
+
+        where = self.parse_expr() if self._accept_keyword("where") else None
+
+        group_by: list[ast.Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self._accept_op(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self._accept_keyword("having") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_op(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self._accept_keyword("limit"):
+            limit = self._parse_int_literal()
+            if self._accept_keyword("offset"):
+                offset = self._parse_int_literal()
+
+        return ast.SelectStmt(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            distinct=distinct,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_int_literal(self) -> int:
+        if self.current.type is TokenType.NUMBER:
+            text = self._advance().value
+            try:
+                return int(text)
+            except ValueError as exc:
+                raise self._error("expected integer literal") from exc
+        raise self._error("expected integer literal")
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        # "*" or "table.*"
+        if self.current.is_op("*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        if (
+            self.current.type is TokenType.IDENT
+            and self._peek().is_op(".")
+            and self._peek(2).is_op("*")
+        ):
+            table = self._advance().value
+            self._advance()  # "."
+            self._advance()  # "*"
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr, descending)
+
+    # -- table expressions ---------------------------------------------
+
+    def _parse_table_expr(self) -> ast.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            kind = None
+            if self.current.is_keyword("join"):
+                self._advance()
+                kind = "inner"
+            elif self.current.is_keyword("inner"):
+                self._advance()
+                self._expect_keyword("join")
+                kind = "inner"
+            elif self.current.is_keyword("left", "right", "full"):
+                kind = self._advance().value
+                self._accept_keyword("outer")
+                self._expect_keyword("join")
+            elif self.current.is_keyword("cross"):
+                self._advance()
+                self._expect_keyword("join")
+                kind = "cross"
+            else:
+                return left
+            right = self._parse_table_primary()
+            condition = None
+            if kind != "cross":
+                self._expect_keyword("on")
+                condition = self.parse_expr()
+            left = ast.JoinRef(left=left, right=right, kind=kind, condition=condition)
+
+    def _parse_table_primary(self) -> ast.TableExpr:
+        if self._accept_op("("):
+            if self.current.is_keyword("select"):
+                query = self.parse_query()
+                self._expect_op(")")
+                self._accept_keyword("as")
+                alias = self._expect_ident()
+                return ast.SubqueryRef(query=query, alias=alias)
+            inner = self._parse_table_expr()
+            self._expect_op(")")
+            return inner
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.current.is_keyword("or"):
+            self._advance()
+            right = self._parse_and()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.current.is_keyword("and"):
+            self._advance()
+            right = self._parse_not()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.current.is_keyword("not"):
+            self._advance()
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+
+        negated = False
+        if self.current.is_keyword("not") and self._peek().is_keyword(
+            "in", "between", "like"
+        ):
+            self._advance()
+            negated = True
+
+        if self.current.is_keyword("is"):
+            self._advance()
+            is_not = bool(self._accept_keyword("not"))
+            self._expect_keyword("null")
+            return ast.IsNull(left, negated=is_not)
+        if self.current.is_keyword("in"):
+            self._advance()
+            self._expect_op("(")
+            if self.current.is_keyword("select"):
+                query = self.parse_query()
+                self._expect_op(")")
+                return ast.InSubquery(left, query, negated=negated)
+            items = [self.parse_expr()]
+            while self._accept_op(","):
+                items.append(self.parse_expr())
+            self._expect_op(")")
+            return ast.InList(left, tuple(items), negated=negated)
+        if self.current.is_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated=negated)
+        if self.current.is_keyword("like"):
+            self._advance()
+            pattern = self._parse_additive()
+            expr = ast.BinaryOp("like", left, pattern)
+            return ast.UnaryOp("not", expr) if negated else expr
+        if self.current.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            return ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.is_op("+", "-", "||"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.is_op("*", "/", "%"):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.is_op("-"):
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if self.current.is_op("+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return ast.Param(token.value)
+        if token.type is TokenType.AP_PARAM:
+            self._advance()
+            return ast.AccessParam(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("exists"):
+            self._advance()
+            self._expect_op("(")
+            query = self.parse_query()
+            self._expect_op(")")
+            return ast.ExistsSubquery(query)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("old", "new"):
+            return self._parse_old_new()
+        if token.is_op("("):
+            self._advance()
+            expr = self.parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._parse_ident_expr()
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> ast.Expr:
+        self._expect_keyword("case")
+        branches: list[tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("when"):
+            cond = self.parse_expr()
+            self._expect_keyword("then")
+            value = self.parse_expr()
+            branches.append((cond, value))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        default = self.parse_expr() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return ast.CaseExpr(tuple(branches), default)
+
+    def _parse_old_new(self) -> ast.Expr:
+        keyword = self._advance().value  # "old" | "new"
+        self._expect_op("(")
+        first = self._expect_ident()
+        table = None
+        name = first
+        if self._accept_op("."):
+            table = first
+            name = self._expect_ident()
+        self._expect_op(")")
+        if keyword == "old":
+            return ast.OldColumnRef(table, name)
+        # new(col) is the default interpretation of a bare column in an
+        # AUTHORIZE predicate; represent it as a plain column reference.
+        return ast.ColumnRef(table, name)
+
+    def _parse_ident_expr(self) -> ast.Expr:
+        name = self._advance().value
+        if self.current.is_op("("):
+            self._advance()
+            distinct = bool(self._accept_keyword("distinct"))
+            args: list[ast.Expr] = []
+            if self.current.is_op("*"):
+                self._advance()
+                args.append(ast.Star())
+            elif not self.current.is_op(")"):
+                args.append(self.parse_expr())
+                while self._accept_op(","):
+                    args.append(self.parse_expr())
+            self._expect_op(")")
+            return ast.FuncCall(name.lower(), tuple(args), distinct=distinct)
+        if self._accept_op("."):
+            column = self._expect_ident()
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)
+
+    # -- DDL --------------------------------------------------------------
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("create")
+        if self._accept_keyword("table"):
+            return self._parse_create_table()
+        authorization = bool(self._accept_keyword("authorization"))
+        self._expect_keyword("view")
+        name = self._expect_ident()
+        column_names: tuple[str, ...] = ()
+        if self._accept_op("("):
+            names = [self._expect_ident()]
+            while self._accept_op(","):
+                names.append(self._expect_ident())
+            self._expect_op(")")
+            column_names = tuple(names)
+        self._expect_keyword("as")
+        query = self.parse_query()
+        return ast.CreateView(
+            name=name,
+            query=query,
+            authorization=authorization,
+            column_names=column_names,
+        )
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        name = self._expect_ident()
+        self._expect_op("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        foreign_keys: list[ast.ForeignKeySpec] = []
+        uniques: list[tuple[str, ...]] = []
+        checks: list[ast.CheckSpec] = []
+
+        while True:
+            if self._accept_keyword("constraint"):
+                self._expect_ident()  # constraint name, ignored
+            if self.current.is_keyword("primary"):
+                self._advance()
+                self._expect_keyword("key")
+                primary_key = self._parse_column_name_list()
+            elif self.current.is_keyword("foreign"):
+                self._advance()
+                self._expect_keyword("key")
+                cols = self._parse_column_name_list()
+                self._expect_keyword("references")
+                ref_table = self._expect_ident()
+                ref_cols: tuple[str, ...] = ()
+                if self.current.is_op("("):
+                    ref_cols = self._parse_column_name_list()
+                foreign_keys.append(ast.ForeignKeySpec(cols, ref_table, ref_cols))
+            elif self.current.is_keyword("unique"):
+                self._advance()
+                uniques.append(self._parse_column_name_list())
+            elif self.current.is_keyword("check"):
+                self._advance()
+                self._expect_op("(")
+                checks.append(ast.CheckSpec(self.parse_expr()))
+                self._expect_op(")")
+            else:
+                columns.append(self._parse_column_def())
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return ast.CreateTable(
+            name=name,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            foreign_keys=tuple(foreign_keys),
+            uniques=tuple(uniques),
+            checks=tuple(checks),
+        )
+
+    def _parse_column_name_list(self) -> tuple[str, ...]:
+        self._expect_op("(")
+        names = [self._expect_ident()]
+        while self._accept_op(","):
+            names.append(self._expect_ident())
+        self._expect_op(")")
+        return tuple(names)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident()
+        type_name = self._parse_type_name()
+        not_null = primary_key = unique = False
+        default: Optional[ast.Expr] = None
+        while True:
+            if self.current.is_keyword("not") and self._peek().is_keyword("null"):
+                self._advance()
+                self._advance()
+                not_null = True
+            elif self._accept_keyword("primary"):
+                self._expect_keyword("key")
+                primary_key = True
+            elif self._accept_keyword("unique"):
+                unique = True
+            elif self._accept_keyword("default"):
+                default = self._parse_primary()
+            else:
+                break
+        return ast.ColumnDef(
+            name=name,
+            type_name=type_name,
+            not_null=not_null,
+            primary_key=primary_key,
+            unique=unique,
+            default=default,
+        )
+
+    def _parse_type_name(self) -> str:
+        base = self._expect_ident().lower()
+        # Consume an optional length/precision spec like varchar(20) or
+        # decimal(8, 2); the in-memory engine is dynamically typed so the
+        # spec is parsed and discarded.
+        if self._accept_op("("):
+            self._parse_int_literal()
+            if self._accept_op(","):
+                self._parse_int_literal()
+            self._expect_op(")")
+        return base
+
+    def _parse_drop(self) -> ast.DropStmt:
+        self._expect_keyword("drop")
+        if self._accept_keyword("table"):
+            kind = "table"
+        else:
+            self._accept_keyword("authorization")
+            self._expect_keyword("view")
+            kind = "view"
+        return ast.DropStmt(kind=kind, name=self._expect_ident())
+
+    # -- DML --------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.current.is_op("("):
+            columns = self._parse_column_name_list()
+        if self._accept_keyword("values"):
+            rows: list[tuple[ast.Expr, ...]] = []
+            while True:
+                self._expect_op("(")
+                row = [self.parse_expr()]
+                while self._accept_op(","):
+                    row.append(self.parse_expr())
+                self._expect_op(")")
+                rows.append(tuple(row))
+                if not self._accept_op(","):
+                    break
+            return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+        query = self.parse_query()
+        return ast.Insert(table=table, columns=columns, query=query)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments: list[tuple[str, ast.Expr]] = []
+        while True:
+            column = self._expect_ident()
+            self._expect_op("=")
+            assignments.append((column, self.parse_expr()))
+            if not self._accept_op(","):
+                break
+        where = self.parse_expr() if self._accept_keyword("where") else None
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = self.parse_expr() if self._accept_keyword("where") else None
+        return ast.Delete(table=table, where=where)
+
+    def _parse_grant(self) -> ast.Grant:
+        self._expect_keyword("grant")
+        self._expect_keyword("select")
+        self._expect_keyword("on")
+        object_name = self._expect_ident()
+        self._expect_keyword("to")
+        grantee = self._expect_ident()
+        return ast.Grant(privilege="select", object_name=object_name, grantee=grantee)
+
+    # -- AUTHORIZE (Section 4.4) -------------------------------------------
+
+    def _parse_authorize(self) -> ast.AuthorizeStmt:
+        self._expect_keyword("authorize")
+        if self._accept_keyword("insert"):
+            action = "insert"
+        elif self._accept_keyword("update"):
+            action = "update"
+        elif self._accept_keyword("delete"):
+            action = "delete"
+        else:
+            raise self._error("expected INSERT, UPDATE, or DELETE after AUTHORIZE")
+        self._expect_keyword("on")
+        table = self._expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.current.is_op("("):
+            columns = self._parse_column_name_list()
+        where = self.parse_expr() if self._accept_keyword("where") else None
+        return ast.AuthorizeStmt(action=action, table=table, columns=columns, where=where)
+
+
+def parse_statement(source: str) -> ast.Statement:
+    """Parse exactly one statement; raise ParseError on trailing input."""
+    parser = Parser(source)
+    statement = parser.parse_statement()
+    while parser._accept_op(";"):
+        pass
+    if parser.current.type is not TokenType.EOF:
+        raise parser._error("unexpected trailing input")
+    return statement
+
+
+def parse_statements(source: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    return Parser(source).parse_statements()
+
+
+def parse_query(source: str) -> ast.QueryExpr:
+    """Parse a query (SELECT or set operation), rejecting other statements."""
+    statement = parse_statement(source)
+    if not isinstance(statement, ast.QueryExpr):
+        raise ParseError("expected a query (SELECT statement)")
+    return statement

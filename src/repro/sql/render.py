@@ -1,0 +1,153 @@
+"""Render AST nodes back to SQL text.
+
+Round-tripping (parse → render → parse) yields structurally equal ASTs;
+this is exercised by property tests.  Rendering is also used to display
+witness rewritings produced by the validity checker.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def render(node) -> str:
+    """Render any statement or expression node to SQL text."""
+    if isinstance(node, ast.Expr):
+        return _render_expr(node)
+    if isinstance(node, ast.SelectStmt):
+        return _render_select(node)
+    if isinstance(node, ast.SetOp):
+        op = node.op.upper() + (" ALL" if node.all else "")
+        return f"({render(node.left)}) {op} ({render(node.right)})"
+    if isinstance(node, ast.CreateTable):
+        return _render_create_table(node)
+    if isinstance(node, ast.CreateView):
+        kind = "AUTHORIZATION VIEW" if node.authorization else "VIEW"
+        cols = f" ({', '.join(node.column_names)})" if node.column_names else ""
+        return f"CREATE {kind} {node.name}{cols} AS {render(node.query)}"
+    if isinstance(node, ast.DropStmt):
+        return f"DROP {node.kind.upper()} {node.name}"
+    if isinstance(node, ast.Grant):
+        return f"GRANT {node.privilege.upper()} ON {node.object_name} TO {node.grantee}"
+    if isinstance(node, ast.Insert):
+        return _render_insert(node)
+    if isinstance(node, ast.Update):
+        sets = ", ".join(f"{col} = {_render_expr(expr)}" for col, expr in node.assignments)
+        where = f" WHERE {_render_expr(node.where)}" if node.where else ""
+        return f"UPDATE {node.table} SET {sets}{where}"
+    if isinstance(node, ast.Delete):
+        where = f" WHERE {_render_expr(node.where)}" if node.where else ""
+        return f"DELETE FROM {node.table}{where}"
+    if isinstance(node, ast.TransactionStmt):
+        return node.action.upper()
+    if isinstance(node, ast.AuthorizeStmt):
+        cols = f"({', '.join(node.columns)})" if node.columns else ""
+        where = f" WHERE {_render_expr(node.where)}" if node.where else ""
+        return f"AUTHORIZE {node.action.upper()} ON {node.table}{cols}{where}"
+    raise TypeError(f"cannot render node of type {type(node).__name__}")
+
+
+def _render_select(stmt: ast.SelectStmt) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in stmt.items:
+        text = _render_expr(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if stmt.from_items:
+        parts.append("FROM")
+        parts.append(", ".join(_render_table_expr(t) for t in stmt.from_items))
+    if stmt.where is not None:
+        parts.append(f"WHERE {_render_expr(stmt.where)}")
+    if stmt.group_by:
+        parts.append("GROUP BY " + ", ".join(_render_expr(e) for e in stmt.group_by))
+    if stmt.having is not None:
+        parts.append(f"HAVING {_render_expr(stmt.having)}")
+    if stmt.order_by:
+        rendered = [
+            _render_expr(o.expr) + (" DESC" if o.descending else "")
+            for o in stmt.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+        if stmt.offset is not None:
+            parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)
+
+
+def _render_table_expr(node: ast.TableExpr) -> str:
+    if isinstance(node, ast.TableRef):
+        if node.alias and node.alias != node.name:
+            return f"{node.name} AS {node.alias}"
+        return node.name
+    if isinstance(node, ast.SubqueryRef):
+        return f"({render(node.query)}) AS {node.alias}"
+    if isinstance(node, ast.JoinRef):
+        left = _render_table_expr(node.left)
+        right = _render_table_expr(node.right)
+        if node.kind == "cross":
+            return f"{left} CROSS JOIN {right}"
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN"}.get(
+            node.kind, f"{node.kind.upper()} JOIN"
+        )
+        on = f" ON {_render_expr(node.condition)}" if node.condition else ""
+        return f"{left} {keyword} {right}{on}"
+    raise TypeError(f"cannot render table expression {type(node).__name__}")
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.InSubquery):
+        op = "NOT IN" if expr.negated else "IN"
+        return f"({_render_expr(expr.operand)} {op} ({render(expr.query)}))"
+    if isinstance(expr, ast.ExistsSubquery):
+        op = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"({op} ({render(expr.query)}))"
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("and", "or"):
+        return f"({_render_expr(expr.left)} {expr.op.upper()} {_render_expr(expr.right)})"
+    if isinstance(expr, ast.BinaryOp) and expr.op == "like":
+        return f"({_render_expr(expr.left)} LIKE {_render_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+        return f"(NOT {_render_expr(expr.operand)})"
+    return str(expr)
+
+
+def _render_create_table(stmt: ast.CreateTable) -> str:
+    parts: list[str] = []
+    for col in stmt.columns:
+        text = f"{col.name} {col.type_name}"
+        if col.primary_key:
+            text += " PRIMARY KEY"
+        if col.not_null:
+            text += " NOT NULL"
+        if col.unique:
+            text += " UNIQUE"
+        if col.default is not None:
+            text += f" DEFAULT {_render_expr(col.default)}"
+        parts.append(text)
+    if stmt.primary_key:
+        parts.append(f"PRIMARY KEY ({', '.join(stmt.primary_key)})")
+    for fk in stmt.foreign_keys:
+        ref_cols = f" ({', '.join(fk.ref_columns)})" if fk.ref_columns else ""
+        parts.append(
+            f"FOREIGN KEY ({', '.join(fk.columns)}) REFERENCES {fk.ref_table}{ref_cols}"
+        )
+    for unique in stmt.uniques:
+        parts.append(f"UNIQUE ({', '.join(unique)})")
+    for check in stmt.checks:
+        parts.append(f"CHECK ({_render_expr(check.predicate)})")
+    return f"CREATE TABLE {stmt.name} ({', '.join(parts)})"
+
+
+def _render_insert(stmt: ast.Insert) -> str:
+    cols = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+    if stmt.query is not None:
+        return f"INSERT INTO {stmt.table}{cols} {render(stmt.query)}"
+    rows = ", ".join(
+        "(" + ", ".join(_render_expr(v) for v in row) + ")" for row in stmt.rows
+    )
+    return f"INSERT INTO {stmt.table}{cols} VALUES {rows}"

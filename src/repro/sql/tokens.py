@@ -1,0 +1,138 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PARAM = "param"  # $user_id — context parameter
+    AP_PARAM = "ap_param"  # $$1 / $$name — access-pattern parameter
+    OP = "op"  # symbolic operators and punctuation
+    EOF = "eof"
+
+
+#: Reserved words.  Identifiers matching these (case-insensitively) lex as
+#: KEYWORD tokens.  Function names like ``avg`` are *not* reserved; they lex
+#: as IDENT and the parser recognizes calls by the following ``(``.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "all",
+        "from",
+        "where",
+        "group",
+        "by",
+        "having",
+        "order",
+        "asc",
+        "desc",
+        "limit",
+        "offset",
+        "union",
+        "intersect",
+        "except",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "full",
+        "outer",
+        "cross",
+        "on",
+        "as",
+        "and",
+        "or",
+        "not",
+        "in",
+        "is",
+        "null",
+        "like",
+        "between",
+        "exists",
+        "case",
+        "when",
+        "then",
+        "else",
+        "end",
+        "true",
+        "false",
+        "create",
+        "drop",
+        "table",
+        "view",
+        "authorization",
+        "primary",
+        "foreign",
+        "key",
+        "references",
+        "unique",
+        "check",
+        "constraint",
+        "default",
+        "insert",
+        "into",
+        "values",
+        "update",
+        "set",
+        "delete",
+        "grant",
+        "revoke",
+        "to",
+        "authorize",
+        "old",
+        "new",
+        "begin",
+        "commit",
+        "rollback",
+        "transaction",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedy-match.
+OPERATORS = (
+    "<>",
+    "!=",
+    "<=",
+    ">=",
+    "||",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    ",",
+    ".",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OP and self.value in ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.value!r})"

@@ -1,0 +1,6 @@
+"""In-memory row storage with hash indexes."""
+
+from repro.storage.table import Table
+from repro.storage.index import HashIndex
+
+__all__ = ["Table", "HashIndex"]

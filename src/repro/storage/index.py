@@ -1,0 +1,67 @@
+"""Hash indexes over in-memory tables.
+
+An index maps a tuple of column values to the multiset of row ids
+holding those values.  Unique indexes additionally enforce that at most
+one *live* row carries each key (rows containing NULL in any indexed
+column are exempt, matching SQL UNIQUE semantics).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.errors import IntegrityError
+
+
+class HashIndex:
+    """Equality index on one or more columns of a table."""
+
+    def __init__(self, table_name: str, columns: tuple[int, ...], column_names: tuple[str, ...], unique: bool = False):
+        self.table_name = table_name
+        self.columns = columns  # ordinal positions in the row
+        self.column_names = column_names
+        self.unique = unique
+        self._buckets: dict[tuple, set[int]] = defaultdict(set)
+
+    def key_of(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self.columns)
+
+    def _has_null(self, key: tuple) -> bool:
+        return any(v is None for v in key)
+
+    def insert(self, row_id: int, row: tuple) -> None:
+        key = self.key_of(row)
+        if self.unique and not self._has_null(key) and self._buckets.get(key):
+            cols = ", ".join(self.column_names)
+            raise IntegrityError(
+                f"duplicate key {key!r} for unique index on {self.table_name}({cols})"
+            )
+        self._buckets[key].add(row_id)
+
+    def delete(self, row_id: int, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple) -> frozenset[int]:
+        if self._has_null(key):
+            return frozenset()
+        return frozenset(self._buckets.get(key, ()))
+
+    def would_violate(self, row: tuple, ignore_row_id: Optional[int] = None) -> bool:
+        """True if inserting ``row`` would break uniqueness."""
+        if not self.unique:
+            return False
+        key = self.key_of(row)
+        if self._has_null(key):
+            return False
+        bucket = self._buckets.get(key, set())
+        others = bucket - {ignore_row_id} if ignore_row_id is not None else bucket
+        return bool(others)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

@@ -1,0 +1,139 @@
+"""In-memory multiset table storage.
+
+Rows are Python tuples keyed by a monotonically increasing row id; a
+table is a *multiset* (SQL bag semantics) — the same tuple value may
+appear under many row ids.  Hash indexes are maintained incrementally
+on insert/delete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import ExecutionError, IntegrityError
+from repro.catalog.schema import TableSchema
+from repro.catalog.types import coerce_value
+from repro.storage.index import HashIndex
+
+
+class Table:
+    """Row storage for one base table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_id = 0
+        self._indexes: list[HashIndex] = []
+
+    # -- index management -------------------------------------------------
+
+    def create_index(self, columns: Iterable[str], unique: bool = False) -> HashIndex:
+        names = tuple(columns)
+        ordinals = tuple(self.schema.column_index(c) for c in names)
+        index = HashIndex(self.schema.name, ordinals, names, unique=unique)
+        for row_id, row in self._rows.items():
+            index.insert(row_id, row)
+        self._indexes.append(index)
+        return index
+
+    def find_index(self, columns: Iterable[str]) -> Optional[HashIndex]:
+        wanted = tuple(self.schema.column_index(c) for c in columns)
+        for index in self._indexes:
+            if index.columns == wanted:
+                return index
+        return None
+
+    # -- row access ---------------------------------------------------------
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate over the current rows (bag semantics)."""
+        return iter(list(self._rows.values()))
+
+    def rows_with_ids(self) -> Iterator[tuple[int, tuple]]:
+        return iter(list(self._rows.items()))
+
+    def get_row(self, row_id: int) -> tuple:
+        try:
+            return self._rows[row_id]
+        except KeyError as exc:
+            raise ExecutionError(f"no row with id {row_id}") from exc
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    # -- mutation -------------------------------------------------------------
+
+    def _coerce(self, values: tuple) -> tuple:
+        if len(values) != len(self.schema.columns):
+            raise ExecutionError(
+                f"{self.schema.name}: expected {len(self.schema.columns)} values, "
+                f"got {len(values)}"
+            )
+        coerced = []
+        for value, col in zip(values, self.schema.columns):
+            if value is None and col.not_null:
+                raise IntegrityError(
+                    f"NULL in NOT NULL column {self.schema.name}.{col.name}"
+                )
+            coerced.append(coerce_value(value, col.dtype))
+        return tuple(coerced)
+
+    def insert(self, values: tuple) -> int:
+        row = self._coerce(values)
+        for index in self._indexes:
+            if index.would_violate(row):
+                raise IntegrityError(
+                    f"unique violation on {self.schema.name}"
+                    f"({', '.join(index.column_names)}): {index.key_of(row)!r}"
+                )
+        row_id = self._next_id
+        self._next_id += 1
+        self._rows[row_id] = row
+        for index in self._indexes:
+            index.insert(row_id, row)
+        return row_id
+
+    def delete_row(self, row_id: int) -> tuple:
+        row = self.get_row(row_id)
+        del self._rows[row_id]
+        for index in self._indexes:
+            index.delete(row_id, row)
+        return row
+
+    def update_row(self, row_id: int, values: tuple) -> tuple:
+        """Replace the row under ``row_id``; returns the old row."""
+        old = self.get_row(row_id)
+        new = self._coerce(values)
+        for index in self._indexes:
+            if index.would_violate(new, ignore_row_id=row_id):
+                raise IntegrityError(
+                    f"unique violation on {self.schema.name}"
+                    f"({', '.join(index.column_names)}): {index.key_of(new)!r}"
+                )
+        for index in self._indexes:
+            index.delete(row_id, old)
+        self._rows[row_id] = new
+        for index in self._indexes:
+            index.insert(row_id, new)
+        return old
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete all rows satisfying ``predicate``; returns count deleted."""
+        doomed = [rid for rid, row in self.rows_with_ids() if predicate(row)]
+        for rid in doomed:
+            self.delete_row(rid)
+        return len(doomed)
+
+    def truncate(self) -> None:
+        for rid in list(self._rows):
+            self.delete_row(rid)
+
+    # -- statistics (for the cost model) ------------------------------------
+
+    def distinct_count(self, column: str) -> int:
+        ordinal = self.schema.column_index(column)
+        return len({row[ordinal] for row in self._rows.values()})

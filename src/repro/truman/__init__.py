@@ -1,0 +1,7 @@
+"""The Truman model (paper Section 3): transparent query modification,
+including an Oracle VPD-style predicate-policy engine."""
+
+from repro.truman.rewrite import truman_rewrite
+from repro.truman.vpd import VpdPolicySet
+
+__all__ = ["truman_rewrite", "VpdPolicySet"]

@@ -1,0 +1,110 @@
+"""Truman-model query modification (paper Sections 3.2-3.3).
+
+Two transparent rewrites are applied to the user query:
+
+1. **View substitution** — each base-table reference with an entry in
+   the database's Truman policy (``db.set_truman_view``) is replaced by
+   the corresponding parameterized authorization view, inlined as a
+   derived table under the original alias.
+2. **VPD predicates** — for each base-table reference with a VPD policy
+   function, the returned predicate is ANDed into the enclosing WHERE
+   clause.
+
+The rewritten query is then executed normally.  The paper's point —
+reproduced by our E4/E6 experiments — is that this *silently changes
+query semantics*: an ``avg(grade)`` over ``Grades`` becomes an average
+over the user's own grades only, and substituted views introduce
+redundant joins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.authviews.session import SessionContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+def truman_rewrite(
+    db: "Database", query: ast.QueryExpr, session: SessionContext
+) -> ast.QueryExpr:
+    """Return the Truman-modified version of ``query`` for this session."""
+    return _rewrite_query(db, query, session)
+
+
+def _rewrite_query(
+    db: "Database", query: ast.QueryExpr, session: SessionContext
+) -> ast.QueryExpr:
+    if isinstance(query, ast.SetOp):
+        return ast.SetOp(
+            query.op,
+            query.all,
+            _rewrite_query(db, query.left, session),
+            _rewrite_query(db, query.right, session),
+        )
+    assert isinstance(query, ast.SelectStmt)
+
+    vpd_conjuncts: list[ast.Expr] = []
+    new_from = tuple(
+        _rewrite_table_expr(db, item, session, vpd_conjuncts)
+        for item in query.from_items
+    )
+    where = query.where
+    if vpd_conjuncts:
+        where = exprs.make_conjunction(
+            ([where] if where is not None else []) + vpd_conjuncts
+        )
+    return ast.SelectStmt(
+        items=query.items,
+        from_items=new_from,
+        where=where,
+        group_by=query.group_by,
+        having=query.having,
+        distinct=query.distinct,
+        order_by=query.order_by,
+        limit=query.limit,
+        offset=query.offset,
+    )
+
+
+def _rewrite_table_expr(
+    db: "Database",
+    table_expr: ast.TableExpr,
+    session: SessionContext,
+    vpd_conjuncts: list[ast.Expr],
+) -> ast.TableExpr:
+    if isinstance(table_expr, ast.SubqueryRef):
+        return ast.SubqueryRef(
+            _rewrite_query(db, table_expr.query, session), table_expr.alias
+        )
+    if isinstance(table_expr, ast.JoinRef):
+        return ast.JoinRef(
+            _rewrite_table_expr(db, table_expr.left, session, vpd_conjuncts),
+            _rewrite_table_expr(db, table_expr.right, session, vpd_conjuncts),
+            table_expr.kind,
+            table_expr.condition,
+        )
+    assert isinstance(table_expr, ast.TableRef)
+
+    if not db.catalog.has_table(table_expr.name):
+        return table_expr  # view references pass through unmodified
+
+    binding = table_expr.binding_name
+    view_name = db.truman_policy.get(table_expr.name.lower())
+    if view_name is not None:
+        view = db.catalog.view(view_name)
+        # Inline the (still-parameterized) view body as a derived table
+        # under the original alias; $params are bound at translation.
+        return ast.SubqueryRef(query=view.query, alias=binding)
+
+    if db.vpd_policies.has_policy(table_expr.name):
+        predicate = db.vpd_policies.predicate_for(
+            table_expr.name, binding, session
+        )
+        if predicate is not None:
+            vpd_conjuncts.append(predicate)
+    return table_expr

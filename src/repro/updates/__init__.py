@@ -1,0 +1,5 @@
+"""Update authorization (paper Section 4.4)."""
+
+from repro.updates.authorize import UpdateAuthorizer, UpdatePolicy
+
+__all__ = ["UpdateAuthorizer", "UpdatePolicy"]

@@ -1,0 +1,148 @@
+"""Authorization of updates (paper Section 4.4).
+
+Update authorization is deliberately simpler than query validity:
+each INSERT/UPDATE/DELETE is checked tuple-by-tuple against
+parameterized predicates declared with::
+
+    AUTHORIZE INSERT ON Registered WHERE Registered.student_id = $user_id
+    AUTHORIZE UPDATE ON Students(address) WHERE old(Students.student_id) = $user_id
+
+In an UPDATE predicate, ``old(T.c)`` refers to the pre-image of the
+tuple and a bare column reference to the post-image.  A statement is
+permitted when, for every affected tuple, **some** policy for that
+(action, table) pair is satisfied; with no applicable policy the
+default is deny (checks are skipped entirely in "open" mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import UpdateRejectedError
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.authviews.session import SessionContext
+from repro.engine.evaluator import Evaluator, RowResolver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """One AUTHORIZE policy."""
+
+    action: str  # "insert" | "update" | "delete"
+    table: str
+    columns: tuple[str, ...]  # empty = all columns (update only)
+    predicate: Optional[ast.Expr]  # None = unconditionally allowed
+
+    def covers_columns(self, changed: tuple[str, ...]) -> bool:
+        if not self.columns:
+            return True
+        allowed = {c.lower() for c in self.columns}
+        return all(c.lower() in allowed for c in changed)
+
+
+class UpdateAuthorizer:
+    """Holds AUTHORIZE policies and checks DML statements against them."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        self._policies: list[UpdatePolicy] = []
+
+    def add_policy(self, statement: ast.AuthorizeStmt) -> None:
+        self._policies.append(
+            UpdatePolicy(
+                action=statement.action,
+                table=statement.table,
+                columns=statement.columns,
+                predicate=statement.where,
+            )
+        )
+
+    def policies_for(self, action: str, table: str) -> list[UpdatePolicy]:
+        key = table.lower()
+        return [
+            p
+            for p in self._policies
+            if p.action == action and p.table.lower() == key
+        ]
+
+    # -- checks ----------------------------------------------------------
+
+    def check_insert(self, table: str, row: tuple, session: SessionContext) -> None:
+        policies = self.policies_for("insert", table)
+        if not any(
+            self._satisfied(p, table, new_row=row, old_row=None, session=session)
+            for p in policies
+        ):
+            raise UpdateRejectedError(
+                f"insert into {table} not authorized for user "
+                f"{session.user!r}"
+            )
+
+    def check_update(
+        self,
+        table: str,
+        old_row: tuple,
+        new_row: tuple,
+        changed_columns: tuple[str, ...],
+        session: SessionContext,
+    ) -> None:
+        policies = [
+            p
+            for p in self.policies_for("update", table)
+            if p.covers_columns(changed_columns)
+        ]
+        if not any(
+            self._satisfied(p, table, new_row=new_row, old_row=old_row, session=session)
+            for p in policies
+        ):
+            raise UpdateRejectedError(
+                f"update of {table}({', '.join(changed_columns)}) not authorized "
+                f"for user {session.user!r}"
+            )
+
+    def check_delete(self, table: str, row: tuple, session: SessionContext) -> None:
+        policies = self.policies_for("delete", table)
+        if not any(
+            self._satisfied(p, table, new_row=row, old_row=row, session=session)
+            for p in policies
+        ):
+            raise UpdateRejectedError(
+                f"delete from {table} not authorized for user {session.user!r}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _satisfied(
+        self,
+        policy: UpdatePolicy,
+        table: str,
+        new_row: tuple,
+        old_row: Optional[tuple],
+        session: SessionContext,
+    ) -> bool:
+        if policy.predicate is None:
+            return True
+        schema = self.db.catalog.table(table)
+
+        predicate = exprs.substitute_params(
+            policy.predicate, session.param_values()
+        )
+
+        def visit(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.OldColumnRef):
+                if old_row is None:
+                    # old() is meaningless for INSERT: treat as NULL.
+                    return ast.Literal(None)
+                return ast.Literal(old_row[schema.column_index(node.name)])
+            if isinstance(node, ast.ColumnRef):
+                return ast.Literal(new_row[schema.column_index(node.name)])
+            return None
+
+        grounded = exprs.transform(predicate, visit)
+        evaluator = Evaluator(RowResolver(()))
+        return evaluator.evaluate(grounded, ()) is True

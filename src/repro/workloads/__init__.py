@@ -1,0 +1,14 @@
+"""Workload generators: the paper's running examples at scale."""
+
+from repro.workloads.university import UniversityConfig, build_university
+from repro.workloads.bank import BankConfig, build_bank
+from repro.workloads.queries import student_query_mix, LabeledQuery
+
+__all__ = [
+    "UniversityConfig",
+    "build_university",
+    "BankConfig",
+    "build_bank",
+    "student_query_mix",
+    "LabeledQuery",
+]

@@ -1,0 +1,106 @@
+"""The bank scenario from the paper's introduction.
+
+Section 1 motivates fine-grained access control with a bank:
+
+* "a customer should be able to query her account balance, and no one
+  else's" — ``MyAccounts`` parameterized view;
+* "a teller should have read access to balances of all accounts but not
+  the addresses of customers" — ``TellerBalances`` projecting the
+  address column away (cell-level authorization);
+* "a teller should be allowed to see the balance of any account by
+  providing the account-id but not the balances of all accounts
+  together" — ``AccountByNumber`` access-pattern view.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db import Database
+
+SCHEMA_SQL = """
+create table Customers(
+    cust_id varchar(10) primary key,
+    name varchar(40) not null,
+    address varchar(80) not null
+);
+create table Accounts(
+    acct_id varchar(12) primary key,
+    cust_id varchar(10) not null,
+    branch varchar(20) not null,
+    balance float not null,
+    foreign key (cust_id) references Customers
+);
+"""
+
+AUTH_VIEWS_SQL = """
+create authorization view MyAccounts as
+    select * from Accounts where cust_id = $user_id;
+create authorization view MyCustomerRecord as
+    select * from Customers where cust_id = $user_id;
+create authorization view TellerBalances as
+    select Accounts.acct_id, Accounts.branch, Accounts.balance,
+           Customers.cust_id, Customers.name
+    from Accounts, Customers
+    where Accounts.cust_id = Customers.cust_id;
+create authorization view AccountByNumber as
+    select * from Accounts where acct_id = $$1;
+create authorization view BranchTotals as
+    select branch, sum(balance) as total_balance, count(*) as num_accounts
+    from Accounts group by branch;
+"""
+
+_BRANCHES = ["Downtown", "Uptown", "Airport", "Harbor", "Campus"]
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    customers: int = 50
+    accounts_per_customer: int = 2
+    seed: int = 7
+
+
+def build_bank(config: BankConfig = BankConfig()) -> Database:
+    """Create and populate the bank database with its views deployed.
+
+    Grants: ``MyAccounts``/``MyCustomerRecord`` to PUBLIC (each session
+    only sees its own rows via ``$user_id``); teller views are granted
+    explicitly by callers, e.g. ``db.grant("TellerBalances", "teller1")``.
+    """
+    rng = random.Random(config.seed)
+    db = Database()
+    db.execute_script(SCHEMA_SQL)
+    account_serial = 0
+    for i in range(config.customers):
+        cust_id = f"C{100 + i}"
+        name = f"Customer {i}"
+        address = f"{rng.randint(1, 999)} Main St, Apt {rng.randint(1, 40)}"
+        db.execute(
+            f"insert into Customers values ('{cust_id}', '{name}', '{address}')"
+        )
+        for _ in range(config.accounts_per_customer):
+            account_serial += 1
+            acct_id = f"A{10000 + account_serial}"
+            branch = rng.choice(_BRANCHES)
+            balance = round(rng.uniform(10.0, 50000.0), 2)
+            db.execute(
+                "insert into Accounts values "
+                f"('{acct_id}', '{cust_id}', '{branch}', {balance})"
+            )
+    db.execute_script(AUTH_VIEWS_SQL)
+    db.grant_public("MyAccounts")
+    db.grant_public("MyCustomerRecord")
+    return db
+
+
+def grant_teller(db: Database, teller_user: str) -> None:
+    """Grant the teller-facing views to one teller principal."""
+    db.grant("TellerBalances", teller_user)
+    db.grant("AccountByNumber", teller_user)
+    db.grant("BranchTotals", teller_user)
+
+
+def account_ids(db: Database) -> list[str]:
+    result = db.execute("select acct_id from Accounts order by acct_id")
+    return [row[0] for row in result.rows]

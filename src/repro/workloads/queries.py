@@ -1,0 +1,149 @@
+"""Query workloads over the university schema.
+
+``student_query_mix`` generates the query mix a student-portal
+application would issue, labeled with the *intended* semantics:
+
+* ``authorized`` — answerable from the student's authorization views
+  (the Non-Truman model should accept, and the Truman model happens to
+  return correct results);
+* ``misleading`` — queries whose Truman-modified version silently
+  returns wrong answers (the §3.3 pitfalls); the Non-Truman model
+  rejects them instead;
+* ``unauthorized`` — queries touching data no view covers.
+
+Experiments E6 (misleading-answer rates) and E7 (rule-tier coverage)
+consume these labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db import Database
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    sql: str
+    label: str  # "authorized" | "misleading" | "unauthorized"
+    #: which rule tier is needed to accept it: "U2" | "U3" | "C3" | None
+    tier: Optional[str] = "U2"
+
+    def __str__(self) -> str:
+        return f"[{self.label}/{self.tier}] {self.sql}"
+
+
+def student_query_mix(
+    db: Database,
+    user_id: str,
+    count: int = 50,
+    seed: int = 0,
+) -> list[LabeledQuery]:
+    """A deterministic mix of student-portal queries for ``user_id``."""
+    rng = random.Random(seed)
+    my_courses = [
+        row[0]
+        for row in db.execute(
+            f"select course_id from Registered where student_id = '{user_id}' "
+            "order by course_id"
+        ).rows
+    ]
+    all_courses = [
+        row[0]
+        for row in db.execute("select course_id from Courses order by course_id").rows
+    ]
+    other_students = [
+        row[0]
+        for row in db.execute(
+            f"select student_id from Students where student_id <> '{user_id}' "
+            "order by student_id"
+        ).rows
+    ]
+
+    generators = [
+        # -- authorized -------------------------------------------------
+        lambda: LabeledQuery(
+            f"select * from Grades where student_id = '{user_id}'",
+            "authorized",
+            "U2",
+        ),
+        lambda: LabeledQuery(
+            f"select course_id, grade from Grades where student_id = '{user_id}' "
+            "and grade >= 3.0",
+            "authorized",
+            "U2",
+        ),
+        lambda: LabeledQuery(
+            f"select avg(grade) from Grades where student_id = '{user_id}'",
+            "authorized",
+            "U2",
+        ),
+        lambda: LabeledQuery(
+            f"select avg(grade) from Grades where course_id = "
+            f"'{rng.choice(all_courses)}'",
+            "authorized",
+            "C3",
+        ),
+        lambda: LabeledQuery(
+            "select distinct name, type from Students",
+            "authorized",
+            "U3",
+        ),
+        lambda: LabeledQuery(
+            "select distinct name from Students where Students.type = 'FullTime'",
+            "authorized",
+            "U3",
+        ),
+        lambda: LabeledQuery(
+            f"select * from Grades where course_id = "
+            f"'{rng.choice(my_courses) if my_courses else all_courses[0]}'",
+            "authorized",
+            "C3",
+        ),
+        lambda: LabeledQuery(
+            "select * from Courses",
+            "authorized",
+            "U2",
+        ),
+        # re-aggregation: the total grade count is derivable by summing
+        # AvgGrades' per-course counts (path C of the matcher), so the
+        # Non-Truman model rightly accepts it — while the Truman model
+        # still mis-answers it over the restricted view.
+        lambda: LabeledQuery(
+            "select count(*) from Grades",
+            "authorized",
+            "U2",
+        ),
+        # -- misleading under Truman ------------------------------------------
+        lambda: LabeledQuery(
+            "select avg(grade) from Grades",
+            "misleading",
+            None,
+        ),
+        lambda: LabeledQuery(
+            "select sum(grade) from Grades",
+            "misleading",
+            None,
+        ),
+        lambda: LabeledQuery(
+            "select max(grade) from Grades",
+            "misleading",
+            None,
+        ),
+        # -- unauthorized ---------------------------------------------------
+        lambda: LabeledQuery(
+            f"select * from Grades where student_id = "
+            f"'{rng.choice(other_students)}'",
+            "unauthorized",
+            None,
+        ),
+        lambda: LabeledQuery(
+            "select student_id, grade from Grades where grade < 2.0",
+            "unauthorized",
+            None,
+        ),
+    ]
+
+    return [rng.choice(generators)() for _ in range(count)]

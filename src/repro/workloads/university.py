@@ -1,0 +1,200 @@
+"""The university schema of paper Section 2, with a scalable generator.
+
+Tables: ``Students(student_id, name, type)``, ``Courses(course_id,
+name)``, ``Registered(student_id, course_id)``, ``Grades(student_id,
+course_id, grade)`` — plus ``FeesPaid(student_id)`` from Example 5.4.
+
+``build_university`` creates the schema, loads deterministic synthetic
+data (seeded), declares the paper's integrity constraints, and deploys
+the paper's authorization views.  The generated data *satisfies* the
+declared total-participation constraints (every student registers for
+at least one course; every fee-payer is registered), which tests verify
+via :meth:`repro.db.Database.validate_participations`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db import Database
+from repro.catalog.constraints import TotalParticipation
+from repro.sql.parser import Parser
+
+SCHEMA_SQL = """
+create table Students(
+    student_id varchar(10) primary key,
+    name varchar(40) not null,
+    type varchar(10) not null
+);
+create table Courses(
+    course_id varchar(10) primary key,
+    name varchar(60) not null
+);
+create table Registered(
+    student_id varchar(10),
+    course_id varchar(10),
+    primary key (student_id, course_id),
+    foreign key (student_id) references Students,
+    foreign key (course_id) references Courses
+);
+create table Grades(
+    student_id varchar(10),
+    course_id varchar(10),
+    grade float,
+    primary key (student_id, course_id),
+    foreign key (student_id) references Students,
+    foreign key (course_id) references Courses
+);
+create table FeesPaid(
+    student_id varchar(10) primary key,
+    foreign key (student_id) references Students
+);
+"""
+
+#: the paper's authorization views (Sections 1, 2, 4 and 6)
+AUTH_VIEWS_SQL = """
+create authorization view MyGrades as
+    select * from Grades where student_id = $user_id;
+create authorization view MyRegistrations as
+    select * from Registered where student_id = $user_id;
+create authorization view CoStudentGrades as
+    select Grades.student_id, Grades.course_id, Grades.grade
+    from Grades, Registered
+    where Registered.student_id = $user_id
+      and Grades.course_id = Registered.course_id;
+create authorization view AvgGrades as
+    select course_id, avg(grade) as avg_grade, count(*) as num_grades
+    from Grades group by course_id;
+create authorization view RegStudents as
+    select Registered.course_id, Students.student_id, Students.name, Students.type
+    from Registered, Students
+    where Students.student_id = Registered.student_id;
+create authorization view SingleGrade as
+    select * from Grades where student_id = $$1;
+create authorization view AllCourses as
+    select * from Courses;
+"""
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Ken", "Lena", "Mallory", "Niaj", "Olivia", "Peggy",
+    "Quentin", "Rita", "Sybil", "Trent", "Uma", "Victor", "Wendy", "Xu",
+    "Yara", "Zane",
+]
+
+_SUBJECTS = [
+    "Intro Programming", "Data Structures", "Databases", "Operating Systems",
+    "Networks", "Compilers", "Algorithms", "Machine Learning", "Graphics",
+    "Security", "Distributed Systems", "Theory of Computation",
+]
+
+
+@dataclass(frozen=True)
+class UniversityConfig:
+    students: int = 100
+    courses: int = 12
+    registrations_per_student: int = 3
+    grade_fraction: float = 0.8  # fraction of registrations with grades
+    fees_fraction: float = 0.6
+    fulltime_fraction: float = 0.7
+    seed: int = 42
+
+
+def build_university(
+    config: UniversityConfig = UniversityConfig(),
+    deploy_views: bool = True,
+    grant_views_public: bool = True,
+    declare_constraints: bool = True,
+) -> Database:
+    """Create and populate a university database."""
+    rng = random.Random(config.seed)
+    db = Database()
+    db.execute_script(SCHEMA_SQL)
+
+    course_ids = [f"CS{100 + i}" for i in range(config.courses)]
+    for i, course_id in enumerate(course_ids):
+        name = _SUBJECTS[i % len(_SUBJECTS)]
+        db.execute(
+            f"insert into Courses values ('{course_id}', '{name} {i // len(_SUBJECTS) + 1}')"
+        )
+
+    for i in range(config.students):
+        student_id = str(10 + i)
+        name = _FIRST_NAMES[i % len(_FIRST_NAMES)]
+        kind = "FullTime" if rng.random() < config.fulltime_fraction else "PartTime"
+        db.execute(
+            f"insert into Students values ('{student_id}', '{name}', '{kind}')"
+        )
+        # Every student registers for at least one course (Example 5.1's
+        # integrity constraint holds by construction).
+        count = max(1, min(config.registrations_per_student, len(course_ids)))
+        chosen = rng.sample(course_ids, count)
+        for course_id in chosen:
+            db.execute(
+                f"insert into Registered values ('{student_id}', '{course_id}')"
+            )
+            if rng.random() < config.grade_fraction:
+                grade = round(rng.uniform(1.0, 4.0), 1)
+                db.execute(
+                    "insert into Grades values "
+                    f"('{student_id}', '{course_id}', {grade})"
+                )
+        if rng.random() < config.fees_fraction:
+            db.execute(f"insert into FeesPaid values ('{student_id}')")
+
+    if declare_constraints:
+        declare_university_constraints(db)
+    if deploy_views:
+        db.execute_script(AUTH_VIEWS_SQL)
+        if grant_views_public:
+            for view in db.catalog.views():
+                if not view.authorization:
+                    continue
+                if view.name == "SingleGrade":
+                    # The access-pattern view is the *secretary's*
+                    # authorization (Section 2) — granting it publicly
+                    # would let every student look up any classmate by id.
+                    db.grant(view.name, to_user="secretary")
+                else:
+                    db.grant_public(view.name)
+    return db
+
+
+def declare_university_constraints(db: Database) -> None:
+    """The paper's non-FK integrity constraints (Examples 5.1, 5.3, 5.4)."""
+    db.add_participation_constraint(
+        TotalParticipation(
+            core_table="Students",
+            remainder_table="Registered",
+            join_pairs=(("student_id", "student_id"),),
+            name="every_student_registered",
+        )
+    )
+    db.add_participation_constraint(
+        TotalParticipation(
+            core_table="Students",
+            remainder_table="Registered",
+            join_pairs=(("student_id", "student_id"),),
+            core_pred=Parser("type = 'FullTime'").parse_expr(),
+            name="fulltime_students_registered",
+        )
+    )
+    db.add_participation_constraint(
+        TotalParticipation(
+            core_table="FeesPaid",
+            remainder_table="Registered",
+            join_pairs=(("student_id", "student_id"),),
+            name="feespaid_registered",
+        )
+    )
+
+
+def student_ids(db: Database) -> list[str]:
+    result = db.execute("select student_id from Students order by student_id")
+    return [row[0] for row in result.rows]
+
+
+def course_ids(db: Database) -> list[str]:
+    result = db.execute("select course_id from Courses order by course_id")
+    return [row[0] for row in result.rows]

@@ -1,0 +1,61 @@
+"""Shared fixtures: small hand-built databases and the paper workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.workloads.bank import BankConfig, build_bank
+from repro.workloads.university import UniversityConfig, build_university
+
+#: the running-example schema of paper Section 2 (plus FeesPaid, Ex. 5.4)
+UNIVERSITY_SCHEMA = """
+create table Students(student_id varchar(10) primary key,
+    name varchar(40) not null, type varchar(10));
+create table Courses(course_id varchar(10) primary key, name varchar(40));
+create table Registered(student_id varchar(10), course_id varchar(10),
+    primary key (student_id, course_id),
+    foreign key (student_id) references Students,
+    foreign key (course_id) references Courses);
+create table Grades(student_id varchar(10), course_id varchar(10), grade float,
+    primary key (student_id, course_id),
+    foreign key (student_id) references Students,
+    foreign key (course_id) references Courses);
+create table FeesPaid(student_id varchar(10) primary key,
+    foreign key (student_id) references Students);
+"""
+
+UNIVERSITY_DATA = """
+insert into Students values
+    ('11','Alice','FullTime'), ('12','Bob','PartTime'),
+    ('13','Carol','FullTime'), ('14','Dave','FullTime');
+insert into Courses values
+    ('CS101','Intro'), ('CS102','Data Structures'), ('CS103','Algorithms');
+insert into Registered values
+    ('11','CS101'), ('12','CS101'), ('13','CS102'),
+    ('11','CS102'), ('14','CS103');
+insert into Grades values
+    ('11','CS101',3.5), ('12','CS101',2.5),
+    ('11','CS102',4.0), ('13','CS102',3.0);
+insert into FeesPaid values ('11'), ('13');
+"""
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    """The hand-sized Section 2 schema with a few rows, no views."""
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    db.execute_script(UNIVERSITY_DATA)
+    return db
+
+
+@pytest.fixture
+def university_db() -> Database:
+    """Generated university workload (100 students, views deployed)."""
+    return build_university(UniversityConfig(students=60, courses=8, seed=3))
+
+
+@pytest.fixture
+def bank_db() -> Database:
+    return build_bank(BankConfig(customers=30, seed=5))

@@ -1,0 +1,140 @@
+"""The bank scenario from the paper's introduction (Section 1), tested
+end-to-end against the Non-Truman model."""
+
+import pytest
+
+from repro.errors import QueryRejectedError
+from repro.workloads.bank import account_ids, build_bank, grant_teller
+
+
+@pytest.fixture(scope="module")
+def bank():
+    db = build_bank()
+    grant_teller(db, "teller1")
+    return db
+
+
+class TestCustomer:
+    """'A customer should be able to query her account balance, and no
+    one else's balance.'"""
+
+    def test_sees_own_balance(self, bank):
+        conn = bank.connect(user_id="C100", mode="non-truman")
+        result = conn.query(
+            "select acct_id, balance from Accounts where cust_id = 'C100'"
+        )
+        assert len(result) == 2
+
+    def test_cannot_see_other_balance(self, bank):
+        conn = bank.connect(user_id="C100", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select balance from Accounts where cust_id = 'C101'")
+
+    def test_cannot_scan_all_accounts(self, bank):
+        conn = bank.connect(user_id="C100", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select balance from Accounts")
+
+    def test_sees_own_customer_record(self, bank):
+        conn = bank.connect(user_id="C100", mode="non-truman")
+        result = conn.query(
+            "select name, address from Customers where cust_id = 'C100'"
+        )
+        assert len(result) == 1
+
+
+class TestTeller:
+    """'A teller should have read access to balances of all accounts but
+    not the addresses of customers corresponding to these balances.'"""
+
+    def test_sees_all_balances(self, bank):
+        conn = bank.connect(user_id="teller1", mode="non-truman")
+        result = conn.query("select acct_id, balance from Accounts")
+        assert len(result) == 100
+
+    def test_balances_with_customer_names(self, bank):
+        conn = bank.connect(user_id="teller1", mode="non-truman")
+        result = conn.query(
+            "select a.balance, c.name from Accounts a, Customers c "
+            "where a.cust_id = c.cust_id"
+        )
+        assert len(result) == 100
+
+    def test_cannot_see_addresses(self, bank):
+        """Cell-level authorization: the address column is projected
+        away by TellerBalances, so queries touching it are rejected."""
+        conn = bank.connect(user_id="teller1", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select address from Customers")
+        with pytest.raises(QueryRejectedError):
+            conn.query(
+                "select a.balance, c.address from Accounts a, Customers c "
+                "where a.cust_id = c.cust_id"
+            )
+
+    def test_branch_totals_via_aggregate_view(self, bank):
+        conn = bank.connect(user_id="teller1", mode="non-truman")
+        decision = conn.check_validity(
+            "select branch, sum(balance) from Accounts group by branch"
+        )
+        assert decision.valid, decision.describe()
+        result = conn.query(
+            "select branch, sum(balance) from Accounts group by branch"
+        )
+        truth = bank.execute(
+            "select branch, sum(balance) from Accounts group by branch"
+        )
+        assert sorted(result.rows) == sorted(truth.rows)
+
+
+class TestAccountByNumberAccessPattern:
+    """'A teller should be allowed to see the balance of any account by
+    providing the account-id but not the balances of all accounts
+    together' — for a teller holding ONLY the access-pattern view."""
+
+    @pytest.fixture()
+    def restricted(self):
+        db = build_bank()
+        db.grant("AccountByNumber", "teller2")
+        return db
+
+    def test_specific_account_ok(self, restricted):
+        acct = account_ids(restricted)[0]
+        conn = restricted.connect(user_id="teller2", mode="non-truman")
+        result = conn.query(
+            f"select balance from Accounts where acct_id = '{acct}'"
+        )
+        assert len(result) == 1
+
+    def test_full_scan_rejected(self, restricted):
+        conn = restricted.connect(user_id="teller2", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select balance from Accounts")
+
+    def test_aggregate_over_all_rejected(self, restricted):
+        conn = restricted.connect(user_id="teller2", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select sum(balance) from Accounts")
+
+
+class TestIsolationBetweenPrincipals:
+    def test_customer_lacks_teller_views(self, bank):
+        conn = bank.connect(user_id="C105", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select branch, sum(balance) from Accounts group by branch")
+
+    def test_same_query_different_users_different_outcome(self, bank):
+        sql = "select balance from Accounts where cust_id = 'C100'"
+        owner = bank.connect(user_id="C100", mode="non-truman")
+        other = bank.connect(user_id="C101", mode="non-truman")
+        assert len(owner.query(sql)) == 2
+        with pytest.raises(QueryRejectedError):
+            other.query(sql)
+
+    def test_teller_account_lookup_is_unconditional(self, bank):
+        acct = account_ids(bank)[3]
+        conn = bank.connect(user_id="teller1", mode="non-truman")
+        decision = conn.check_validity(
+            f"select balance from Accounts where acct_id = '{acct}'"
+        )
+        assert decision.unconditional

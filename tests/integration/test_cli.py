@@ -1,0 +1,134 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, build_database
+from repro.db import Database
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+def run_shell(db, script: str) -> str:
+    out = io.StringIO()
+    shell = Shell(db, out=out)
+    shell.run(io.StringIO(script))
+    return out.getvalue()
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(UNIVERSITY_SCHEMA)
+    database.execute_script(UNIVERSITY_DATA)
+    database.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    database.grant_public("MyGrades")
+    return database
+
+
+class TestMetaCommands:
+    def test_user_switch_and_query(self, db):
+        output = run_shell(db, "\\user 11\nselect grade from Grades where student_id = '11';\n")
+        assert "connected as '11'" in output
+        assert "2 row(s)" in output
+
+    def test_mode_switch(self, db):
+        output = run_shell(db, "\\mode open\nselect count(*) from Grades;\n")
+        assert "access-control mode: open" in output
+        assert "4" in output
+
+    def test_invalid_mode(self, db):
+        output = run_shell(db, "\\mode bogus\n")
+        assert "modes:" in output
+
+    def test_views_listing_marks_availability(self, db):
+        output = run_shell(db, "\\user 11\n\\views\n")
+        assert "* MyGrades" in output
+
+    def test_check_prints_trace_and_witness(self, db):
+        output = run_shell(
+            db, "\\user 11\n\\check select grade from Grades where student_id = '11'\n"
+        )
+        assert "unconditional" in output
+        assert "witness plan" in output
+        assert "ViewRel(MyGrades" in output
+
+    def test_check_invalid_query(self, db):
+        output = run_shell(db, "\\user 11\n\\check select * from Grades\n")
+        assert "invalid" in output
+
+    def test_explain(self, db):
+        output = run_shell(db, "\\mode open\n\\explain select grade from Grades\n")
+        assert "Project" in output and "Rel(Grades" in output
+
+    def test_grant(self, db):
+        db.execute(
+            "create authorization view V2 as select * from Courses"
+        )
+        output = run_shell(db, "\\grant V2 public\n")
+        assert "granted V2 to public" in output
+        assert db.grants.is_granted("V2", "anyone")
+
+    def test_tables(self, db):
+        output = run_shell(db, "\\tables\n")
+        assert "Students" in output and "Grades" in output
+
+    def test_help_and_quit(self, db):
+        output = run_shell(db, "\\help\n\\quit\nselect 1;\n")
+        assert "meta-commands" in output.lower() or "\\mode" in output
+        # nothing executed after \quit
+        assert "col1" not in output
+
+    def test_unknown_meta(self, db):
+        output = run_shell(db, "\\frobnicate\n")
+        assert "unknown meta-command" in output
+
+
+class TestSqlExecution:
+    def test_multiline_statement(self, db):
+        output = run_shell(
+            db, "\\mode open\nselect count(*)\nfrom Grades\nwhere grade > 3;\n"
+        )
+        assert "2" in output
+
+    def test_rejection_surfaces_as_error(self, db):
+        output = run_shell(db, "\\user 11\nselect * from Grades;\n")
+        assert "error:" in output and "rejected" in output
+
+    def test_dml_row_count(self, db):
+        output = run_shell(
+            db,
+            "\\mode open\ninsert into Students values ('99','Zed','PartTime');\n",
+        )
+        assert "1 row(s) affected" in output
+
+    def test_parse_error_reported(self, db):
+        output = run_shell(db, "selekt nonsense;\n")
+        assert "error:" in output
+
+    def test_motro_annotations_shown(self, db):
+        output = run_shell(
+            db, "\\user 11\n\\mode motro\nselect grade from Grades;\n"
+        )
+        assert "note:" in output and "student_id = '11'" in output
+
+
+class TestBuildDatabase:
+    def test_university_workload(self):
+        db = build_database("university", None)
+        assert db.catalog.has_table("Students")
+
+    def test_bank_workload(self):
+        db = build_database("bank", None)
+        assert db.catalog.has_table("Accounts")
+        assert db.grants.is_granted("TellerBalances", "teller")
+
+    def test_script_loading(self, tmp_path):
+        script = tmp_path / "schema.sql"
+        script.write_text("create table T(a int primary key); insert into T values (1);")
+        db = build_database(None, str(script))
+        assert db.execute("select count(*) from T").scalar() == 1

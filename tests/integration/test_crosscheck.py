@@ -1,0 +1,107 @@
+"""Cross-check the two validity-checker backends.
+
+The repository deliberately implements the basic inference rules twice:
+
+* the block matcher (:mod:`repro.nontruman.matching`) — the full engine;
+* the AND-OR DAG marking of §5.6.2 (:mod:`repro.optimizer.marking`).
+
+On the fragment the DAG backend covers (exact/subsumed SPJ rewritings
+with the basic rules), the two must agree; the DAG backend must never
+accept what the block matcher rejects (it implements a *subset* of the
+rules).
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.sql import parse_query
+from repro.algebra.translate import Translator
+from repro.authviews.views import AuthorizationView
+from repro.nontruman.checker import ValidityChecker
+from repro.optimizer import VolcanoOptimizer
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(UNIVERSITY_SCHEMA)
+    database.execute_script(UNIVERSITY_DATA)
+    database.execute_script(
+        """
+        create authorization view MyGrades as
+            select * from Grades where student_id = $user_id;
+        create authorization view MyRegistrations as
+            select * from Registered where student_id = $user_id;
+        create authorization view AllCourses as
+            select * from Courses;
+        """
+    )
+    for name in ("MyGrades", "MyRegistrations", "AllCourses"):
+        database.grant_public(name)
+    return database
+
+
+def dag_check(db, session, sql) -> bool:
+    query_plan = db.plan_query(parse_query(sql), session)
+    view_plans = []
+    for view_def in db.catalog.views():
+        if not view_def.authorization:
+            continue
+        instantiated = AuthorizationView.from_def(view_def).instantiate(session)
+        view_plans.append(Translator(db.catalog).translate(instantiated.query))
+    optimizer = VolcanoOptimizer(lambda t: db.table(t).row_count)
+    return optimizer.check_validity(query_plan, view_plans).valid
+
+
+def block_check(db, session, sql) -> bool:
+    return ValidityChecker(db).check(parse_query(sql), session).valid
+
+
+#: (sql, expected_by_block_matcher, expected_by_dag)
+CASES = [
+    # exact view matches: both backends accept
+    ("select * from Grades where student_id = '11'", True, True),
+    ("select * from Courses", True, True),
+    # projections/selections over a view: both accept
+    ("select grade from Grades where student_id = '11'", True, True),
+    ("select course_id from Grades where student_id = '11' and grade > 3", True, True),
+    # joins of two covered tables: both accept
+    (
+        "select g.grade, c.name from Grades g, Courses c "
+        "where g.student_id = '11' and g.course_id = c.course_id",
+        True,
+        True,
+    ),
+    # clearly unauthorized: both reject
+    ("select * from Grades", False, False),
+    ("select * from Grades where student_id = '12'", False, False),
+    ("select * from Students", False, False),
+    # aggregation over a valid input: both accept (rule U2 — the
+    # aggregate operation node's child equivalence node is valid)
+    ("select avg(grade) from Grades where student_id = '11'", True, True),
+]
+
+
+@pytest.mark.parametrize("sql,block_expected,dag_expected", CASES)
+def test_backends_agree(db, sql, block_expected, dag_expected):
+    session = db.connect(user_id="11").session
+    assert block_check(db, session, sql) is block_expected, f"block: {sql}"
+    assert dag_check(db, session, sql) is dag_expected, f"dag: {sql}"
+
+
+def test_dag_never_accepts_what_block_rejects(db):
+    """Safety direction of the cross-check, over a query battery."""
+    session = db.connect(user_id="11").session
+    battery = [sql for sql, _, _ in CASES] + [
+        "select student_id from Grades where grade > 3.9",
+        "select name from Students where student_id = '11'",
+        "select course_id from Registered where student_id = '11'",
+        "select g.grade from Grades g where g.student_id = '11' and g.course_id = 'CS101'",
+    ]
+    for sql in battery:
+        if dag_check(db, session, sql):
+            assert block_check(db, session, sql), (
+                f"DAG accepted but block matcher rejected: {sql}"
+            )

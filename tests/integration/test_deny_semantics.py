@@ -1,0 +1,117 @@
+"""Deny-semantics via negation views (paper §7).
+
+"Most access control list based models support a 'deny-semantics'.
+It is straightforward to create authorization views with negation
+conditions to implement (and generalize) deny-lists.  However,
+equivalence testing may be a bit more complicated under this setting."
+
+These tests exercise views whose predicates EXCLUDE rows (NOT IN,
+<>, NOT LIKE) and confirm the inference engine handles the equivalence
+reasoning the paper anticipates as "a bit more complicated"."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryRejectedError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        create table Documents(doc_id int primary key,
+            title varchar(30) not null, classification varchar(12) not null);
+        insert into Documents values
+            (1, 'cafeteria menu', 'public'),
+            (2, 'org chart', 'internal'),
+            (3, 'roadmap', 'internal'),
+            (4, 'merger plan', 'secret'),
+            (5, 'key escrow', 'topsecret');
+        create authorization view NonSecretDocs as
+            select * from Documents
+            where classification not in ('secret', 'topsecret');
+        create authorization view NotTopSecret as
+            select * from Documents where classification <> 'topsecret';
+        """
+    )
+    database.grant_public("NonSecretDocs")
+    database.grant("NotTopSecret", to_user="manager")
+    return database
+
+
+class TestDenyListViews:
+    def test_deny_view_query_matches(self, db):
+        conn = db.connect(user_id="staff", mode="non-truman")
+        sql = (
+            "select title from Documents "
+            "where classification not in ('secret', 'topsecret')"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.unconditional, decision.describe()
+        result = conn.query(sql)
+        assert sorted(result.column("title")) == [
+            "cafeteria menu", "org chart", "roadmap",
+        ]
+
+    def test_stronger_exclusion_accepted(self, db):
+        """Excluding MORE than the deny list does is a valid refinement."""
+        conn = db.connect(user_id="staff", mode="non-truman")
+        sql = (
+            "select title from Documents "
+            "where classification not in ('secret', 'topsecret', 'internal')"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.valid, decision.describe()
+        assert conn.query(sql).column("title") == ["cafeteria menu"]
+
+    def test_positive_selection_inside_allowed_region(self, db):
+        conn = db.connect(user_id="staff", mode="non-truman")
+        sql = "select title from Documents where classification = 'public'"
+        decision = conn.check_validity(sql)
+        assert decision.valid, decision.describe()
+
+    def test_denied_region_rejected(self, db):
+        conn = db.connect(user_id="staff", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query(
+                "select title from Documents where classification = 'secret'"
+            )
+
+    def test_full_scan_rejected(self, db):
+        conn = db.connect(user_id="staff", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select title from Documents")
+
+    def test_weaker_deny_list_view_does_not_cover_stronger_need(self, db):
+        """The manager's view excludes only topsecret; a query excluding
+        only 'secret' still exposes topsecret rows and must be rejected."""
+        conn = db.connect(user_id="manager", mode="non-truman")
+        decision = conn.check_validity(
+            "select title from Documents where classification <> 'secret'"
+        )
+        assert not decision.valid
+
+    def test_manager_sees_wider_region(self, db):
+        conn = db.connect(user_id="manager", mode="non-truman")
+        sql = "select title from Documents where classification <> 'topsecret'"
+        assert len(conn.query(sql)) == 4
+        # and the staff deny-view also works for the manager (both granted)
+        sql2 = (
+            "select title from Documents "
+            "where classification not in ('secret', 'topsecret')"
+        )
+        assert len(conn.query(sql2)) == 3
+
+    def test_range_exclusion_entailment(self, db):
+        """<> chains compose with other predicates through the prover."""
+        conn = db.connect(user_id="manager", mode="non-truman")
+        sql = (
+            "select title from Documents "
+            "where classification <> 'topsecret' and doc_id < 3"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.valid, decision.describe()
+        witness = db.run_plan(decision.witness, conn.session)
+        truth = db.execute(sql)
+        assert sorted(witness.rows) == sorted(truth.rows)

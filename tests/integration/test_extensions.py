@@ -1,0 +1,211 @@
+"""Tests for the implemented future-work extensions:
+
+* overlapping view covers (§5.6.2: "Given the set of views V = {A ⋈ B,
+  B ⋈ C}, it is possible that a query of the form A ⋈ B ⋈ C can be
+  rewritten completely using the views only if we decompose the query
+  as (A ⋈ B) ⋈ (B ⋈ C) ... topic of future work");
+* re-aggregation over finer-grained aggregate views.
+"""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture
+def overlap_db():
+    db = Database()
+    db.execute_script(
+        """
+        create table A(id int primary key, b_id int, x int);
+        create table B(id int primary key, y int);
+        create table C(id int primary key, b_id int, z int);
+        insert into B values (1, 10), (2, 20);
+        insert into A values (1,1,100), (2,1,101), (3,2,102);
+        insert into C values (1,1,200), (2,2,201);
+        create authorization view AB as
+            select A.id as a_id, A.x, B.id as b_id, B.y
+            from A, B where A.b_id = B.id;
+        create authorization view BC as
+            select B.id as b_id, B.y, C.id as c_id, C.z
+            from B, C where C.b_id = B.id;
+        """
+    )
+    db.grant_public("AB")
+    db.grant_public("BC")
+    return db
+
+
+class TestOverlappingCovers:
+    QUERY = (
+        "select A.x, B.y, C.z from A, B, C "
+        "where A.b_id = B.id and C.b_id = B.id"
+    )
+
+    def test_abc_from_ab_and_bc(self, overlap_db):
+        conn = overlap_db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity(self.QUERY)
+        assert decision.unconditional, decision.describe()
+        assert any("overlapping cover" in step.detail for step in decision.trace)
+        truth = overlap_db.execute(self.QUERY)
+        witness = overlap_db.run_plan(decision.witness, conn.session)
+        assert sorted(truth.rows) == sorted(witness.rows)
+
+    def test_duplicates_preserved(self, overlap_db):
+        # two A rows share b_id=1: multiplicities must survive the overlap
+        overlap_db.execute("insert into C values (3, 1, 202)")
+        conn = overlap_db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity(self.QUERY)
+        assert decision.valid
+        truth = overlap_db.execute(self.QUERY)
+        witness = overlap_db.run_plan(decision.witness, conn.session)
+        assert sorted(truth.rows) == sorted(witness.rows)
+
+    def test_requires_key_on_shared_relation(self):
+        db = Database()
+        db.execute_script(
+            """
+            create table A(id int, b_id int);
+            create table B(id int, y int);
+            create table C(id int, b_id int);
+            insert into B values (1, 10);
+            insert into A values (1, 1);
+            insert into C values (1, 1);
+            create authorization view AB as
+                select A.id as a_id, B.id as b_id from A, B where A.b_id = B.id;
+            create authorization view BC as
+                select B.id as b_id2, C.id as c_id from B, C where C.b_id = B.id;
+            """
+        )
+        db.grant_public("AB")
+        db.grant_public("BC")
+        conn = db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity(
+            "select A.id, C.id from A, B, C "
+            "where A.b_id = B.id and C.b_id = B.id"
+        )
+        # B has no key: joining the views could square B's multiplicity
+        assert not decision.valid
+
+    def test_key_must_be_exposed_by_both_views(self, overlap_db):
+        db = Database()
+        db.execute_script(
+            """
+            create table A(id int primary key, b_id int);
+            create table B(id int primary key, y int);
+            create table C(id int primary key, b_id int);
+            insert into B values (1, 10);
+            insert into A values (1, 1);
+            insert into C values (1, 1);
+            create authorization view AB as
+                select A.id as a_id, B.y from A, B where A.b_id = B.id;
+            create authorization view BC as
+                select B.id as b_id, C.id as c_id from B, C where C.b_id = B.id;
+            """
+        )
+        db.grant_public("AB")
+        db.grant_public("BC")
+        conn = db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity(
+            "select A.id, C.id from A, B, C "
+            "where A.b_id = B.id and C.b_id = B.id"
+        )
+        assert not decision.valid  # AB hides B.id -> no joint key
+
+
+@pytest.fixture
+def stats_db():
+    db = Database()
+    db.execute_script(
+        """
+        create table Grades(student_id varchar(10), course_id varchar(10),
+            grade float, primary key (student_id, course_id));
+        insert into Grades values
+            ('11','CS101',3.0), ('12','CS101',4.0), ('11','CS102',2.0),
+            ('13','CS102',null);
+        create authorization view CourseStats as
+            select course_id, sum(grade) as total, count(grade) as graded,
+                   count(*) as entries, min(grade) as lo, max(grade) as hi
+            from Grades group by course_id;
+        """
+    )
+    db.grant_public("CourseStats")
+    return db
+
+
+class TestReaggregation:
+    def check(self, db, sql, expected_validity="unconditional"):
+        conn = db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity(sql)
+        assert decision.valid, decision.describe()
+        truth = db.execute(sql)
+        witness = db.run_plan(decision.witness, conn.session)
+        assert sorted(map(repr, truth.rows)) == sorted(map(repr, witness.rows)), sql
+        return decision
+
+    def test_global_count_star(self, stats_db):
+        decision = self.check(stats_db, "select count(*) from Grades")
+        assert decision.unconditional
+        assert any("re-aggregated" in step.detail for step in decision.trace)
+
+    def test_global_sum(self, stats_db):
+        self.check(stats_db, "select sum(grade) from Grades")
+
+    def test_global_min_max(self, stats_db):
+        self.check(stats_db, "select min(grade), max(grade) from Grades")
+
+    def test_global_avg_from_sum_and_count(self, stats_db):
+        decision = self.check(stats_db, "select avg(grade) from Grades")
+        assert decision.unconditional
+
+    def test_null_grades_handled(self, stats_db):
+        # count(grade) skips the NULL; count(*) includes it — both exact
+        assert stats_db.execute("select count(*) from Grades").scalar() == 4
+        self.check(stats_db, "select count(*) from Grades")
+
+    def test_empty_table_scalar_semantics(self, stats_db):
+        stats_db.execute("delete from Grades")
+        for sql in (
+            "select count(*) from Grades",
+            "select sum(grade) from Grades",
+            "select avg(grade) from Grades",
+        ):
+            self.check(stats_db, sql)
+
+    def test_avg_not_derivable_without_count(self):
+        db = Database()
+        db.execute_script(
+            """
+            create table G(sid varchar(5), cid varchar(5), grade float,
+                primary key (sid, cid));
+            insert into G values ('1','a',3.0);
+            create authorization view OnlyAvg as
+                select cid, avg(grade) as avg_grade from G group by cid;
+            """
+        )
+        db.grant_public("OnlyAvg")
+        conn = db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity("select avg(grade) from G")
+        assert not decision.valid  # avg of avgs would be wrong
+
+    def test_view_with_having_not_reaggregated(self):
+        db = Database()
+        db.execute_script(
+            """
+            create table G(sid varchar(5), cid varchar(5), grade float,
+                primary key (sid, cid));
+            insert into G values ('1','a',3.0), ('2','a',4.0), ('1','b',1.0);
+            create authorization view BigCourses as
+                select cid, count(*) as n from G group by cid having count(*) >= 2;
+            """
+        )
+        db.grant_public("BigCourses")
+        conn = db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity("select count(*) from G")
+        # summing the filtered counts would drop course 'b': must reject
+        assert not decision.valid
+
+    def test_distinct_aggregate_not_reaggregated(self, stats_db):
+        conn = stats_db.connect(user_id="u", mode="non-truman")
+        decision = conn.check_validity("select count(distinct grade) from Grades")
+        assert not decision.valid

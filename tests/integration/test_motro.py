@@ -1,0 +1,133 @@
+"""Motro's annotated-partial-answer model (§7), as a comparison baseline."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import UnsupportedFeatureError
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(UNIVERSITY_SCHEMA)
+    database.execute_script(UNIVERSITY_DATA)
+    database.execute_script(
+        """
+        create authorization view MyGrades as
+            select * from Grades where student_id = $user_id;
+        create authorization view AllCourses as
+            select * from Courses;
+        """
+    )
+    database.grant_public("MyGrades")
+    database.grant_public("AllCourses")
+    return database
+
+
+class TestPartialAnswers:
+    def test_partial_rows_with_annotation(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        result = conn.query("select course_id, grade from Grades")
+        assert len(result) == 2  # only Alice's grades
+        assert result.is_partial
+        assert any("student_id = '11'" in note for note in result.annotations)
+
+    def test_unrestricted_table_annotated_as_full(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        result = conn.query("select * from Courses")
+        assert len(result) == 3
+        assert any("all rows" in note for note in result.annotations)
+
+    def test_unauthorized_table_yields_empty_with_note(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        result = conn.query("select * from Students")
+        assert result.rows == []
+        assert any("no rows" in note for note in result.annotations)
+
+    def test_join_combines_annotations(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        result = conn.query(
+            "select g.grade, c.name from Grades g, Courses c "
+            "where g.course_id = c.course_id"
+        )
+        assert len(result) == 2
+        assert len(result.annotations) == 2
+
+    def test_user_where_clause_composes(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        result = conn.query(
+            "select course_id from Grades where grade >= 3.9"
+        )
+        assert result.column("course_id") == ["CS102"]
+
+    def test_multiple_fragment_views_or_together(self, db):
+        db.execute(
+            "create authorization view TopGrades as "
+            "select * from Grades where grade >= 3.9"
+        )
+        db.grant_public("TopGrades")
+        conn = db.connect(user_id="12", mode="motro")
+        result = conn.query("select student_id, grade from Grades")
+        # Bob's own grade (2.5) plus everyone's >= 3.9 grades
+        assert sorted(result.rows) == [("11", 4.0), ("12", 2.5)]
+        assert any(" OR " in note for note in result.annotations)
+
+    def test_different_users_different_fragments(self, db):
+        carol = db.connect(user_id="13", mode="motro")
+        result = carol.query("select course_id, grade from Grades")
+        assert result.rows == [("CS102", 3.0)]
+
+
+class TestRefusals:
+    """§7: 'set difference and aggregation can turn a partial answer
+    into an incorrect answer' — Motro's model must refuse them."""
+
+    def test_aggregate_refused(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        with pytest.raises(UnsupportedFeatureError):
+            conn.query("select avg(grade) from Grades")
+
+    def test_group_by_refused(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        with pytest.raises(UnsupportedFeatureError):
+            conn.query("select course_id, count(*) from Grades group by course_id")
+
+    def test_set_difference_refused(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        with pytest.raises(UnsupportedFeatureError):
+            conn.query(
+                "select course_id from Courses except "
+                "select course_id from Grades"
+            )
+
+    def test_subquery_refused(self, db):
+        conn = db.connect(user_id="11", mode="motro")
+        with pytest.raises(UnsupportedFeatureError):
+            conn.query(
+                "select * from Courses where course_id in "
+                "(select course_id from Grades)"
+            )
+
+
+class TestThreeModelContrast:
+    """The §3/§4/§7 comparison in one test: silent modification (Truman),
+    annotated modification (Motro), no modification (Non-Truman)."""
+
+    def test_same_query_three_ways(self, db):
+        from repro.errors import QueryRejectedError
+
+        db.set_truman_view("Grades", "MyGrades")
+        sql = "select student_id, grade from Grades"
+        truth = db.execute(sql)
+
+        truman = db.connect(user_id="11", mode="truman").query(sql)
+        assert len(truman) == 2 and len(truth) == 4  # silently partial
+
+        motro = db.connect(user_id="11", mode="motro").query(sql)
+        assert sorted(motro.rows) == sorted(truman.rows)  # same rows...
+        assert motro.is_partial  # ...but it SAYS so
+
+        with pytest.raises(QueryRejectedError):
+            db.connect(user_id="11", mode="non-truman").query(sql)

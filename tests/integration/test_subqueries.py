@@ -1,0 +1,188 @@
+"""Nested subqueries ([NOT] IN / [NOT] EXISTS) — the paper's 'handling
+nested queries' future-work item, implemented as semi/anti joins."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryRejectedError, UnsupportedFeatureError
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(UNIVERSITY_SCHEMA)
+    database.execute_script(UNIVERSITY_DATA)
+    return database
+
+
+class TestExecution:
+    def test_in_subquery(self, db):
+        result = db.execute(
+            "select name from Students where student_id in "
+            "(select student_id from FeesPaid)"
+        )
+        assert sorted(result.column("name")) == ["Alice", "Carol"]
+
+    def test_not_in_subquery(self, db):
+        result = db.execute(
+            "select name from Students where student_id not in "
+            "(select student_id from FeesPaid)"
+        )
+        assert sorted(result.column("name")) == ["Bob", "Dave"]
+
+    def test_not_in_with_null_in_subquery_is_empty(self, db):
+        # NULL member makes NOT IN never TRUE (SQL null-aware semantics)
+        db.execute("create table N(x varchar(10))")
+        db.execute("insert into N values ('11'), (null)")
+        result = db.execute(
+            "select name from Students where student_id not in (select x from N)"
+        )
+        assert result.rows == []
+
+    def test_in_with_null_in_subquery_matches_only_equal(self, db):
+        db.execute("create table N(x varchar(10))")
+        db.execute("insert into N values ('11'), (null)")
+        result = db.execute(
+            "select name from Students where student_id in (select x from N)"
+        )
+        assert result.column("name") == ["Alice"]
+
+    def test_exists(self, db):
+        result = db.execute(
+            "select count(*) from Students where exists "
+            "(select 1 from FeesPaid where student_id = '11')"
+        )
+        assert result.scalar() == 4  # uncorrelated: inner non-empty
+
+    def test_not_exists_empty_inner(self, db):
+        result = db.execute(
+            "select count(*) from Students where not exists "
+            "(select 1 from FeesPaid where student_id = 'nope')"
+        )
+        assert result.scalar() == 4
+
+    def test_in_subquery_with_expression_operand(self, db):
+        result = db.execute(
+            "select course_id from Grades where grade + 1 in "
+            "(select grade from Grades where student_id = '11')"
+        )
+        # grades: 3.5,2.5,4.0,3.0; +1: 4.5,3.5,5.0,4.0; Alice's: {3.5,4.0}
+        assert sorted(result.column("course_id")) == ["CS101", "CS102"]
+
+    def test_combined_with_plain_predicates(self, db):
+        result = db.execute(
+            "select name from Students where type = 'FullTime' and "
+            "student_id in (select student_id from FeesPaid)"
+        )
+        assert sorted(result.column("name")) == ["Alice", "Carol"]
+
+    def test_subquery_under_or_rejected(self, db):
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute(
+                "select name from Students where type = 'x' or "
+                "student_id in (select student_id from FeesPaid)"
+            )
+
+    def test_correlated_subquery_rejected(self, db):
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute(
+                "select name from Students s where s.student_id in "
+                "(select student_id from FeesPaid where student_id = s.student_id)"
+            )
+
+    def test_multi_column_in_subquery_rejected(self, db):
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            db.execute(
+                "select name from Students where student_id in "
+                "(select student_id, course_id from Registered)"
+            )
+
+
+class TestValidity:
+    """Rule U2/C2 over the semijoin: valid iff both sides are valid."""
+
+    @pytest.fixture
+    def secured(self, db):
+        db.execute_script(
+            """
+            create authorization view MyGrades as
+                select * from Grades where student_id = $user_id;
+            create authorization view MyRegistrations as
+                select * from Registered where student_id = $user_id;
+            """
+        )
+        db.grant_public("MyGrades")
+        db.grant_public("MyRegistrations")
+        return db
+
+    def test_both_sides_valid_accepted(self, secured):
+        conn = secured.connect(user_id="11", mode="non-truman")
+        sql = (
+            "select grade from Grades where student_id = '11' and course_id in "
+            "(select course_id from Registered where student_id = '11')"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.unconditional, decision.describe()
+        truth = secured.execute(sql)
+        witness = secured.run_plan(decision.witness, conn.session)
+        assert sorted(truth.rows) == sorted(witness.rows)
+
+    def test_not_in_form(self, secured):
+        conn = secured.connect(user_id="11", mode="non-truman")
+        sql = (
+            "select course_id from Registered where student_id = '11' "
+            "and course_id not in "
+            "(select course_id from Grades where student_id = '11')"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.valid, decision.describe()
+        truth = secured.execute(sql)
+        witness = secured.run_plan(decision.witness, conn.session)
+        assert sorted(truth.rows) == sorted(witness.rows)
+
+    def test_invalid_inner_rejected(self, secured):
+        conn = secured.connect(user_id="11", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query(
+                "select grade from Grades where student_id = '11' and course_id in "
+                "(select course_id from Registered)"  # all registrations: invalid
+            )
+
+    def test_invalid_outer_rejected(self, secured):
+        conn = secured.connect(user_id="11", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query(
+                "select grade from Grades where course_id in "
+                "(select course_id from Registered where student_id = '11')"
+            )
+
+    def test_exists_gate(self, secured):
+        conn = secured.connect(user_id="11", mode="non-truman")
+        sql = (
+            "select course_id from Registered where student_id = '11' "
+            "and exists (select 1 from Grades where student_id = '11' "
+            "and grade >= 3.9)"
+        )
+        decision = conn.check_validity(sql)
+        assert decision.unconditional, decision.describe()
+        truth = secured.execute(sql)
+        witness = secured.run_plan(decision.witness, conn.session)
+        assert sorted(truth.rows) == sorted(witness.rows)
+
+
+class TestParseRender:
+    def test_round_trip(self):
+        from repro.sql import parse_statement, render
+
+        for sql in (
+            "select a from T where b in (select c from U)",
+            "select a from T where b not in (select c from U where d = 1)",
+            "select a from T where exists (select 1 from U)",
+            "select a from T where not exists (select 1 from U)",
+        ):
+            stmt = parse_statement(sql)
+            assert parse_statement(render(stmt)) == stmt

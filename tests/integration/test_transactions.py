@@ -1,0 +1,130 @@
+"""Transaction support (substrate feature): BEGIN / COMMIT / ROLLBACK."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ExecutionError, IntegrityError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        create table T(id int primary key, v varchar(10));
+        insert into T values (1, 'a'), (2, 'b');
+        """
+    )
+    return database
+
+
+class TestBasicTransactions:
+    def test_commit_keeps_changes(self, db):
+        db.execute("begin")
+        db.execute("insert into T values (3, 'c')")
+        db.execute("commit")
+        assert db.execute("select count(*) from T").scalar() == 3
+
+    def test_rollback_undoes_insert(self, db):
+        db.execute("begin")
+        db.execute("insert into T values (3, 'c')")
+        db.execute("rollback")
+        assert db.execute("select count(*) from T").scalar() == 2
+
+    def test_rollback_undoes_delete(self, db):
+        db.execute("begin transaction")
+        db.execute("delete from T where id = 1")
+        assert db.execute("select count(*) from T").scalar() == 1
+        db.execute("rollback transaction")
+        assert sorted(db.execute("select id from T").column("id")) == [1, 2]
+
+    def test_rollback_undoes_update(self, db):
+        db.execute("begin")
+        db.execute("update T set v = 'zzz' where id = 1")
+        db.execute("rollback")
+        assert db.execute("select v from T where id = 1").scalar() == "a"
+
+    def test_rollback_mixed_sequence_in_reverse(self, db):
+        db.execute("begin")
+        db.execute("insert into T values (3, 'c')")
+        db.execute("update T set v = 'B' where id = 2")
+        db.execute("delete from T where id = 1")
+        db.execute("rollback")
+        rows = sorted(db.execute("select id, v from T").rows)
+        assert rows == [(1, "a"), (2, "b")]
+
+    def test_unique_index_restored_after_rollback(self, db):
+        db.execute("begin")
+        db.execute("delete from T where id = 1")
+        db.execute("insert into T values (1, 'replacement')")
+        db.execute("rollback")
+        # original row is back; the replacement is gone; PK still enforced
+        assert db.execute("select v from T where id = 1").scalar() == "a"
+        with pytest.raises(IntegrityError):
+            db.execute("insert into T values (1, 'dup')")
+
+
+class TestTransactionErrors:
+    def test_nested_begin_rejected(self, db):
+        db.execute("begin")
+        with pytest.raises(ExecutionError):
+            db.execute("begin")
+        db.execute("rollback")
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("commit")
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("rollback")
+
+    def test_autocommit_outside_transaction(self, db):
+        db.execute("insert into T values (9, 'x')")
+        assert db.execute("select count(*) from T").scalar() == 3
+
+
+class TestTransactionsAndValidity:
+    def test_rollback_invalidates_conditional_cache(self, db):
+        """A conditional decision made mid-transaction must not survive
+        the rollback of the data it depended on."""
+        db.execute_script(
+            """
+            create table Registered(student_id varchar(5), course_id varchar(6),
+                primary key (student_id, course_id));
+            create table Grades(student_id varchar(5), course_id varchar(6),
+                grade float, primary key (student_id, course_id));
+            insert into Grades values ('11','CS1',3.0), ('12','CS1',4.0);
+            create authorization view CoGrades as
+                select Grades.student_id, Grades.course_id, Grades.grade
+                from Grades, Registered
+                where Registered.student_id = $user_id
+                  and Grades.course_id = Registered.course_id;
+            create authorization view MyRegs as
+                select * from Registered where student_id = $user_id;
+            """
+        )
+        db.grant_public("CoGrades")
+        db.grant_public("MyRegs")
+        from repro.nontruman.checker import ValidityChecker
+        from repro.sql import parse_query
+
+        checker = ValidityChecker(db, use_cache=True)
+        session = db.connect(user_id="11").session
+        query = parse_query("select * from Grades where course_id = 'CS1'")
+
+        db.execute("begin")
+        db.execute("insert into Registered values ('11', 'CS1')")
+        assert checker.check(query, session).conditional
+        db.execute("rollback")
+        refreshed = checker.check(query, session)
+        assert not refreshed.from_cache or not refreshed.valid
+        assert not refreshed.valid
+
+
+def test_round_trip_parse_render():
+    from repro.sql import parse_statement, render
+
+    for sql in ("begin", "commit", "rollback"):
+        stmt = parse_statement(sql)
+        assert parse_statement(render(stmt)) == stmt

@@ -1,0 +1,155 @@
+"""Integration tests for the Truman model and VPD (paper Section 3),
+including the §3.3 pitfalls the Non-Truman model exists to avoid."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryRejectedError
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    db.execute_script(UNIVERSITY_DATA)
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant_public("MyGrades")
+    return db
+
+
+class TestTrumanViewSubstitution:
+    def test_restricted_scan(self):
+        db = fresh_db()
+        db.set_truman_view("Grades", "MyGrades")
+        conn = db.connect(user_id="11", mode="truman")
+        result = conn.query("select * from Grades")
+        assert all(row[0] == "11" for row in result.rows)
+        assert len(result) == 2
+
+    def test_misleading_average(self):
+        """§3.3 pitfall 1: avg(grade) silently becomes the user's own
+        average — reproduced exactly."""
+        db = fresh_db()
+        db.set_truman_view("Grades", "MyGrades")
+        conn = db.connect(user_id="11", mode="truman")
+        truman_avg = conn.query("select avg(grade) from Grades").scalar()
+        true_avg = db.execute("select avg(grade) from Grades").scalar()
+        own_avg = db.execute(
+            "select avg(grade) from Grades where student_id = '11'"
+        ).scalar()
+        assert truman_avg == own_avg == 3.75
+        assert truman_avg != true_avg  # the misleading answer
+
+    def test_nontruman_rejects_the_same_query(self):
+        """§3.3: the Non-Truman model rejects instead of misleading."""
+        db = fresh_db()
+        conn = db.connect(user_id="11", mode="non-truman")
+        with pytest.raises(QueryRejectedError):
+            conn.query("select avg(grade) from Grades")
+
+    def test_joins_still_work_under_substitution(self):
+        db = fresh_db()
+        db.set_truman_view("Grades", "MyGrades")
+        conn = db.connect(user_id="11", mode="truman")
+        result = conn.query(
+            "select c.name, g.grade from Grades g, Courses c "
+            "where g.course_id = c.course_id"
+        )
+        assert len(result) == 2
+
+    def test_redundant_join_introduced(self):
+        """§3.3 pitfall 3: substituting a join view into a query that
+        already performs the same test yields redundant work."""
+        db = fresh_db()
+        db.execute(
+            "create authorization view CoGrades as "
+            "select Grades.student_id, Grades.course_id, Grades.grade "
+            "from Grades, Registered "
+            "where Registered.student_id = $user_id "
+            "and Grades.course_id = Registered.course_id"
+        )
+        db.grant_public("CoGrades")
+        db.set_truman_view("Grades", "CoGrades")
+        conn_open = db.connect(user_id="11", mode="open")
+        conn_truman = db.connect(user_id="11", mode="truman")
+        from repro.truman.rewrite import truman_rewrite
+        from repro.sql import parse_query
+        from repro.algebra import ops
+
+        original = parse_query(
+            "select g.grade from Grades g, Registered r "
+            "where r.student_id = '11' and g.course_id = r.course_id"
+        )
+        rewritten = truman_rewrite(db, original, conn_truman.session)
+        plan_orig = db.plan_query(original, conn_open.session)
+        plan_truman = db.plan_query(rewritten, conn_truman.session)
+        count = lambda p: len(ops.base_relations(p))
+        assert count(plan_truman) > count(plan_orig)  # redundant join
+
+    def test_unpoliced_tables_untouched(self):
+        db = fresh_db()
+        db.set_truman_view("Grades", "MyGrades")
+        conn = db.connect(user_id="11", mode="truman")
+        assert len(conn.query("select * from Students")) == 4
+
+
+class TestVpd:
+    def test_predicate_policy_string(self):
+        db = fresh_db()
+        db.vpd_policies.add_policy("Grades", "student_id = $user_id")
+        conn = db.connect(user_id="12", mode="truman")
+        result = conn.query("select * from Grades")
+        assert [row[0] for row in result.rows] == ["12"]
+
+    def test_policy_function_callable(self):
+        db = fresh_db()
+        from repro.sql.parser import Parser
+
+        def policy(session):
+            if session.user == "dba":
+                return None  # unrestricted
+            return Parser(f"student_id = '{session.user}'").parse_expr()
+
+        db.vpd_policies.add_policy("Grades", policy)
+        student = db.connect(user_id="11", mode="truman")
+        dba = db.connect(user_id="dba", mode="truman")
+        assert len(student.query("select * from Grades")) == 2
+        assert len(dba.query("select * from Grades")) == 4
+
+    def test_policy_applies_inside_joins(self):
+        db = fresh_db()
+        db.vpd_policies.add_policy("Grades", "student_id = $user_id")
+        conn = db.connect(user_id="11", mode="truman")
+        result = conn.query(
+            "select g.grade from Grades g join Courses c "
+            "on g.course_id = c.course_id"
+        )
+        assert len(result) == 2
+
+    def test_policy_applies_in_subqueries(self):
+        db = fresh_db()
+        db.vpd_policies.add_policy("Grades", "student_id = $user_id")
+        conn = db.connect(user_id="11", mode="truman")
+        result = conn.query(
+            "select s.g from (select grade as g from Grades) as s"
+        )
+        assert len(result) == 2
+
+    def test_multiple_policies_conjoined(self):
+        db = fresh_db()
+        db.vpd_policies.add_policy("Grades", "student_id = $user_id")
+        db.vpd_policies.add_policy("Grades", "grade >= 3.6")
+        conn = db.connect(user_id="11", mode="truman")
+        result = conn.query("select * from Grades")
+        assert len(result) == 1  # only the 4.0 in CS102
+
+    def test_misleading_count_under_vpd(self):
+        db = fresh_db()
+        db.vpd_policies.add_policy("Grades", "student_id = $user_id")
+        conn = db.connect(user_id="13", mode="truman")
+        assert conn.query("select count(*) from Grades").scalar() == 1
+        assert db.execute("select count(*) from Grades").scalar() == 4

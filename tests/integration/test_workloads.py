@@ -1,0 +1,94 @@
+"""Integration tests for the workload generators."""
+
+import pytest
+
+from repro.errors import QueryRejectedError
+from repro.workloads import (
+    UniversityConfig,
+    build_university,
+    student_query_mix,
+)
+from repro.workloads.university import course_ids, student_ids
+
+
+class TestUniversityGenerator:
+    def test_determinism(self):
+        a = build_university(UniversityConfig(students=20, seed=1))
+        b = build_university(UniversityConfig(students=20, seed=1))
+        rows_a = sorted(a.execute("select * from Grades").rows)
+        rows_b = sorted(b.execute("select * from Grades").rows)
+        assert rows_a == rows_b
+
+    def test_scaling(self):
+        db = build_university(UniversityConfig(students=35, courses=5))
+        assert db.execute("select count(*) from Students").scalar() == 35
+        assert db.execute("select count(*) from Courses").scalar() == 5
+
+    def test_integrity_constraints_hold(self):
+        db = build_university(UniversityConfig(students=40, seed=9))
+        assert db.validate_participations() == []
+
+    def test_every_student_registered(self):
+        db = build_university(UniversityConfig(students=25, seed=2))
+        unregistered = db.execute(
+            "select count(*) from Students s left join Registered r "
+            "on s.student_id = r.student_id where r.course_id is null"
+        ).scalar()
+        assert unregistered == 0
+
+    def test_views_deployed_and_granted(self):
+        db = build_university(UniversityConfig(students=10))
+        names = {v.name for v in db.catalog.views() if v.authorization}
+        assert {"MyGrades", "CoStudentGrades", "AvgGrades", "SingleGrade"} <= names
+        session = db.connect(user_id="11").session
+        available = {v.name for v in db.available_views(session)}
+        assert "MyGrades" in available
+        assert "SingleGrade" not in available  # secretary-only
+
+    def test_helpers(self):
+        db = build_university(UniversityConfig(students=10, courses=4))
+        assert len(student_ids(db)) == 10
+        assert len(course_ids(db)) == 4
+
+
+class TestQueryMix:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_university(UniversityConfig(students=30, seed=11))
+
+    def test_deterministic(self, db):
+        a = student_query_mix(db, "11", count=25, seed=4)
+        b = student_query_mix(db, "11", count=25, seed=4)
+        assert [q.sql for q in a] == [q.sql for q in b]
+
+    def test_labels_match_nontruman_outcomes(self, db):
+        """The workload's ground-truth labels agree with the checker:
+        authorized ⇔ accepted."""
+        conn = db.connect(user_id="11", mode="non-truman")
+        for query in student_query_mix(db, "11", count=80, seed=5):
+            try:
+                conn.query(query.sql)
+                accepted = True
+            except QueryRejectedError:
+                accepted = False
+            assert accepted == (query.label == "authorized"), str(query)
+
+    def test_misleading_queries_differ_under_truman(self, db):
+        """Each 'misleading' query returns a different answer under the
+        Truman rewrite than the true answer."""
+        db.set_truman_view("Grades", "MyGrades")
+        truman = db.connect(user_id="11", mode="truman")
+        seen_misleading = 0
+        for query in student_query_mix(db, "11", count=80, seed=6):
+            if query.label != "misleading":
+                continue
+            seen_misleading += 1
+            truman_answer = truman.query(query.sql).rows
+            true_answer = db.execute(query.sql).rows
+            assert truman_answer != true_answer, query.sql
+        assert seen_misleading > 0
+        db.truman_policy.clear()
+
+    def test_all_labels_present(self, db):
+        labels = {q.label for q in student_query_mix(db, "11", count=100, seed=7)}
+        assert labels == {"authorized", "misleading", "unauthorized"}

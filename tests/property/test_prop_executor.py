@@ -1,0 +1,145 @@
+"""Property-based algebraic identities of the executor.
+
+Random small databases; classic multiset identities that any correct
+SQL engine satisfies.  These protect the executor that both the
+original queries AND the witness rewritings run on.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+
+VALUES = [0, 1, 2, 3]
+TAGS = ["p", "q", "r"]
+
+
+@st.composite
+def table_rows(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(VALUES),
+                st.sampled_from(TAGS),
+                st.one_of(st.none(), st.sampled_from(VALUES)),
+            ),
+            max_size=8,
+        )
+    )
+
+
+def build(rows_t, rows_u):
+    db = Database()
+    db.execute("create table T(k int, tag varchar(2), v int)")
+    db.execute("create table U(k int, tag varchar(2), v int)")
+    for k, tag, v in rows_t:
+        db.execute(f"insert into T values ({k}, '{tag}', {v if v is not None else 'null'})")
+    for k, tag, v in rows_u:
+        db.execute(f"insert into U values ({k}, '{tag}', {v if v is not None else 'null'})")
+    return db
+
+
+def bag(result):
+    return Counter(result.rows)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows())
+def test_selection_cascades(rows_t):
+    db = build(rows_t, [])
+    combined = db.execute("select * from T where k > 0 and tag = 'p'")
+    nested = db.execute(
+        "select * from (select * from T where k > 0) s where tag = 'p'"
+    )
+    assert bag(combined) == bag(nested)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows(), rows_u=table_rows())
+def test_join_commutative_as_multiset(rows_t, rows_u):
+    db = build(rows_t, rows_u)
+    left = db.execute(
+        "select T.k, U.tag from T, U where T.k = U.k"
+    )
+    right = db.execute(
+        "select T.k, U.tag from U, T where T.k = U.k"
+    )
+    assert bag(left) == bag(right)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows(), rows_u=table_rows())
+def test_union_all_counts_add(rows_t, rows_u):
+    db = build(rows_t, rows_u)
+    union = bag(db.execute("select k from T union all select k from U"))
+    separate = bag(db.execute("select k from T")) + bag(db.execute("select k from U"))
+    assert union == separate
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows())
+def test_distinct_idempotent(rows_t):
+    db = build(rows_t, [])
+    once = db.execute("select distinct k, tag from T")
+    twice = db.execute(
+        "select distinct * from (select distinct k, tag from T) s"
+    )
+    assert bag(once) == bag(twice)
+    assert max(bag(once).values(), default=1) == 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows(), rows_u=table_rows())
+def test_except_intersect_partition(rows_t, rows_u):
+    """|T ∩all U| + |T \\all U| == |T| per distinct row (bag identity)."""
+    db = build(rows_t, rows_u)
+    t = bag(db.execute("select k from T"))
+    inter = bag(db.execute("select k from T intersect all select k from U"))
+    diff = bag(db.execute("select k from T except all select k from U"))
+    assert inter + diff == t
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows())
+def test_count_star_equals_row_count(rows_t):
+    db = build(rows_t, [])
+    assert db.execute("select count(*) from T").scalar() == len(rows_t)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows())
+def test_group_counts_sum_to_total(rows_t):
+    db = build(rows_t, [])
+    groups = db.execute("select tag, count(*) as n from T group by tag")
+    assert sum(r[1] for r in groups.rows) == len(rows_t)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_t=table_rows())
+def test_where_vs_having_on_groups(rows_t):
+    """Filtering groups by key: WHERE before grouping == HAVING after."""
+    db = build(rows_t, [])
+    where = db.execute(
+        "select tag, count(*) from T where tag = 'p' group by tag"
+    )
+    having = db.execute(
+        "select tag, count(*) from T group by tag having tag = 'p'"
+    )
+    assert bag(where) == bag(having)
+
+
+@settings(max_examples=100, deadline=None)
+@given(rows_t=table_rows(), rows_u=table_rows())
+def test_left_join_superset_of_inner(rows_t, rows_u):
+    db = build(rows_t, rows_u)
+    inner = bag(db.execute(
+        "select T.k, T.tag from T join U on T.k = U.k"
+    ))
+    left = bag(db.execute(
+        "select T.k, T.tag from T left join U on T.k = U.k"
+    ))
+    assert all(left[row] >= count for row, count in inner.items())
+    # every T row appears at least once in the left join
+    t_rows = bag(db.execute("select k, tag from T"))
+    assert all(left[row] >= count for row, count in t_rows.items())

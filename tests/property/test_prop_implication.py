@@ -1,0 +1,95 @@
+"""Property-based validation of the implication prover.
+
+Soundness statement under test: if ``implies(P, c)`` then every row
+(total assignment of values to the referenced columns) that satisfies
+all premises also satisfies the conclusion.  We generate random
+premise/conclusion pairs from a small predicate grammar and random
+candidate rows, then cross-check the prover against direct evaluation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.algebra.normalize import normalize_predicate
+from repro.algebra.implication import implies, unsatisfiable
+from repro.algebra.ops import OutCol
+from repro.algebra import expr as exprs
+from repro.engine.evaluator import Evaluator, RowResolver
+
+COLUMNS = [ast.ColumnRef("t", "a"), ast.ColumnRef("t", "b"), ast.ColumnRef("t", "c")]
+VALUES = [0, 1, 2, 3, 5, 10]
+
+
+@st.composite
+def atom(draw):
+    col = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.sampled_from(["cmp", "eq_col", "in", "notnull"]))
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        value = draw(st.sampled_from(VALUES))
+        return ast.BinaryOp(op, col, ast.Literal(value))
+    if kind == "eq_col":
+        other = draw(st.sampled_from(COLUMNS))
+        return ast.BinaryOp("=", col, other)
+    if kind == "in":
+        items = draw(st.lists(st.sampled_from(VALUES), min_size=1, max_size=3))
+        return ast.InList(col, tuple(ast.Literal(v) for v in items))
+    return ast.IsNull(col, negated=True)
+
+
+@st.composite
+def premise_set(draw):
+    atoms = draw(st.lists(atom(), min_size=0, max_size=4))
+    conjunction = exprs.make_conjunction(atoms)
+    return list(normalize_predicate(conjunction)) if conjunction else []
+
+
+def evaluate(predicate, row_values):
+    resolver = RowResolver(tuple(OutCol("t", c.name) for c in COLUMNS))
+    evaluator = Evaluator(resolver)
+    row = tuple(row_values[c.name] for c in COLUMNS)
+    return evaluator.evaluate(predicate, row)
+
+
+@st.composite
+def row(draw):
+    return {
+        c.name: draw(st.sampled_from(VALUES + [None]))  # type: ignore[operator]
+        for c in COLUMNS
+    }
+
+
+@settings(max_examples=400, deadline=None)
+@given(premises=premise_set(), conclusion=atom(), candidate=row())
+def test_implication_sound_against_evaluation(premises, conclusion, candidate):
+    if not implies(premises, conclusion):
+        return
+    # Every row satisfying all premises must satisfy the conclusion.
+    for premise in premises:
+        if evaluate(premise, candidate) is not True:
+            return  # row does not satisfy the premises: no obligation
+    assert evaluate(conclusion, candidate) is True, (
+        f"premises {list(map(str, premises))} imply {conclusion}, "
+        f"but row {candidate} is a counterexample"
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(premises=premise_set(), candidate=row())
+def test_unsatisfiable_has_no_model(premises, candidate):
+    if not unsatisfiable(premises):
+        return
+    satisfied = all(
+        evaluate(premise, candidate) is True for premise in premises
+    )
+    assert not satisfied, (
+        f"'unsatisfiable' premises {list(map(str, premises))} "
+        f"satisfied by {candidate}"
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(premises=premise_set())
+def test_premises_imply_themselves(premises):
+    for premise in premises:
+        assert implies(premises, premise)

@@ -1,0 +1,126 @@
+"""Property tests over the access-control models themselves.
+
+Invariants:
+
+* **Truman containment** — for monotone (SPJ) queries, the
+  Truman-modified answer is a sub-multiset of the true answer (view
+  substitution only ever removes rows);
+* **Motro containment + honesty** — Motro's rows are a sub-multiset of
+  the truth, and whenever rows are missing the result is annotated;
+* **Non-Truman exactness** — accepted queries return exactly the true
+  answer (the model's defining guarantee).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+from repro.errors import QueryRejectedError, UnsupportedFeatureError
+
+STUDENTS = ["11", "12", "13"]
+COURSES = ["CS1", "CS2"]
+
+
+@st.composite
+def grades_state(draw):
+    keys = draw(
+        st.sets(
+            st.tuples(st.sampled_from(STUDENTS), st.sampled_from(COURSES)),
+            max_size=6,
+        )
+    )
+    return {k: draw(st.sampled_from([1.0, 2.0, 3.0, 4.0])) for k in keys}
+
+
+@st.composite
+def spj_query(draw):
+    student = draw(st.sampled_from(STUDENTS + ["99"]))
+    course = draw(st.sampled_from(COURSES + ["CS9"]))
+    bound = draw(st.sampled_from([1.5, 2.5, 3.5]))
+    template = draw(
+        st.sampled_from(
+            [
+                "select * from Grades",
+                "select grade from Grades where student_id = '{s}'",
+                "select student_id from Grades where course_id = '{c}'",
+                "select course_id, grade from Grades where grade >= {b}",
+                "select * from Grades where student_id = '{s}' and grade < {b}",
+            ]
+        )
+    )
+    return template.format(s=student, c=course, b=bound)
+
+
+def build(grades) -> Database:
+    db = Database()
+    db.execute(
+        "create table Grades(student_id varchar(5), course_id varchar(5), "
+        "grade float, primary key (student_id, course_id))"
+    )
+    for (student, course), grade in sorted(grades.items()):
+        db.execute(
+            f"insert into Grades values ('{student}', '{course}', {grade})"
+        )
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant_public("MyGrades")
+    db.set_truman_view("Grades", "MyGrades")
+    return db
+
+
+def contained(small: Counter, big: Counter) -> bool:
+    return all(big[key] >= count for key, count in small.items())
+
+
+@settings(max_examples=80, deadline=None)
+@given(grades=grades_state(), sql=spj_query())
+def test_truman_answers_are_contained_in_truth(grades, sql):
+    db = build(grades)
+    truth = Counter(db.execute(sql).rows)
+    truman = Counter(db.connect(user_id="11", mode="truman").query(sql).rows)
+    assert contained(truman, truth)
+
+
+@settings(max_examples=80, deadline=None)
+@given(grades=grades_state(), sql=spj_query())
+def test_motro_contained_and_annotated(grades, sql):
+    db = build(grades)
+    truth = Counter(db.execute(sql).rows)
+    try:
+        result = db.connect(user_id="11", mode="motro").query(sql)
+    except UnsupportedFeatureError:
+        return
+    rows = Counter(result.rows)
+    assert contained(rows, truth)
+    if rows != truth:
+        assert result.is_partial  # missing rows are never silent
+
+
+@settings(max_examples=80, deadline=None)
+@given(grades=grades_state(), sql=spj_query())
+def test_nontruman_accepted_answers_are_exact(grades, sql):
+    db = build(grades)
+    conn = db.connect(user_id="11", mode="non-truman")
+    try:
+        answer = Counter(conn.query(sql).rows)
+    except QueryRejectedError:
+        return
+    truth = Counter(db.execute(sql).rows)
+    assert answer == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(grades=grades_state(), sql=spj_query())
+def test_truman_and_motro_agree_on_rows(grades, sql):
+    """Both models restrict to the same authorized fragment here, so
+    their row multisets must coincide — Motro just adds the annotation."""
+    db = build(grades)
+    try:
+        motro = Counter(db.connect(user_id="11", mode="motro").query(sql).rows)
+    except UnsupportedFeatureError:
+        return
+    truman = Counter(db.connect(user_id="11", mode="truman").query(sql).rows)
+    assert motro == truman

@@ -1,0 +1,95 @@
+"""Property tests: predicate normalization preserves semantics.
+
+For random predicates P and random rows r, the conjunction of
+``normalize_predicate(P)`` must evaluate to the same 3-valued result as
+P itself (TRUE stays TRUE, FALSE/UNKNOWN keep filtering the row out).
+Since WHERE keeps only TRUE rows, we compare at the keeps/filters level.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast
+from repro.algebra import expr as exprs
+from repro.algebra.normalize import normalize_predicate
+from repro.algebra.ops import OutCol
+from repro.engine.evaluator import Evaluator, RowResolver
+
+COLUMNS = ["a", "b"]
+VALUES = [0, 1, 2, None]
+
+
+@st.composite
+def predicate(draw, depth=2):
+    col = ast.ColumnRef("t", draw(st.sampled_from(COLUMNS)))
+    if depth == 0:
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            return ast.BinaryOp(
+                draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="])),
+                col,
+                ast.Literal(draw(st.sampled_from([0, 1, 2]))),
+            )
+        if choice == 1:
+            return ast.IsNull(col, negated=draw(st.booleans()))
+        if choice == 2:
+            return ast.Between(
+                col,
+                ast.Literal(draw(st.sampled_from([0, 1]))),
+                ast.Literal(draw(st.sampled_from([1, 2]))),
+                negated=draw(st.booleans()),
+            )
+        return ast.InList(
+            col,
+            tuple(
+                ast.Literal(v)
+                for v in draw(st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=3))
+            ),
+            negated=draw(st.booleans()),
+        )
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return ast.BinaryOp(
+            "and", draw(predicate(depth=depth - 1)), draw(predicate(depth=depth - 1))
+        )
+    if choice == 1:
+        return ast.BinaryOp(
+            "or", draw(predicate(depth=depth - 1)), draw(predicate(depth=depth - 1))
+        )
+    if choice == 2:
+        return ast.UnaryOp("not", draw(predicate(depth=depth - 1)))
+    return draw(predicate(depth=0))
+
+
+def keeps(pred_expr, row_values) -> bool:
+    resolver = RowResolver(tuple(OutCol("t", c) for c in COLUMNS))
+    evaluator = Evaluator(resolver)
+    row = tuple(row_values[c] for c in COLUMNS)
+    return evaluator.evaluate(pred_expr, row) is True
+
+
+@st.composite
+def row(draw):
+    return {c: draw(st.sampled_from(VALUES)) for c in COLUMNS}
+
+
+@settings(max_examples=500, deadline=None)
+@given(pred=predicate(), candidate=row())
+def test_normalization_preserves_row_filtering(pred, candidate):
+    conjuncts = normalize_predicate(pred)
+    rebuilt = exprs.make_conjunction(conjuncts)
+    original_keeps = keeps(pred, candidate)
+    normalized_keeps = (
+        True if rebuilt is None else keeps(rebuilt, candidate)
+    )
+    assert original_keeps == normalized_keeps, (
+        f"{pred}  vs  {rebuilt}  on {candidate}"
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(pred=predicate())
+def test_normalization_idempotent(pred):
+    once = normalize_predicate(pred)
+    rebuilt = exprs.make_conjunction(once)
+    twice = normalize_predicate(rebuilt)
+    assert set(once) == set(twice)

@@ -1,0 +1,117 @@
+"""Property-based parse/render round-trip over generated ASTs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast, parse_statement, render
+
+names = st.sampled_from(["a", "b", "c", "x1", "col_2"])
+tables = st.sampled_from(["T", "U", "Grades"])
+
+
+@st.composite
+def literal(draw):
+    value = draw(
+        st.one_of(
+            st.integers(min_value=-999, max_value=999),
+            st.sampled_from([1.5, 0.25, 2.0]),
+            st.text(alphabet="abcXYZ' %_", max_size=6),
+            st.none(),
+            st.booleans(),
+        )
+    )
+    return ast.Literal(value)
+
+
+@st.composite
+def column(draw):
+    table = draw(st.one_of(st.none(), tables))
+    return ast.ColumnRef(table, draw(names))
+
+
+@st.composite
+def scalar_expr(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(literal(), column()))
+    choice = draw(st.integers(min_value=0, max_value=5))
+    if choice == 0:
+        return draw(st.one_of(literal(), column()))
+    if choice == 1:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return ast.BinaryOp(
+            op, draw(scalar_expr(depth=depth - 1)), draw(scalar_expr(depth=depth - 1))
+        )
+    if choice == 2:
+        return ast.FuncCall(
+            "coalesce",
+            (draw(scalar_expr(depth=depth - 1)), draw(literal())),
+        )
+    if choice == 3:
+        return ast.CaseExpr(
+            ((draw(predicate(depth=depth - 1)), draw(literal())),),
+            draw(st.one_of(st.none(), literal())),
+        )
+    return draw(column())
+
+
+@st.composite
+def predicate(draw, depth=2):
+    if depth == 0:
+        return ast.BinaryOp(
+            draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="])),
+            draw(column()),
+            draw(st.one_of(literal(), column())),
+        )
+    choice = draw(st.integers(min_value=0, max_value=6))
+    if choice in (0, 1):
+        return ast.BinaryOp(
+            draw(st.sampled_from(["and", "or"])),
+            draw(predicate(depth=depth - 1)),
+            draw(predicate(depth=depth - 1)),
+        )
+    if choice == 2:
+        return ast.UnaryOp("not", draw(predicate(depth=depth - 1)))
+    if choice == 3:
+        return ast.IsNull(draw(column()), negated=draw(st.booleans()))
+    if choice == 4:
+        items = draw(st.lists(literal(), min_size=1, max_size=3))
+        return ast.InList(draw(column()), tuple(items), negated=draw(st.booleans()))
+    if choice == 5:
+        return ast.Between(
+            draw(column()), draw(literal()), draw(literal()),
+            negated=draw(st.booleans()),
+        )
+    return draw(predicate(depth=0))
+
+
+@st.composite
+def select_statement(draw):
+    items = tuple(
+        ast.SelectItem(draw(scalar_expr()), alias=draw(st.one_of(st.none(), names)))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    from_tables = draw(st.lists(tables, min_size=1, max_size=2, unique=True))
+    from_items = tuple(ast.TableRef(t) for t in from_tables)
+    where = draw(st.one_of(st.none(), predicate()))
+    return ast.SelectStmt(
+        items=items,
+        from_items=from_items,
+        where=where,
+        distinct=draw(st.booleans()),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=50))),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(stmt=select_statement())
+def test_render_parse_round_trip(stmt):
+    rendered = render(stmt)
+    reparsed = parse_statement(rendered)
+    assert reparsed == stmt, rendered
+
+
+@settings(max_examples=150, deadline=None)
+@given(stmt=select_statement())
+def test_render_stable(stmt):
+    once = render(stmt)
+    twice = render(parse_statement(once))
+    assert once == twice

@@ -1,0 +1,226 @@
+"""Property-based soundness testing of the validity checker.
+
+Theorems 5.1/5.2 claim every inference rule is sound.  Operationally:
+whenever the checker accepts a query q with witness q′,
+
+* (unconditional) q and q′ return the same multiset on the current
+  state — and on *any* state, which we sample by regenerating random
+  databases;
+* (conditional) q and q′ return the same multiset on every state
+  **PA-equivalent** to the current one (Definition 4.2) — which we test
+  by perturbing only rows invisible to every instantiated authorization
+  view and re-comparing.
+
+The checker must also never accept a query whose answer depends on
+invisible data: that is exactly what the witness comparison after
+perturbation detects (the witness, computed from views only, cannot
+change; if q's answer changed, the pair diverges and the test fails).
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+from repro.nontruman.checker import ValidityChecker
+from repro.sql import parse_query
+
+from tests.conftest import UNIVERSITY_SCHEMA
+
+STUDENTS = ["11", "12", "13", "14"]
+COURSES = ["CS101", "CS102", "CS103"]
+#: includes constants absent from the data — probing edge behavior
+QUERY_STUDENTS = STUDENTS + ["99"]
+QUERY_COURSES = COURSES + ["CS999"]
+
+VIEWS_SQL = """
+create authorization view MyGrades as
+    select * from Grades where student_id = $user_id;
+create authorization view MyRegistrations as
+    select * from Registered where student_id = $user_id;
+create authorization view CoStudentGrades as
+    select Grades.student_id, Grades.course_id, Grades.grade
+    from Grades, Registered
+    where Registered.student_id = $user_id
+      and Grades.course_id = Registered.course_id;
+"""
+
+
+@st.composite
+def database_state(draw):
+    """Random registrations and grades over a fixed student/course pool."""
+    registrations = draw(
+        st.sets(
+            st.tuples(st.sampled_from(STUDENTS), st.sampled_from(COURSES)),
+            max_size=10,
+        )
+    )
+    grade_keys = draw(
+        st.sets(
+            st.tuples(st.sampled_from(STUDENTS), st.sampled_from(COURSES)),
+            max_size=10,
+        )
+    )
+    grades = {
+        key: draw(st.sampled_from([1.0, 2.0, 2.5, 3.0, 3.5, 4.0]))
+        for key in grade_keys
+    }
+    return registrations, grades
+
+
+@st.composite
+def query_text(draw):
+    student = draw(st.sampled_from(QUERY_STUDENTS))
+    course = draw(st.sampled_from(QUERY_COURSES))
+    threshold = draw(st.sampled_from([1.5, 2.5, 3.5]))
+    template = draw(
+        st.sampled_from(
+            [
+                "select * from Grades where student_id = '{s}'",
+                "select grade from Grades where student_id = '{s}' and grade >= {t}",
+                "select course_id from Grades where student_id = '{s}'",
+                "select avg(grade) from Grades where student_id = '{s}'",
+                "select count(*) from Grades where student_id = '{s}'",
+                "select * from Grades where course_id = '{c}'",
+                "select grade from Grades where course_id = '{c}' and grade < {t}",
+                "select * from Registered where student_id = '{s}'",
+                "select distinct course_id from Grades where student_id = '{s}' "
+                "union select course_id from Registered where student_id = '{s}'",
+                "select * from Grades",
+                "select * from Grades where student_id = '{s}' "
+                "and course_id = '{c}'",
+            ]
+        )
+    )
+    return template.format(s=student, c=course, t=threshold)
+
+
+def build_db(registrations, grades) -> Database:
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    for student in STUDENTS:
+        db.execute(
+            f"insert into Students values ('{student}', 'S{student}', 'FullTime')"
+        )
+    for course in COURSES:
+        db.execute(f"insert into Courses values ('{course}', 'N{course}')")
+    for student, course in sorted(registrations):
+        db.execute(f"insert into Registered values ('{student}', '{course}')")
+    for (student, course), grade in sorted(grades.items()):
+        db.execute(
+            f"insert into Grades values ('{student}', '{course}', {grade})"
+        )
+    db.execute_script(VIEWS_SQL)
+    for name in ("MyGrades", "MyRegistrations", "CoStudentGrades"):
+        db.grant_public(name)
+    return db
+
+
+def multiset(rows):
+    return Counter(map(repr, rows))
+
+
+@settings(max_examples=60, deadline=None)
+@given(state=database_state(), sql=query_text())
+def test_accepted_queries_have_faithful_witnesses(state, sql):
+    registrations, grades = state
+    db = build_db(registrations, grades)
+    conn = db.connect(user_id="11", mode="non-truman")
+    decision = ValidityChecker(db).check(parse_query(sql), conn.session)
+    if not decision.valid:
+        return
+    original = db.execute(sql)
+    witness = db.run_plan(decision.witness, conn.session)
+    assert multiset(original.rows) == multiset(witness.rows), (
+        f"{sql}\n{decision.describe()}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(state=database_state(), sql=query_text(),
+       perturbation=st.lists(
+           st.tuples(
+               st.sampled_from(["12", "13", "14"]),
+               st.sampled_from(COURSES),
+               st.sampled_from([1.5, 2.2, 3.7]),
+           ),
+           max_size=4,
+       ))
+def test_conditional_validity_stable_under_pa_equivalent_perturbation(
+    state, sql, perturbation
+):
+    """Definition 4.3: q ≡ q′ must hold on every PA-equivalent state.
+
+    We perturb grades of other students in courses the user ('11') is
+    *not* registered for — invisible through MyGrades (wrong student),
+    MyRegistrations (wrong student), and CoStudentGrades (course not
+    co-registered) — and require q and the witness to stay equal.
+    """
+    registrations, grades = state
+    db = build_db(registrations, grades)
+    conn = db.connect(user_id="11", mode="non-truman")
+    decision = ValidityChecker(db).check(parse_query(sql), conn.session)
+    if not decision.valid:
+        return
+
+    my_courses = {c for (s, c) in registrations if s == "11"}
+    views_before = _view_snapshot(db, conn)
+
+    changed = False
+    for student, course, grade in perturbation:
+        if course in my_courses:
+            continue  # visible through CoStudentGrades; skip
+        key = (student, course)
+        db.execute(
+            f"delete from Grades where student_id = '{student}' "
+            f"and course_id = '{course}'"
+        )
+        if key not in grades:
+            # ensure FK: register the student silently (others'
+            # registrations are invisible to user 11's views)
+            db.execute(
+                f"delete from Registered where student_id = '{student}' "
+                f"and course_id = '{course}'"
+            )
+            db.execute(
+                f"insert into Registered values ('{student}', '{course}')"
+            )
+        db.execute(
+            f"insert into Grades values ('{student}', '{course}', {grade})"
+        )
+        changed = True
+    if not changed:
+        return
+
+    # Sanity: the perturbed state is PA-equivalent (views unchanged).
+    assert _view_snapshot(db, conn) == views_before
+
+    original = db.execute(sql)
+    witness = db.run_plan(decision.witness, conn.session)
+    assert multiset(original.rows) == multiset(witness.rows), (
+        f"PA-equivalent perturbation broke acceptance of: {sql}\n"
+        f"{decision.describe()}"
+    )
+
+
+def _view_snapshot(db, conn):
+    snapshot = {}
+    for view in ("MyGrades", "MyRegistrations", "CoStudentGrades"):
+        snapshot[view] = multiset(conn.query(f"select * from {view}").rows)
+    return snapshot
+
+
+@settings(max_examples=40, deadline=None)
+@given(state=database_state())
+def test_whole_table_scan_always_rejected(state):
+    """No database state makes 'select * from Grades' derivable from the
+    per-user views (there is always a possible PA-equivalent state with
+    different hidden grades)."""
+    registrations, grades = state
+    db = build_db(registrations, grades)
+    conn = db.connect(user_id="11", mode="non-truman")
+    decision = ValidityChecker(db).check(
+        parse_query("select * from Grades"), conn.session
+    )
+    assert not decision.valid

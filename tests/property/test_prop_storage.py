@@ -1,0 +1,82 @@
+"""Property-based invariants of the storage layer."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IntegrityError
+from repro.catalog import Column, DataType, TableSchema
+from repro.storage import Table
+
+
+def fresh_table(unique=False):
+    schema = TableSchema(
+        "T", (Column("k", DataType.INT), Column("v", DataType.TEXT))
+    )
+    table = Table(schema)
+    table.create_index(("k",), unique=unique)
+    return table
+
+
+op = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 5), st.sampled_from("abc")),
+    st.tuples(st.just("delete"), st.integers(0, 5)),
+    st.tuples(st.just("update"), st.integers(0, 5), st.sampled_from("xyz")),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations=st.lists(op, max_size=30))
+def test_table_matches_reference_model(operations):
+    """The table (with a non-unique index) behaves like a reference
+    multiset under arbitrary insert/delete/update sequences."""
+    table = fresh_table()
+    model: Counter = Counter()
+    live_ids: dict[int, tuple] = {}
+
+    for operation in operations:
+        if operation[0] == "insert":
+            _, k, v = operation
+            rid = table.insert((k, v))
+            live_ids[rid] = (k, v)
+            model[(k, v)] += 1
+        elif operation[0] == "delete":
+            _, k = operation
+            victim = next((rid for rid, row in live_ids.items() if row[0] == k), None)
+            if victim is None:
+                continue
+            row = table.delete_row(victim)
+            model[row] -= 1
+            del live_ids[victim]
+        else:
+            _, k, v = operation
+            victim = next((rid for rid, row in live_ids.items() if row[0] == k), None)
+            if victim is None:
+                continue
+            old = table.update_row(victim, (k, v))
+            model[old] -= 1
+            model[(k, v)] += 1
+            live_ids[victim] = (k, v)
+
+    assert Counter(table.rows()) == +model
+    # Index agrees with the rows for every key.
+    index = table.find_index(("k",))
+    for key in range(6):
+        via_index = len(index.lookup((key,)))
+        via_scan = sum(1 for row in table.rows() if row[0] == key)
+        assert via_index == via_scan
+
+
+@settings(max_examples=150, deadline=None)
+@given(keys=st.lists(st.integers(0, 3), max_size=12))
+def test_unique_index_admits_one_live_row_per_key(keys):
+    table = fresh_table(unique=True)
+    live = set()
+    for key in keys:
+        try:
+            table.insert((key, "x"))
+            assert key not in live, "duplicate admitted"
+            live.add(key)
+        except IntegrityError:
+            assert key in live, "spurious uniqueness rejection"
+    assert {row[0] for row in table.rows()} == live

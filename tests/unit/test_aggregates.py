@@ -1,0 +1,85 @@
+"""Unit tests for aggregate accumulators (SQL semantics)."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.engine.aggregates import make_accumulator
+
+
+def run(name, values, distinct=False, star=False):
+    acc = make_accumulator(name, distinct, star)
+    for v in values:
+        acc.add(v)
+    return acc.result()
+
+
+class TestCount:
+    def test_count_star_counts_everything(self):
+        assert run("count", [1, None, 2], star=True) == 3
+
+    def test_count_ignores_nulls(self):
+        assert run("count", [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert run("count", [1, 1, 2, None], distinct=True) == 2
+
+    def test_count_empty_is_zero(self):
+        assert run("count", []) == 0
+
+
+class TestSum:
+    def test_sum(self):
+        assert run("sum", [1, 2, 3]) == 6
+
+    def test_sum_ignores_nulls(self):
+        assert run("sum", [1, None, 2]) == 3
+
+    def test_sum_empty_is_null(self):
+        assert run("sum", []) is None
+
+    def test_sum_all_nulls_is_null(self):
+        assert run("sum", [None, None]) is None
+
+    def test_sum_distinct(self):
+        assert run("sum", [2, 2, 3], distinct=True) == 5
+
+    def test_sum_non_numeric_raises(self):
+        with pytest.raises(TypeError_):
+            run("sum", ["a"])
+
+
+class TestAvg:
+    def test_avg(self):
+        assert run("avg", [1, 2, 3]) == 2.0
+
+    def test_avg_ignores_nulls(self):
+        assert run("avg", [2, None, 4]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert run("avg", []) is None
+
+    def test_avg_distinct(self):
+        assert run("avg", [2, 2, 4], distinct=True) == 3.0
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert run("min", [3, 1, 2]) == 1
+        assert run("max", [3, 1, 2]) == 3
+
+    def test_strings(self):
+        assert run("min", ["b", "a"]) == "a"
+
+    def test_nulls_ignored(self):
+        assert run("min", [None, 5, None]) == 5
+
+    def test_empty_is_null(self):
+        assert run("min", []) is None
+        assert run("max", []) is None
+
+
+def test_unknown_aggregate():
+    from repro.errors import ExecutionError
+
+    with pytest.raises(ExecutionError):
+        make_accumulator("median", False, False)

@@ -1,0 +1,180 @@
+"""Unit tests for sessions, view instantiation, and the grant registry."""
+
+import pytest
+
+from repro.errors import GrantError, ParameterError
+from repro.sql import parse_query, render
+from repro.authviews.registry import PUBLIC, GrantRegistry
+from repro.authviews.session import SessionContext
+from repro.authviews.views import AuthorizationView
+from repro.catalog.catalog import ViewDef
+
+
+class TestSessionContext:
+    def test_param_values(self):
+        session = SessionContext(user_id="11", time="09:00", extra={"role": "ta"})
+        values = session.param_values()
+        assert values == {"user_id": "11", "time": "09:00", "role": "ta"}
+
+    def test_require_missing(self):
+        session = SessionContext(user_id="11")
+        with pytest.raises(ParameterError):
+            session.require({"user_id", "location"})
+
+    def test_user_string(self):
+        assert SessionContext(user_id=42).user == "42"
+        assert SessionContext().user is None
+
+
+class TestInstantiation:
+    def make_view(self, sql):
+        return AuthorizationView.from_def(
+            ViewDef("V", parse_query(sql), authorization=True)
+        )
+
+    def test_parameter_signature(self):
+        view = self.make_view(
+            "select * from Grades where student_id = $user_id and x = $$1"
+        )
+        assert view.params == frozenset({"user_id"})
+        assert view.access_params == frozenset({"1"})
+        assert view.is_access_pattern
+
+    def test_instantiate_replaces_context_params(self):
+        view = self.make_view("select * from Grades where student_id = $user_id")
+        instantiated = view.instantiate(SessionContext(user_id="11"))
+        assert "$user_id" not in render(instantiated.query)
+        assert "'11'" in render(instantiated.query)
+
+    def test_instantiate_keeps_access_params(self):
+        view = self.make_view("select * from Grades where student_id = $$1")
+        instantiated = view.instantiate(SessionContext(user_id="x"))
+        assert "$$1" in render(instantiated.query)
+
+    def test_bind_access_params(self):
+        view = self.make_view("select * from Grades where student_id = $$1")
+        instantiated = view.instantiate(SessionContext())
+        bound = instantiated.bind_access_params({"1": "42"})
+        assert "'42'" in render(bound)
+
+    def test_bind_access_params_missing(self):
+        view = self.make_view("select * from Grades where student_id = $$1")
+        instantiated = view.instantiate(SessionContext())
+        with pytest.raises(ParameterError):
+            instantiated.bind_access_params({})
+
+    def test_missing_session_param(self):
+        view = self.make_view("select * from T where a = $user_id")
+        with pytest.raises(ParameterError):
+            view.instantiate(SessionContext())
+
+    def test_params_in_join_condition(self):
+        view = self.make_view(
+            "select g.grade from Grades g join Registered r "
+            "on g.course_id = r.course_id where r.student_id = $user_id"
+        )
+        assert view.params == frozenset({"user_id"})
+
+
+class TestGrantRegistry:
+    def test_grant_and_check(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice")
+        assert registry.is_granted("V", "alice")
+        assert registry.is_granted("v", "ALICE")  # case-insensitive
+        assert not registry.is_granted("V", "bob")
+
+    def test_public_grant(self):
+        registry = GrantRegistry()
+        registry.grant("V", PUBLIC)
+        assert registry.is_granted("V", "anyone")
+        assert registry.is_granted("V", None)
+
+    def test_revoke(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice")
+        registry.revoke("V", "alice")
+        assert not registry.is_granted("V", "alice")
+
+    def test_revoke_without_grant(self):
+        with pytest.raises(GrantError):
+            GrantRegistry().revoke("V", "alice")
+
+    def test_views_for(self):
+        registry = GrantRegistry()
+        registry.grant("A", "alice")
+        registry.grant("B", PUBLIC)
+        assert registry.views_for("alice", ["A", "B", "C"]) == ["A", "B"]
+        assert registry.views_for("bob", ["A", "B", "C"]) == ["B"]
+
+    def test_delegation_records_grantor(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice", grant_option=True)
+        registry.grant("V", "bob", grantor="alice")
+        assert registry.grantor_of("V", "bob") == "alice"
+
+
+class TestDelegation:
+    """Paper §6: delegated grants feed the same inference machinery."""
+
+    def test_delegation_requires_grant_option(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice")  # no grant option
+        with pytest.raises(GrantError):
+            registry.delegate("V", from_user="alice", to_user="bob")
+
+    def test_delegation_chain(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice", grant_option=True)
+        registry.delegate("V", "alice", "bob", grant_option=True)
+        registry.delegate("V", "bob", "carol")
+        assert registry.is_granted("V", "carol")
+        assert not registry.has_grant_option("V", "carol")
+
+    def test_revocation_cascades(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice", grant_option=True)
+        registry.delegate("V", "alice", "bob", grant_option=True)
+        registry.delegate("V", "bob", "carol")
+        registry.revoke("V", "alice")
+        assert not registry.is_granted("V", "alice")
+        assert not registry.is_granted("V", "bob")
+        assert not registry.is_granted("V", "carol")
+
+    def test_cascade_spares_independent_grants(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice", grant_option=True)
+        registry.delegate("V", "alice", "bob")
+        registry.grant("V", "bob")  # independent DBA grant
+        registry.revoke("V", "alice")
+        assert registry.is_granted("V", "bob")
+
+    def test_revoke_specific_grantor(self):
+        registry = GrantRegistry()
+        registry.grant("V", "alice", grant_option=True)
+        registry.grant("V", "dana", grant_option=True)
+        registry.delegate("V", "alice", "bob")
+        registry.delegate("V", "dana", "bob")
+        registry.revoke("V", "bob", grantor="alice")
+        assert registry.is_granted("V", "bob")  # dana's grant survives
+
+    def test_delegated_view_usable_in_checker(self, ):
+        from repro.db import Database
+
+        db = Database()
+        db.execute_script(
+            """
+            create table T(a int primary key, x int);
+            insert into T values (1, 5);
+            create authorization view VT as select * from T where x > 0;
+            """
+        )
+        db.grants.grant("VT", "alice", grant_option=True)
+        db.grants.delegate("VT", "alice", "bob")
+        bob = db.connect(user_id="bob", mode="non-truman")
+        assert len(bob.query("select a from T where x > 0")) == 1
+        db.grants.revoke("VT", "alice")
+        from repro.errors import QueryRejectedError
+
+        with pytest.raises(QueryRejectedError):
+            bob.query("select a from T where x > 0")

@@ -1,0 +1,62 @@
+"""Unit tests for the benchmark harness and table reporting."""
+
+from repro.bench import Experiment, Measurement, time_callable
+from repro.bench.reporting import format_table
+
+
+class TestExperiment:
+    def test_add_and_columns_in_order(self):
+        experiment = Experiment("EX", "title", "claim")
+        experiment.add("a", x=1, y=2)
+        experiment.add("b", y=3, z=4)
+        assert experiment.columns() == ["x", "y", "z"]
+
+    def test_report_contains_all_rows(self):
+        experiment = Experiment("EX", "demo", "the claim")
+        experiment.add("case one", value=10)
+        experiment.add("case two", value=20)
+        report = experiment.report()
+        assert "EX: demo" in report
+        assert "the claim" in report
+        assert "case one" in report and "case two" in report
+
+    def test_missing_cells_render_empty(self):
+        experiment = Experiment("EX", "t", "c")
+        experiment.add("a", x=1)
+        experiment.add("b", y=2)
+        report = experiment.report()
+        assert "a" in report and "b" in report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123], [3.14159], [12345.6]])
+        assert "0.000123" in table
+        assert "3.14" in table
+        assert "12,346" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestTimeCallable:
+    def test_returns_median_and_stdev(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        median, stdev = time_callable(fn, repeat=3, warmup=2)
+        assert len(calls) == 5
+        assert median >= 0 and stdev >= 0
+
+    def test_single_repeat_zero_stdev(self):
+        median, stdev = time_callable(lambda: None, repeat=1, warmup=0)
+        assert stdev == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for block conversion (plans → SPJ/Agg blocks)."""
+
+import pytest
+
+from repro.sql import parse_query
+from repro.algebra.translate import Translator
+from repro.catalog.catalog import Catalog
+from repro.sql.parser import parse_statement
+from repro.nontruman.blocks import AggBlock, BlockBuilder, SPJBlock
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    for ddl in (
+        "create table T(a int primary key, b varchar(10), c float)",
+        "create table U(a int primary key, d varchar(10))",
+    ):
+        cat.create_table_from_ast(parse_statement(ddl))
+    return cat
+
+
+def block_of(catalog, sql):
+    plan = Translator(catalog).translate(parse_query(sql))
+    return BlockBuilder().to_query_form(plan)
+
+
+class TestSPJFlattening:
+    def test_simple_select(self, catalog):
+        block = block_of(catalog, "select a from T where b = 'x'")
+        assert isinstance(block, SPJBlock)
+        assert len(block.tables) == 1
+        assert len(block.conjuncts) == 1
+        assert [n for _, n in block.outputs] == ["a"]
+
+    def test_join_flattens(self, catalog):
+        block = block_of(
+            catalog, "select T.a from T, U where T.a = U.a and U.d = 'q'"
+        )
+        assert {t.relation for t in block.tables} == {"T", "U"}
+        assert len(block.conjuncts) == 2
+
+    def test_explicit_join_condition_merged(self, catalog):
+        block = block_of(catalog, "select T.a from T join U on T.a = U.a")
+        assert len(block.conjuncts) == 1
+
+    def test_distinct_flag(self, catalog):
+        block = block_of(catalog, "select distinct a from T")
+        assert block.distinct
+
+    def test_self_join_unique_bindings(self, catalog):
+        block = block_of(
+            catalog, "select t1.a from T t1, T t2 where t1.a = t2.a"
+        )
+        bindings = [t.binding for t in block.tables]
+        assert len(set(bindings)) == 2
+
+    def test_derived_table_flattened(self, catalog):
+        block = block_of(
+            catalog,
+            "select s.a from (select a, b from T where c > 0) as s "
+            "where s.b = 'x'",
+        )
+        assert isinstance(block, SPJBlock)
+        assert len(block.tables) == 1
+        assert block.tables[0].relation == "T"
+        # both the inner (c > 0) and outer (b = 'x') predicates present
+        assert len(block.conjuncts) == 2
+
+    def test_predicate_normalized(self, catalog):
+        block = block_of(
+            catalog, "select a from T where c between 1 and 2 and b = 'x'"
+        )
+        assert len(block.conjuncts) == 3  # between expands into two
+
+
+class TestAggBlocks:
+    def test_scalar_aggregate(self, catalog):
+        block = block_of(catalog, "select avg(c) from T where b = 'x'")
+        assert isinstance(block, AggBlock)
+        assert block.group_exprs == ()
+        assert len(block.aggregates) == 1
+        assert len(block.inner.conjuncts) == 1
+
+    def test_group_by_with_having(self, catalog):
+        block = block_of(
+            catalog,
+            "select b, count(*) as n from T group by b having count(*) > 1",
+        )
+        assert isinstance(block, AggBlock)
+        assert len(block.group_exprs) == 1
+        assert len(block.having) == 1
+
+    def test_aggregate_over_join(self, catalog):
+        block = block_of(
+            catalog,
+            "select U.d, sum(T.c) from T, U where T.a = U.a group by U.d",
+        )
+        assert isinstance(block, AggBlock)
+        assert len(block.inner.tables) == 2
+
+
+class TestOpaqueInstances:
+    def test_aggregate_subquery_is_opaque(self, catalog):
+        block = block_of(
+            catalog,
+            "select s.n from (select count(*) as n from T) as s, U "
+            "where s.n = U.a",
+        )
+        assert isinstance(block, SPJBlock)
+        kinds = sorted(t.kind for t in block.tables)
+        assert kinds == ["opaque", "table"]
+        opaque = next(t for t in block.tables if t.kind == "opaque")
+        assert opaque.subplan is not None
+        assert opaque.columns == ("n",)
+
+    def test_left_join_is_opaque(self, catalog):
+        plan = Translator(catalog).translate(
+            parse_query("select T.a from T left join U on T.a = U.a")
+        )
+        block = BlockBuilder().to_spj(plan)
+        assert block is not None
+        assert any(t.kind == "opaque" for t in block.tables)
+
+
+class TestNonBlockShapes:
+    def test_set_operation_not_a_block(self, catalog):
+        plan = Translator(catalog).translate(
+            parse_query("select a from T union select a from U")
+        )
+        builder = BlockBuilder()
+        assert builder.to_agg(plan) is None

@@ -1,0 +1,127 @@
+"""Unit tests for the validity cache and view pruning (§5.6 optimizations)."""
+
+from repro.sql import parse_query
+from repro.nontruman.cache import ValidityCache, query_signature
+from repro.nontruman.decision import Validity
+from repro.nontruman.pruning import is_relevant, prune_views, relation_names
+from repro.authviews.views import AuthorizationView
+from repro.authviews.session import SessionContext
+from repro.catalog.catalog import ViewDef
+
+
+class TestQuerySignature:
+    def test_literals_abstracted(self):
+        a, lits_a = query_signature(parse_query("select x from T where y = 'p'"))
+        b, lits_b = query_signature(parse_query("select x from T where y = 'q'"))
+        assert a == b
+        assert lits_a == ("p",) and lits_b == ("q",)
+
+    def test_different_structure_different_signature(self):
+        a, _ = query_signature(parse_query("select x from T where y = 1"))
+        b, _ = query_signature(parse_query("select x from T where z = 1"))
+        assert a != b
+
+
+class TestValidityCache:
+    def test_exact_hit(self):
+        cache = ValidityCache()
+        q = parse_query("select x from T where y = '11'")
+        cache.store("11", q, "11", Validity.UNCONDITIONAL, "ok")
+        assert cache.lookup("11", q, "11") == (Validity.UNCONDITIONAL, "ok")
+        assert cache.hits == 1
+
+    def test_miss_for_other_user(self):
+        cache = ValidityCache()
+        q = parse_query("select x from T where y = '11'")
+        cache.store("11", q, "11", Validity.UNCONDITIONAL, "ok")
+        assert cache.lookup("12", q, "12") is None
+
+    def test_prepared_statement_reuse(self):
+        """Same skeleton, the user-id literal position re-bound (§5.6)."""
+        cache = ValidityCache()
+        q1 = parse_query("select x from T where owner = '11' and k = 5")
+        cache.store("u", q1, "11", Validity.UNCONDITIONAL, "ok")
+        # same user value moved: accepted
+        q2 = parse_query("select x from T where owner = '11' and k = 5")
+        assert cache.lookup("u", q2, "11") is not None
+        # different constant in a non-user position: reject
+        q3 = parse_query("select x from T where owner = '11' and k = 6")
+        assert cache.lookup("u", q3, "11") is None
+        # user position follows the session's current user value
+        q4 = parse_query("select x from T where owner = '12' and k = 5")
+        assert cache.lookup("u", q4, "12") is not None
+
+    def test_conditional_invalidated_by_data_change(self):
+        cache = ValidityCache()
+        q = parse_query("select x from T where y = 1")
+        cache.store("u", q, "u", Validity.CONDITIONAL, "probe ok")
+        assert cache.lookup("u", q, "u") is not None
+        cache.invalidate_data()
+        assert cache.lookup("u", q, "u") is None
+
+    def test_unconditional_survives_data_change(self):
+        cache = ValidityCache()
+        q = parse_query("select x from T where y = 1")
+        cache.store("u", q, "u", Validity.UNCONDITIONAL, "ok")
+        cache.invalidate_data()
+        assert cache.lookup("u", q, "u") is not None
+
+    def test_invalid_decisions_cacheable(self):
+        cache = ValidityCache()
+        q = parse_query("select x from T")
+        cache.store("u", q, "u", Validity.INVALID, "no rewrite")
+        assert cache.lookup("u", q, "u") == (Validity.INVALID, "no rewrite")
+
+    def test_invalid_decisions_invalidated_by_data_change(self):
+        """A rejection can become a (conditional) acceptance after DML
+        — e.g. Example 4.2's enrollment threshold being crossed — so
+        INVALID entries must not outlive the data version either."""
+        cache = ValidityCache()
+        q = parse_query("select x from T")
+        cache.store("u", q, "u", Validity.INVALID, "no rewrite")
+        cache.invalidate_data()
+        assert cache.lookup("u", q, "u") is None
+
+
+def iv(name, sql):
+    return AuthorizationView.from_def(
+        ViewDef(name, parse_query(sql), authorization=True)
+    ).instantiate(SessionContext(user_id="u"))
+
+
+class TestPruning:
+    def test_relation_names(self):
+        names = relation_names(
+            parse_query(
+                "select a from T, (select b from U) s "
+                "join V on s.b = V.x"
+            )
+        )
+        assert names == {"t", "u", "v"}
+
+    def test_is_relevant(self):
+        assert is_relevant(parse_query("select * from Grades"), {"grades"})
+        assert not is_relevant(parse_query("select * from Accounts"), {"grades"})
+
+    def test_prune_keeps_direct_overlap(self):
+        views = [iv("A", "select * from T"), iv("B", "select * from Other")]
+        kept = prune_views(views, parse_query("select x from T"))
+        assert [v.name for v in kept] == ["A"]
+
+    def test_prune_fixpoint_keeps_probe_support(self):
+        """A view over a relevant view's *other* relation survives
+        (needed by C3 probe validation, Example 4.4)."""
+        views = [
+            iv("CoGrades", "select Grades.grade from Grades, Registered "
+                           "where Registered.student_id = 'u' "
+                           "and Grades.course_id = Registered.course_id"),
+            iv("MyRegs", "select * from Registered where student_id = 'u'"),
+            iv("Bank", "select * from Accounts"),
+        ]
+        kept = prune_views(views, parse_query("select * from Grades"))
+        assert {v.name for v in kept} == {"CoGrades", "MyRegs"}
+
+    def test_prune_by_view_name_reference(self):
+        views = [iv("VT", "select * from T")]
+        kept = prune_views(views, parse_query("select * from VT"))
+        assert [v.name for v in kept] == ["VT"]

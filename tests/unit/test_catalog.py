@@ -1,0 +1,174 @@
+"""Unit tests for catalog, schemas, types, and constraints."""
+
+import pytest
+
+from repro.errors import DuplicateNameError, TypeError_, UnknownColumnError, UnknownTableError
+from repro.catalog import (
+    Catalog,
+    Column,
+    DataType,
+    TableSchema,
+    TotalParticipation,
+    coerce_value,
+)
+from repro.catalog.constraints import ForeignKey, foreign_key_participation
+from repro.sql.parser import parse_statement
+
+
+class TestDataTypes:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("int", DataType.INT),
+            ("INTEGER", DataType.INT),
+            ("bigint", DataType.INT),
+            ("varchar", DataType.TEXT),
+            ("text", DataType.TEXT),
+            ("float", DataType.FLOAT),
+            ("decimal", DataType.FLOAT),
+            ("boolean", DataType.BOOL),
+        ],
+    )
+    def test_from_sql_name(self, name, expected):
+        assert DataType.from_sql_name(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError_):
+            DataType.from_sql_name("blob")
+
+    def test_coerce_null_passes_any_type(self):
+        for dtype in DataType:
+            assert coerce_value(None, dtype) is None
+
+    def test_coerce_int(self):
+        assert coerce_value(5, DataType.INT) == 5
+        assert coerce_value(5.0, DataType.INT) == 5
+
+    def test_coerce_int_rejects_fraction(self):
+        with pytest.raises(TypeError_):
+            coerce_value(5.5, DataType.INT)
+
+    def test_coerce_int_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce_value(True, DataType.INT)
+
+    def test_coerce_float_widens_int(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+
+    def test_coerce_text_rejects_number(self):
+        with pytest.raises(TypeError_):
+            coerce_value(3, DataType.TEXT)
+
+
+class TestSchema:
+    def schema(self):
+        return TableSchema(
+            "T",
+            (
+                Column("a", DataType.INT, not_null=True),
+                Column("b", DataType.TEXT),
+            ),
+        )
+
+    def test_column_lookup_case_insensitive(self):
+        assert self.schema().column("A").name == "a"
+
+    def test_column_index(self):
+        assert self.schema().column_index("b") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            self.schema().column("zz")
+
+    def test_has_column(self):
+        assert self.schema().has_column("B")
+        assert not self.schema().has_column("c")
+
+
+class TestCatalog:
+    def test_create_table_from_ast(self):
+        catalog = Catalog()
+        stmt = parse_statement(
+            "create table T(a int primary key, b varchar(5) not null, unique (b))"
+        )
+        schema = catalog.create_table_from_ast(stmt)
+        assert schema.column_names == ("a", "b")
+        assert catalog.primary_key("T").columns == ("a",)
+        assert catalog.uniques_for("T")[0].columns == ("b",)
+        # PK columns are implicitly NOT NULL
+        assert schema.column("a").not_null
+
+    def test_keys_for_includes_pk_and_uniques(self):
+        catalog = Catalog()
+        catalog.create_table_from_ast(
+            parse_statement("create table T(a int primary key, b int unique)")
+        )
+        assert catalog.keys_for("T") == [("a",), ("b",)]
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table_from_ast(parse_statement("create table T(a int)"))
+        with pytest.raises(DuplicateNameError):
+            catalog.create_table_from_ast(parse_statement("create table t(a int)"))
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Catalog().table("nope")
+
+    def test_fk_defaults_to_referenced_pk(self):
+        catalog = Catalog()
+        catalog.create_table_from_ast(parse_statement("create table U(x int primary key)"))
+        catalog.create_table_from_ast(
+            parse_statement("create table T(a int, foreign key (a) references U)")
+        )
+        fk = catalog.foreign_keys_for("T")[0]
+        assert fk.ref_columns == ("x",)
+
+    def test_fk_implies_participation_constraint(self):
+        catalog = Catalog()
+        catalog.create_table_from_ast(parse_statement("create table U(x int primary key)"))
+        catalog.create_table_from_ast(
+            parse_statement("create table T(a int, foreign key (a) references U (x))")
+        )
+        constraints = catalog.participations()
+        assert any(
+            c.core_table == "T" and c.remainder_table == "U" for c in constraints
+        )
+
+    def test_drop_table_cleans_constraints(self):
+        catalog = Catalog()
+        catalog.create_table_from_ast(parse_statement("create table U(x int primary key)"))
+        catalog.create_table_from_ast(
+            parse_statement("create table T(a int, foreign key (a) references U (x))")
+        )
+        catalog.drop_table("T")
+        assert not catalog.foreign_keys()
+        assert not any(c.core_table == "T" for c in catalog.participations())
+
+
+class TestVisibility:
+    def test_participation_visibility(self):
+        public = TotalParticipation("A", "B", (("x", "y"),))
+        secret = TotalParticipation(
+            "A", "B", (("x", "y"),), visible_to=frozenset({"admin"})
+        )
+        assert public.is_visible_to(None)
+        assert public.is_visible_to("anyone")
+        assert not secret.is_visible_to("alice")
+        assert not secret.is_visible_to(None)
+        assert secret.is_visible_to("admin")
+
+    def test_catalog_filters_by_user(self):
+        catalog = Catalog()
+        catalog.add_participation(
+            TotalParticipation("A", "B", (("x", "y"),),
+                               visible_to=frozenset({"admin"}), name="secret")
+        )
+        assert catalog.participations("alice") == []
+        assert len(catalog.participations("admin")) == 1
+
+    def test_fk_participation_has_not_null_guard(self):
+        fk = ForeignKey("T", ("a",), "U", ("x",))
+        constraint = foreign_key_participation(fk)
+        # FK only guarantees a match when the referencing column is non-null
+        assert constraint.core_pred is not None

@@ -1,0 +1,76 @@
+"""Unit tests for validity decisions, traces, and error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.nontruman.decision import RuleApplication, Validity, ValidityDecision
+
+
+class TestValidityDecision:
+    def test_unconditional_flags(self):
+        decision = ValidityDecision(Validity.UNCONDITIONAL)
+        assert decision.valid and decision.unconditional
+        assert not decision.conditional
+
+    def test_conditional_flags(self):
+        decision = ValidityDecision(Validity.CONDITIONAL)
+        assert decision.valid and decision.conditional
+        assert not decision.unconditional
+
+    def test_invalid_flags(self):
+        decision = ValidityDecision(Validity.INVALID, reason="nope")
+        assert not decision.valid
+
+    def test_describe_includes_trace_and_views(self):
+        decision = ValidityDecision(
+            Validity.CONDITIONAL,
+            reason="probe ok",
+            trace=[RuleApplication("C3b", "remainder eliminated")],
+            views_used=("CoStudentGrades",),
+        )
+        text = decision.describe()
+        assert "conditional" in text
+        assert "C3b" in text
+        assert "CoStudentGrades" in text
+
+    def test_rule_application_str(self):
+        assert str(RuleApplication("U2")) == "U2"
+        assert str(RuleApplication("U3a", "detail")) == "U3a: detail"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ParseError,
+            errors.LexError,
+            errors.CatalogError,
+            errors.BindError,
+            errors.ExecutionError,
+            errors.IntegrityError,
+            errors.ParameterError,
+            errors.AccessControlError,
+            errors.QueryRejectedError,
+            errors.UpdateRejectedError,
+            errors.GrantError,
+            errors.UnsupportedFeatureError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_lex_error_carries_position(self):
+        error = errors.LexError("bad char", position=5, line=2, column=3)
+        assert error.line == 2 and error.column == 3
+        assert "line 2" in str(error)
+
+    def test_query_rejected_carries_decision(self):
+        decision = ValidityDecision(Validity.INVALID, reason="r")
+        error = errors.QueryRejectedError("rejected", decision=decision)
+        assert error.decision is decision
+
+    def test_one_catch_all(self):
+        try:
+            raise errors.IntegrityError("boom")
+        except errors.ReproError as caught:
+            assert "boom" in str(caught)

@@ -1,0 +1,182 @@
+"""Unit tests for the implication prover.
+
+Soundness of the whole Non-Truman checker rests on ``implies`` never
+returning a false positive; these tests pin both directions on a wide
+range of shapes, and the property suite cross-validates against actual
+row evaluation.
+"""
+
+import pytest
+
+from repro.sql.parser import Parser
+from repro.algebra.normalize import normalize_predicate
+from repro.algebra.implication import (
+    PredicateTheory,
+    equivalent,
+    implies,
+    unsatisfiable,
+)
+
+
+def pred(text):
+    return Parser(text).parse_expr()
+
+
+def conj(text):
+    return list(normalize_predicate(pred(text)))
+
+
+class TestEqualityClosure:
+    def test_transitivity(self):
+        assert implies(conj("a.x = b.y and b.y = c.z"), pred("a.x = c.z"))
+
+    def test_constant_propagation(self):
+        assert implies(conj("a.x = b.y and b.y = 5"), pred("a.x = 5"))
+
+    def test_symmetric(self):
+        assert implies(conj("a.x = b.y"), pred("b.y = a.x"))
+
+    def test_not_implied_unrelated(self):
+        assert not implies(conj("a.x = 1"), pred("a.y = 1"))
+
+    def test_chained_constants(self):
+        assert implies(
+            conj("g.course = r.course and r.course = 'CS101'"),
+            pred("g.course = 'CS101'"),
+        )
+
+
+class TestRanges:
+    def test_tighter_bound_implies_looser(self):
+        assert implies(conj("a.x > 5"), pred("a.x > 3"))
+        assert implies(conj("a.x >= 5"), pred("a.x > 3"))
+        assert implies(conj("a.x < 2"), pred("a.x < 10"))
+        assert implies(conj("a.x <= 2"), pred("a.x < 3"))
+
+    def test_looser_does_not_imply_tighter(self):
+        assert not implies(conj("a.x > 3"), pred("a.x > 5"))
+
+    def test_equal_bound_strictness(self):
+        assert implies(conj("a.x > 5"), pred("a.x >= 5"))
+        assert not implies(conj("a.x >= 5"), pred("a.x > 5"))
+
+    def test_pinning_by_bounds(self):
+        assert implies(conj("a.x >= 5 and a.x <= 5"), pred("a.x = 5"))
+
+    def test_equality_implies_range(self):
+        assert implies(conj("a.x = 5"), pred("a.x between 0 and 10"))
+
+    def test_between_expansion(self):
+        assert implies(conj("a.x between 2 and 4"), pred("a.x >= 1"))
+
+
+class TestInAndDisequality:
+    def test_domain_subset(self):
+        assert implies(conj("a.x in (1, 2)"), pred("a.x in (1, 2, 3)"))
+
+    def test_domain_not_subset(self):
+        assert not implies(conj("a.x in (1, 4)"), pred("a.x in (1, 2, 3)"))
+
+    def test_equality_in_domain(self):
+        assert implies(conj("a.x = 2"), pred("a.x in (1, 2, 3)"))
+
+    def test_singleton_domain_pins(self):
+        assert implies(conj("a.x in (7)"), pred("a.x = 7"))
+
+    def test_disequality_from_pin(self):
+        assert implies(conj("a.x = 2"), pred("a.x <> 3"))
+        assert not implies(conj("a.x = 2"), pred("a.x <> 2"))
+
+    def test_disequality_from_bounds(self):
+        assert implies(conj("a.x > 10"), pred("a.x <> 5"))
+
+    def test_not_in_gives_disequalities(self):
+        assert implies(conj("a.x not in (3, 4)"), pred("a.x <> 3"))
+
+
+class TestNullness:
+    def test_comparison_implies_not_null(self):
+        assert implies(conj("a.x = 3"), pred("a.x is not null"))
+        assert implies(conj("a.x > 3"), pred("a.x is not null"))
+        assert implies(conj("a.x in (1,2)"), pred("a.x is not null"))
+
+    def test_is_null_premise(self):
+        assert implies(conj("a.x is null"), pred("a.x is null"))
+
+    def test_is_null_not_implied(self):
+        assert not implies(conj("a.y = 1"), pred("a.x is null"))
+
+
+class TestUnsatisfiability:
+    def test_conflicting_constants(self):
+        assert unsatisfiable(conj("a.x = 3 and a.x = 4"))
+
+    def test_constant_outside_bounds(self):
+        assert unsatisfiable(conj("a.x = 3 and a.x > 7"))
+
+    def test_empty_range(self):
+        assert unsatisfiable(conj("a.x > 5 and a.x < 3"))
+
+    def test_null_and_not_null(self):
+        assert unsatisfiable(conj("a.x is null and a.x = 2"))
+
+    def test_unsat_implies_anything(self):
+        assert implies(conj("a.x = 3 and a.x = 4"), pred("z.q = 'whatever'"))
+
+    def test_satisfiable(self):
+        assert not unsatisfiable(conj("a.x > 2 and a.x < 5"))
+
+
+class TestGroundEvaluation:
+    def test_ground_comparison(self):
+        assert implies(conj("a.x = 'CS101'"), pred("a.x like 'CS101'"))
+        assert implies(conj("a.x = 'CS101'"), pred("a.x like 'CS%'"))
+
+    def test_ground_false_not_implied(self):
+        assert not implies(conj("a.x = 'MATH1'"), pred("a.x like 'CS%'"))
+
+
+class TestAccessParams:
+    """$$ parameters are opaque constants during inference (§6)."""
+
+    def test_self_equality(self):
+        assert implies(conj("a.x = $$1"), pred("a.x = $$1"))
+
+    def test_distinct_params_not_equal(self):
+        assert not implies(conj("a.x = $$1"), pred("a.x = $$2"))
+
+    def test_param_implies_not_null(self):
+        assert implies(conj("a.x = $$1"), pred("a.x is not null"))
+
+
+class TestEquivalence:
+    def test_reordered_conjunctions(self):
+        assert equivalent(
+            conj("a.x = 5 and b.y = a.x"), conj("b.y = 5 and a.x = b.y")
+        )
+
+    def test_non_equivalent(self):
+        assert not equivalent(conj("a.x > 5"), conj("a.x > 3"))
+
+    def test_empty_sets(self):
+        assert equivalent([], [])
+
+
+class TestTheoryQueries:
+    def test_pinned_and_constant_of(self):
+        theory = PredicateTheory(conj("a.x = 'CS101' and a.y = b.z"))
+        assert theory.pinned(pred("a.x"))
+        assert theory.constant_of(pred("a.x")) == "CS101"
+        assert not theory.pinned(pred("a.y"))
+        assert theory.same_class(pred("a.y"), pred("b.z"))
+
+    def test_syntactic_fallback_for_opaque_atoms(self):
+        # LIKE with a non-ground operand: only syntactic matching applies.
+        premises = conj("a.x like 'CS%'")
+        assert implies(premises, pred("a.x like 'CS%'"))
+        assert not implies(premises, pred("a.x like 'MA%'"))
+
+    def test_or_atoms_syntactic(self):
+        premises = conj("(a.x = 1 or a.y = 2)")
+        assert implies(premises, pred("a.x = 1 or a.y = 2"))
+        assert not implies(premises, pred("a.x = 1 or a.y = 3"))

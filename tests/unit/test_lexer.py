@@ -1,0 +1,117 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT sElEcT select") == [
+            (TokenType.KEYWORD, "select")
+        ] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Grades") == [(TokenType.IDENT, "Grades")]
+
+    def test_function_names_are_identifiers(self):
+        # avg/count are not reserved words
+        assert kinds("avg")[0][0] is TokenType.IDENT
+        assert kinds("count")[0][0] is TokenType.IDENT
+
+    def test_integer_literal(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_decimal_literal(self):
+        assert kinds("3.25") == [(TokenType.NUMBER, "3.25")]
+
+    def test_exponent_literal(self):
+        assert kinds("1e3 2.5E-2") == [
+            (TokenType.NUMBER, "1e3"),
+            (TokenType.NUMBER, "2.5E-2"),
+        ]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_string_literal(self):
+        assert kinds("'CS101'") == [(TokenType.STRING, "CS101")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'O''Brien'") == [(TokenType.STRING, "O'Brien")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"weird name"') == [(TokenType.IDENT, "weird name")]
+
+
+class TestParameters:
+    def test_context_parameter(self):
+        assert kinds("$user_id") == [(TokenType.PARAM, "user_id")]
+
+    def test_access_pattern_parameter(self):
+        assert kinds("$$1") == [(TokenType.AP_PARAM, "1")]
+
+    def test_named_access_pattern_parameter(self):
+        assert kinds("$$acct") == [(TokenType.AP_PARAM, "acct")]
+
+    def test_bare_dollar_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("$ ")
+
+
+class TestOperators:
+    def test_multichar_operators_greedy(self):
+        assert [v for _, v in kinds("<= >= <> != ||")] == [
+            "<=", ">=", "<>", "!=", "||",
+        ]
+
+    def test_punctuation(self):
+        values = [v for _, v in kinds("( ) , . ; * / % + -")]
+        assert values == ["(", ")", ",", ".", ";", "*", "/", "%", "+", "-"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert kinds("select -- hidden\n1") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("select /* multi\nline */ 1") == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("select /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("select 'oops")
+
+    def test_position_tracking(self):
+        tokens = tokenize("select\n  x")
+        x = tokens[1]
+        assert (x.line, x.column) == (2, 3)
+
+
+class TestErrorCases:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("select @")
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("select 1")
+        assert tokens[-1].type is TokenType.EOF
+        assert tokenize("")[-1].type is TokenType.EOF

@@ -1,0 +1,94 @@
+"""Unit tests for predicate normalization."""
+
+from repro.sql import ast
+from repro.sql.parser import Parser
+from repro.algebra.normalize import normalize_predicate
+
+
+def pred(text):
+    return Parser(text).parse_expr()
+
+
+def norm(text):
+    return normalize_predicate(pred(text))
+
+
+class TestFlattening:
+    def test_and_tree_flattens(self):
+        assert len(norm("a.x = 1 and a.y = 2 and a.z = 3")) == 3
+
+    def test_none_is_empty(self):
+        assert normalize_predicate(None) == ()
+
+    def test_true_dropped(self):
+        assert norm("true") == ()
+        assert len(norm("a.x = 1 and true")) == 1
+
+    def test_duplicates_removed(self):
+        assert len(norm("a.x = 1 and a.x = 1")) == 1
+
+
+class TestBetween:
+    def test_between_expands(self):
+        conjuncts = norm("a.x between 1 and 5")
+        assert conjuncts == (
+            ast.BinaryOp(">=", ast.ColumnRef("a", "x"), ast.Literal(1)),
+            ast.BinaryOp("<=", ast.ColumnRef("a", "x"), ast.Literal(5)),
+        )
+
+    def test_not_between_kept_atomic(self):
+        conjuncts = norm("a.x not between 1 and 5")
+        assert len(conjuncts) == 1
+        assert isinstance(conjuncts[0], ast.Between) and conjuncts[0].negated
+
+
+class TestNotPushing:
+    def test_not_comparison(self):
+        assert norm("not a.x = 1") == norm("a.x <> 1")
+
+    def test_double_negation(self):
+        assert norm("not not a.x = 1") == norm("a.x = 1")
+
+    def test_not_lt(self):
+        assert norm("not a.x < 5") == norm("a.x >= 5")
+
+    def test_not_is_null(self):
+        (conj,) = norm("not a.x is null")
+        assert isinstance(conj, ast.IsNull) and conj.negated
+
+    def test_not_in(self):
+        (conj,) = norm("not a.x in (1, 2)")
+        assert isinstance(conj, ast.InList) and conj.negated
+
+    def test_de_morgan_over_or(self):
+        conjuncts = norm("not (a.x = 1 or a.y = 2)")
+        assert len(conjuncts) == 2
+        assert conjuncts == norm("a.x <> 1 and a.y <> 2")
+
+
+class TestOrientation:
+    def test_constant_moves_right(self):
+        assert norm("5 < a.x") == norm("a.x > 5")
+
+    def test_equality_constant_right(self):
+        assert norm("1 = a.x") == norm("a.x = 1")
+
+    def test_col_col_ordered(self):
+        assert norm("b.y = a.x") == norm("a.x = b.y")
+
+    def test_col_col_inequality_flips_op(self):
+        assert norm("b.y > a.x") == norm("a.x < b.y")
+
+
+class TestInLists:
+    def test_singleton_in_becomes_equality(self):
+        assert norm("a.x in (7)") == norm("a.x = 7")
+
+    def test_in_items_sorted(self):
+        assert norm("a.x in (3, 1, 2)") == norm("a.x in (1, 2, 3)")
+
+
+class TestDisjunctionsStayAtomic:
+    def test_or_kept(self):
+        (conj,) = norm("a.x = 1 or a.y = 2")
+        assert isinstance(conj, ast.BinaryOp) and conj.op == "or"

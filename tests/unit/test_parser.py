@@ -1,0 +1,290 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_query, parse_statement, parse_statements
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_query("select a, b from T")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert [i.expr for i in stmt.items] == [
+            ast.ColumnRef(None, "a"),
+            ast.ColumnRef(None, "b"),
+        ]
+        assert stmt.from_items == (ast.TableRef("T"),)
+
+    def test_star(self):
+        stmt = parse_query("select * from T")
+        assert stmt.items == (ast.SelectItem(ast.Star()),)
+
+    def test_qualified_star(self):
+        stmt = parse_query("select T.* from T")
+        assert stmt.items == (ast.SelectItem(ast.Star(table="T")),)
+
+    def test_alias_with_and_without_as(self):
+        a = parse_query("select x as y from T")
+        b = parse_query("select x y from T")
+        assert a.items[0].alias == "y"
+        assert b.items[0].alias == "y"
+
+    def test_distinct(self):
+        assert parse_query("select distinct a from T").distinct
+        assert not parse_query("select all a from T").distinct
+
+    def test_where(self):
+        stmt = parse_query("select a from T where a = 1 and b > 2")
+        where = stmt.where
+        assert isinstance(where, ast.BinaryOp) and where.op == "and"
+
+    def test_group_by_having(self):
+        stmt = parse_query(
+            "select a, count(*) from T group by a having count(*) > 3"
+        )
+        assert stmt.group_by == (ast.ColumnRef(None, "a"),)
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+    def test_order_by_limit_offset(self):
+        stmt = parse_query("select a from T order by a desc, b limit 10 offset 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_comma_join(self):
+        stmt = parse_query("select * from A, B, C")
+        assert len(stmt.from_items) == 3
+
+    def test_explicit_join(self):
+        stmt = parse_query("select * from A join B on A.x = B.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinRef) and join.kind == "inner"
+        assert join.condition == ast.BinaryOp(
+            "=", ast.ColumnRef("A", "x"), ast.ColumnRef("B", "y")
+        )
+
+    def test_left_join(self):
+        stmt = parse_query("select * from A left outer join B on A.x = B.y")
+        assert stmt.from_items[0].kind == "left"
+
+    def test_cross_join(self):
+        stmt = parse_query("select * from A cross join B")
+        join = stmt.from_items[0]
+        assert join.kind == "cross" and join.condition is None
+
+    def test_derived_table(self):
+        stmt = parse_query("select s.a from (select a from T) as s")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef) and sub.alias == "s"
+
+    def test_select_without_from(self):
+        stmt = parse_query("select 1")
+        assert stmt.from_items == ()
+
+
+class TestExpressions:
+    def q(self, where):
+        return parse_query(f"select a from T where {where}").where
+
+    def test_precedence_or_and(self):
+        expr = self.q("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = self.q("not a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "not"
+
+    def test_between(self):
+        expr = self.q("a between 1 and 3")
+        assert isinstance(expr, ast.Between) and not expr.negated
+
+    def test_not_between(self):
+        expr = self.q("a not between 1 and 3")
+        assert isinstance(expr, ast.Between) and expr.negated
+
+    def test_in_list(self):
+        expr = self.q("a in (1, 2, 3)")
+        assert isinstance(expr, ast.InList) and len(expr.items) == 3
+
+    def test_not_in(self):
+        assert self.q("a not in (1)").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.q("a is null").negated
+        assert self.q("a is not null").negated
+
+    def test_like(self):
+        expr = self.q("a like 'CS%'")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "like"
+
+    def test_arithmetic_precedence(self):
+        expr = self.q("a = 1 + 2 * 3")
+        plus = expr.right
+        assert plus.op == "+" and plus.right.op == "*"
+
+    def test_unary_minus_folds_literal(self):
+        expr = self.q("a = -5")
+        assert expr.right == ast.Literal(-5)
+
+    def test_neq_normalized(self):
+        assert self.q("a != 1").op == "<>"
+
+    def test_case_expression(self):
+        stmt = parse_query(
+            "select case when a > 1 then 'hi' else 'lo' end from T"
+        )
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.branches) == 1 and expr.default == ast.Literal("lo")
+
+    def test_count_star(self):
+        expr = parse_query("select count(*) from T").items[0].expr
+        assert expr == ast.FuncCall("count", (ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = parse_query("select count(distinct a) from T").items[0].expr
+        assert expr.distinct
+
+    def test_parameters(self):
+        stmt = parse_query("select * from T where a = $user_id and b = $$1")
+        conj = stmt.where
+        assert conj.left.right == ast.Param("user_id")
+        assert conj.right.right == ast.AccessParam("1")
+
+    def test_null_true_false_literals(self):
+        stmt = parse_query("select null, true, false")
+        values = [i.expr.value for i in stmt.items]
+        assert values == [None, True, False]
+
+
+class TestSetOps:
+    def test_union_all(self):
+        stmt = parse_query("select a from T union all select b from U")
+        assert isinstance(stmt, ast.SetOp)
+        assert stmt.op == "union" and stmt.all
+
+    def test_chained_set_ops_left_assoc(self):
+        stmt = parse_query(
+            "select a from T union select a from U except select a from V"
+        )
+        assert stmt.op == "except"
+        assert stmt.left.op == "union"
+
+    def test_intersect(self):
+        stmt = parse_query("select a from T intersect select a from U")
+        assert stmt.op == "intersect" and not stmt.all
+
+
+class TestDDL:
+    def test_create_table_with_constraints(self):
+        stmt = parse_statement(
+            "create table T(a int primary key, b varchar(20) not null, "
+            "c float default 0.5, unique (b), check (c > 0), "
+            "foreign key (b) references U (x))"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default == ast.Literal(0.5)
+        assert stmt.uniques == (("b",),)
+        assert len(stmt.checks) == 1
+        assert stmt.foreign_keys[0].ref_table == "U"
+
+    def test_table_level_primary_key(self):
+        stmt = parse_statement("create table T(a int, b int, primary key (a, b))")
+        assert stmt.primary_key == ("a", "b")
+
+    def test_create_view(self):
+        stmt = parse_statement("create view V as select a from T")
+        assert isinstance(stmt, ast.CreateView) and not stmt.authorization
+
+    def test_create_authorization_view(self):
+        stmt = parse_statement(
+            "create authorization view V as select * from T where x = $user_id"
+        )
+        assert stmt.authorization
+
+    def test_view_column_list(self):
+        stmt = parse_statement("create view V (p, q) as select a, b from T")
+        assert stmt.column_names == ("p", "q")
+
+    def test_drop(self):
+        assert parse_statement("drop table T").kind == "table"
+        assert parse_statement("drop view V").kind == "view"
+
+    def test_grant(self):
+        stmt = parse_statement("grant select on V to alice")
+        assert (stmt.object_name, stmt.grantee) == ("V", "alice")
+
+
+class TestDML:
+    def test_insert_values(self):
+        stmt = parse_statement("insert into T values (1, 'x'), (2, 'y')")
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("insert into T (a, b) values (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("insert into T select * from U")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("update T set a = 1, b = b + 1 where c = 2")
+        assert len(stmt.assignments) == 2 and stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("delete from T where a = 1")
+        assert stmt.table == "T"
+
+
+class TestAuthorize:
+    def test_authorize_insert(self):
+        stmt = parse_statement(
+            "authorize insert on Registered where Registered.student_id = $user_id"
+        )
+        assert stmt.action == "insert" and stmt.columns == ()
+
+    def test_authorize_update_with_columns_and_old(self):
+        stmt = parse_statement(
+            "authorize update on Students(address) "
+            "where old(Students.student_id) = $user_id"
+        )
+        assert stmt.columns == ("address",)
+        assert isinstance(stmt.where.left, ast.OldColumnRef)
+
+    def test_authorize_delete(self):
+        stmt = parse_statement("authorize delete on T where T.owner = $user_id")
+        assert stmt.action == "delete"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select",
+            "select from T",
+            "select a from",
+            "select a from T where",
+            "create table T()",
+            "insert into T values",
+            "grant insert on V to x",
+            "authorize select on T",
+            "select a from T group by",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_statement(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("select a from T 123")
+
+    def test_multiple_statements(self):
+        statements = parse_statements("select 1; select 2;")
+        assert len(statements) == 2

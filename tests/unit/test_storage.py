@@ -1,0 +1,156 @@
+"""Unit tests for row storage and hash indexes."""
+
+import pytest
+
+from repro.errors import ExecutionError, IntegrityError
+from repro.catalog import Column, DataType, TableSchema
+from repro.storage import HashIndex, Table
+
+
+def make_table(unique_on=None):
+    schema = TableSchema(
+        "T",
+        (
+            Column("id", DataType.INT, not_null=True),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ),
+    )
+    table = Table(schema)
+    if unique_on:
+        table.create_index(unique_on, unique=True)
+    return table
+
+
+class TestTable:
+    def test_insert_and_iterate(self):
+        t = make_table()
+        t.insert((1, "a", 1.5))
+        t.insert((2, "b", None))
+        assert sorted(t.rows()) == [(1, "a", 1.5), (2, "b", None)]
+        assert len(t) == 2
+
+    def test_bag_semantics_duplicates(self):
+        t = make_table()
+        t.insert((1, "a", 1.0))
+        t.insert((1, "a", 1.0))
+        assert len(t) == 2
+
+    def test_coercion_on_insert(self):
+        t = make_table()
+        t.insert((1, "a", 2))  # int -> float column
+        assert list(t.rows())[0][2] == 2.0
+
+    def test_not_null_enforced(self):
+        t = make_table()
+        with pytest.raises(IntegrityError):
+            t.insert((None, "a", 1.0))
+
+    def test_arity_check(self):
+        t = make_table()
+        with pytest.raises(ExecutionError):
+            t.insert((1, "a"))
+
+    def test_unique_index_enforced(self):
+        t = make_table(unique_on=("id",))
+        t.insert((1, "a", 1.0))
+        with pytest.raises(IntegrityError):
+            t.insert((1, "b", 2.0))
+
+    def test_unique_allows_null_keys(self):
+        schema = TableSchema("T", (Column("id", DataType.INT), Column("x", DataType.INT)))
+        t = Table(schema)
+        t.create_index(("x",), unique=True)
+        t.insert((1, None))
+        t.insert((2, None))  # SQL UNIQUE permits multiple NULLs
+        assert len(t) == 2
+
+    def test_delete_row_updates_index(self):
+        t = make_table(unique_on=("id",))
+        rid = t.insert((1, "a", 1.0))
+        t.delete_row(rid)
+        t.insert((1, "again", 2.0))  # id reusable after delete
+        assert len(t) == 1
+
+    def test_update_row(self):
+        t = make_table(unique_on=("id",))
+        rid = t.insert((1, "a", 1.0))
+        old = t.update_row(rid, (1, "z", 9.0))
+        assert old == (1, "a", 1.0)
+        assert list(t.rows()) == [(1, "z", 9.0)]
+
+    def test_update_row_unique_violation(self):
+        t = make_table(unique_on=("id",))
+        t.insert((1, "a", 1.0))
+        rid = t.insert((2, "b", 2.0))
+        with pytest.raises(IntegrityError):
+            t.update_row(rid, (1, "b", 2.0))
+
+    def test_update_row_same_key_allowed(self):
+        t = make_table(unique_on=("id",))
+        rid = t.insert((1, "a", 1.0))
+        t.update_row(rid, (1, "b", 1.0))  # key unchanged: no violation
+
+    def test_delete_where(self):
+        t = make_table()
+        for i in range(5):
+            t.insert((i, "x", float(i)))
+        deleted = t.delete_where(lambda row: row[0] % 2 == 0)
+        assert deleted == 3 and len(t) == 2
+
+    def test_truncate(self):
+        t = make_table(unique_on=("id",))
+        t.insert((1, "a", 1.0))
+        t.truncate()
+        assert len(t) == 0
+
+    def test_distinct_count(self):
+        t = make_table()
+        t.insert((1, "a", 1.0))
+        t.insert((2, "a", 2.0))
+        assert t.distinct_count("name") == 1
+        assert t.distinct_count("id") == 2
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        t = make_table()
+        index = t.create_index(("name",))
+        t.insert((1, "a", 1.0))
+        t.insert((2, "a", 2.0))
+        t.insert((3, "b", 3.0))
+        assert len(index.lookup(("a",))) == 2
+        assert index.lookup(("zzz",)) == frozenset()
+
+    def test_lookup_null_key_empty(self):
+        t = make_table()
+        index = t.create_index(("name",))
+        t.insert((1, None, 1.0))
+        assert index.lookup((None,)) == frozenset()
+
+    def test_index_backfills_existing_rows(self):
+        t = make_table()
+        t.insert((1, "a", 1.0))
+        index = t.create_index(("name",))
+        assert len(index.lookup(("a",))) == 1
+
+    def test_composite_index(self):
+        t = make_table()
+        index = t.create_index(("id", "name"))
+        t.insert((1, "a", 1.0))
+        assert len(index.lookup((1, "a"))) == 1
+        assert index.lookup((1, "b")) == frozenset()
+
+    def test_find_index(self):
+        t = make_table()
+        t.create_index(("name",))
+        assert t.find_index(("name",)) is not None
+        assert t.find_index(("score",)) is None
+
+    def test_would_violate(self):
+        t = make_table(unique_on=("id",))
+        rid = t.insert((1, "a", 1.0))
+        index = t.find_index(("id",))
+        assert index.would_violate((1, "x", 0.0))
+        assert not index.would_violate((1, "x", 0.0), ignore_row_id=rid)
+        assert not index.would_violate((2, "x", 0.0))

@@ -1,0 +1,245 @@
+"""Unit tests for the binder/translator (AST → algebra)."""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousColumnError,
+    BindError,
+    ParameterError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.sql import parse_query
+from repro.algebra import ops
+from repro.algebra.translate import Translator
+from repro.catalog.catalog import Catalog, ViewDef
+from repro.sql.parser import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_table_from_ast(
+        parse_statement("create table T(a int primary key, b varchar(10), c float)")
+    )
+    cat.create_table_from_ast(
+        parse_statement("create table U(a int primary key, d varchar(10))")
+    )
+    cat.create_view(
+        ViewDef("V", parse_query("select a, b from T where c > 0"))
+    )
+    cat.create_view(
+        ViewDef(
+            "AV",
+            parse_query("select * from T where a = $user_id"),
+            authorization=True,
+        )
+    )
+    return cat
+
+
+def translate(catalog, sql, **kwargs):
+    return Translator(catalog, **kwargs).translate(parse_query(sql))
+
+
+class TestBasicShapes:
+    def test_scan_project(self, catalog):
+        plan = translate(catalog, "select a, b from T")
+        assert isinstance(plan, ops.Project)
+        assert isinstance(plan.child, ops.Rel)
+        assert [c.name for c in plan.columns] == ["a", "b"]
+
+    def test_star_expansion(self, catalog):
+        plan = translate(catalog, "select * from T")
+        assert [c.name for c in plan.columns] == ["a", "b", "c"]
+
+    def test_qualified_star(self, catalog):
+        plan = translate(catalog, "select U.* from T, U")
+        assert [c.name for c in plan.columns] == ["a", "d"]
+
+    def test_where_becomes_select(self, catalog):
+        plan = translate(catalog, "select a from T where b = 'x'")
+        assert isinstance(plan.child, ops.Select)
+
+    def test_comma_join_is_cross(self, catalog):
+        plan = translate(catalog, "select T.a from T, U")
+        join = plan.child
+        assert isinstance(join, ops.Join) and join.kind == "cross"
+
+    def test_explicit_join_condition_bound(self, catalog):
+        plan = translate(catalog, "select T.a from T join U on T.a = U.a")
+        join = plan.child
+        assert join.kind == "inner"
+        assert join.predicate is not None
+
+    def test_right_join_normalized_to_left(self, catalog):
+        plan = translate(catalog, "select T.a from T right join U on T.a = U.a")
+        join = plan.child
+        assert join.kind == "left"
+        # operands swapped: U becomes the left (preserved) side
+        assert isinstance(join.left, ops.Rel) and join.left.name == "U"
+
+    def test_order_limit(self, catalog):
+        plan = translate(catalog, "select a from T order by a limit 5")
+        assert isinstance(plan, ops.Limit)
+        assert isinstance(plan.child, ops.Sort)
+
+    def test_distinct(self, catalog):
+        plan = translate(catalog, "select distinct a from T")
+        assert isinstance(plan, ops.Distinct)
+
+
+class TestNameResolution:
+    def test_alias_binding(self, catalog):
+        plan = translate(catalog, "select x.a from T as x")
+        rel = plan.child
+        assert rel.binding == "x"
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(UnknownTableError):
+            translate(catalog, "select a from Nope")
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            translate(catalog, "select zz from T")
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(AmbiguousColumnError):
+            translate(catalog, "select a from T, U")
+
+    def test_duplicate_alias_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select 1 from T x, U x")
+
+    def test_self_join_with_aliases(self, catalog):
+        plan = translate(catalog, "select t1.a, t2.a from T t1, T t2")
+        assert len(plan.columns) == 2
+
+
+class TestViews:
+    def test_plain_view_expanded(self, catalog):
+        plan = translate(catalog, "select v.a from V v")
+        aliases = [n for n in ops.walk(plan) if isinstance(n, ops.Alias)]
+        assert aliases and aliases[0].binding == "v"
+        rels = ops.base_relations(plan)
+        assert rels[0].name == "T"
+
+    def test_auth_view_expanded_with_params(self, catalog):
+        plan = translate(
+            catalog, "select a from AV", param_values={"user_id": 7}
+        )
+        # the $user_id should be gone, replaced by literal 7
+        selects = [n for n in ops.walk(plan) if isinstance(n, ops.Select)]
+        assert selects and "7" in str(selects[0].predicate)
+
+    def test_missing_param_raises(self, catalog):
+        with pytest.raises(ParameterError):
+            translate(catalog, "select a from AV")
+
+    def test_view_filter_blocks(self, catalog):
+        with pytest.raises(UnknownTableError):
+            translate(
+                catalog,
+                "select a from AV",
+                param_values={"user_id": 7},
+                view_filter=lambda v: not v.authorization,
+            )
+
+    def test_keep_view_scans(self, catalog):
+        plan = translate(
+            catalog,
+            "select a from AV",
+            param_values={"user_id": 7},
+            keep_view_scans=True,
+        )
+        leaves = ops.view_relations(plan)
+        assert leaves and leaves[0].name == "AV"
+
+
+class TestAggregates:
+    def test_group_by_shape(self, catalog):
+        plan = translate(catalog, "select b, count(*) as n from T group by b")
+        agg = plan.child
+        assert isinstance(agg, ops.Aggregate)
+        assert [n for _, n in agg.group_exprs] == ["b"]
+        assert len(agg.aggregates) == 1
+
+    def test_scalar_aggregate(self, catalog):
+        plan = translate(catalog, "select avg(c) from T")
+        agg = plan.child
+        assert isinstance(agg, ops.Aggregate) and agg.group_exprs == ()
+
+    def test_having_becomes_select_above_aggregate(self, catalog):
+        plan = translate(
+            catalog, "select b from T group by b having count(*) > 1"
+        )
+        select = plan.child
+        assert isinstance(select, ops.Select)
+        assert isinstance(select.child, ops.Aggregate)
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select a, count(*) from T group by b")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select a from T where count(*) > 1")
+
+    def test_duplicate_aggregate_shared(self, catalog):
+        plan = translate(
+            catalog, "select count(*), count(*) from T"
+        )
+        agg = plan.child
+        assert len(agg.aggregates) == 1
+
+    def test_expression_over_aggregate(self, catalog):
+        plan = translate(catalog, "select avg(c) * 2 from T")
+        assert isinstance(plan.child, ops.Aggregate)
+
+    def test_star_with_group_by_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select * from T group by a")
+
+
+class TestSetOps:
+    def test_union(self, catalog):
+        plan = translate(
+            catalog, "select a from T union all select a from U"
+        )
+        assert isinstance(plan, ops.SetOperation) and plan.all
+
+    def test_arity_mismatch(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select a, b from T union select a from U")
+
+
+class TestOrderByResolution:
+    def test_order_by_alias(self, catalog):
+        plan = translate(catalog, "select a as z from T order by z")
+        assert isinstance(plan, ops.Sort)
+
+    def test_order_by_underlying_column(self, catalog):
+        plan = translate(catalog, "select a from T order by T.a")
+        assert isinstance(plan, ops.Sort)
+
+    def test_order_by_aggregate_output(self, catalog):
+        plan = translate(
+            catalog, "select b, count(*) as n from T group by b order by n desc"
+        )
+        assert isinstance(plan, ops.Sort)
+
+    def test_order_by_unprojected_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select a from T order by c")
+
+
+class TestSubqueries:
+    def test_derived_table(self, catalog):
+        plan = translate(
+            catalog, "select s.a from (select a, b from T) as s where s.b = 'x'"
+        )
+        assert [c.name for c in plan.columns] == ["a"]
+
+    def test_duplicate_output_names_in_subquery_rejected(self, catalog):
+        with pytest.raises(BindError):
+            translate(catalog, "select * from (select a, a from T) as s")
