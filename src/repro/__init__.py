@@ -41,7 +41,15 @@ from repro.errors import (
     ParseError,
     QueryRejectedError,
     ReproError,
+    ServiceOverloaded,
+    ServiceShutdown,
     UpdateRejectedError,
+)
+from repro.service import (
+    EnforcementGateway,
+    QueryRequest,
+    QueryResponse,
+    RequestStatus,
 )
 
 __version__ = "1.0.0"
@@ -57,11 +65,17 @@ __all__ = [
     "ValidityChecker",
     "Validity",
     "ValidityDecision",
+    "EnforcementGateway",
+    "QueryRequest",
+    "QueryResponse",
+    "RequestStatus",
     "ReproError",
     "ParseError",
     "IntegrityError",
     "AccessControlError",
     "QueryRejectedError",
+    "ServiceOverloaded",
+    "ServiceShutdown",
     "UpdateRejectedError",
     "__version__",
 ]

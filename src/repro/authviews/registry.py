@@ -12,10 +12,18 @@ This registry implements the standard SQL-style technique: grants carry
 an optional **grant option**; a holder with the grant option may
 delegate the view onward; revoking a grant cascades through the
 delegation chains rooted at it.
+
+The registry is safe for concurrent readers and writers: mutations and
+reads take one re-entrant lock.  Every successful mutation bumps a
+monotonic ``version`` counter, which the enforcement gateway's shared
+validity cache uses to drop decisions that predate a policy change
+(a query invalid before a ``\\grant`` may be valid after it, and vice
+versa after a revoke).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -38,6 +46,14 @@ class GrantRegistry:
 
     def __init__(self):
         self._records: list[GrantRecord] = []
+        self._lock = threading.RLock()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every grant/revoke."""
+        with self._lock:
+            return self._version
 
     # -- granting ---------------------------------------------------------
 
@@ -54,13 +70,15 @@ class GrantRegistry:
         view = view_name.lower()
         who = grantee.lower()
         giver = (grantor or _DBA).lower()
-        if giver != _DBA and not self.has_grant_option(view_name, giver):
-            raise GrantError(
-                f"{grantor!r} cannot delegate {view_name!r}: no grant option"
-            )
-        record = GrantRecord(view, who, giver, grant_option)
-        if record not in self._records:
-            self._records.append(record)
+        with self._lock:
+            if giver != _DBA and not self.has_grant_option(view_name, giver):
+                raise GrantError(
+                    f"{grantor!r} cannot delegate {view_name!r}: no grant option"
+                )
+            record = GrantRecord(view, who, giver, grant_option)
+            if record not in self._records:
+                self._records.append(record)
+                self._version += 1
 
     def delegate(
         self,
@@ -81,18 +99,20 @@ class GrantRegistry:
         view = view_name.lower()
         who = grantee.lower()
         giver = None if grantor is None else grantor.lower()
-        doomed = [
-            r
-            for r in self._records
-            if r.view == view
-            and r.grantee == who
-            and (giver is None or r.grantor == giver)
-        ]
-        if not doomed:
-            raise GrantError(f"{grantee!r} holds no grant on {view_name!r}")
-        for record in doomed:
-            self._records.remove(record)
-        self._cascade(view)
+        with self._lock:
+            doomed = [
+                r
+                for r in self._records
+                if r.view == view
+                and r.grantee == who
+                and (giver is None or r.grantor == giver)
+            ]
+            if not doomed:
+                raise GrantError(f"{grantee!r} holds no grant on {view_name!r}")
+            for record in doomed:
+                self._records.remove(record)
+            self._cascade(view)
+            self._version += 1
 
     def _cascade(self, view: str) -> None:
         """Drop delegated grants whose grantor no longer has the option."""
@@ -109,7 +129,8 @@ class GrantRegistry:
     # -- queries -----------------------------------------------------------------
 
     def _grants_for(self, view: str) -> list[GrantRecord]:
-        return [r for r in self._records if r.view == view]
+        with self._lock:
+            return [r for r in self._records if r.view == view]
 
     def is_granted(self, view_name: str, user: Optional[str]) -> bool:
         view = view_name.lower()
@@ -146,6 +167,7 @@ class GrantRegistry:
         return None
 
     def grants(self, view_name: Optional[str] = None) -> list[GrantRecord]:
-        if view_name is None:
-            return list(self._records)
-        return self._grants_for(view_name.lower())
+        with self._lock:
+            if view_name is None:
+                return list(self._records)
+            return self._grants_for(view_name.lower())

@@ -48,6 +48,13 @@ class Catalog:
         self._foreign_keys: list[ForeignKey] = []
         self._checks: list[CheckConstraint] = []
         self._participations: list[TotalParticipation] = []
+        #: bumped on every view-registry change; cached validity
+        #: decisions (repro.service) are dropped when this moves
+        self._views_version = 0
+
+    @property
+    def views_version(self) -> int:
+        return self._views_version
 
     # -- registration ---------------------------------------------------
 
@@ -107,6 +114,7 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise DuplicateNameError(view.name)
         self._views[key] = view
+        self._views_version += 1
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -133,6 +141,7 @@ class Catalog:
         if key not in self._views:
             raise UnknownTableError(name)
         del self._views[key]
+        self._views_version += 1
 
     # -- constraints ------------------------------------------------------
 

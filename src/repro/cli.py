@@ -4,7 +4,10 @@ Run with ``python -m repro`` (optionally ``--workload university`` or
 ``--workload bank``, and ``--script file.sql`` to preload a schema).
 
 Statements ending in ``;`` are executed as SQL under the current
-session and access-control mode.  Meta-commands:
+session and access-control mode.  SELECT statements are served through
+the concurrent enforcement gateway (:mod:`repro.service`), so the shell
+doubles as a single-user client of the same code path the service
+exposes — ``\\stats`` shows the gateway's live metrics.  Meta-commands:
 
 =================  ====================================================
 ``\\user ID``       reconnect as a different user
@@ -15,6 +18,9 @@ session and access-control mode.  Meta-commands:
 ``\\explain SQL``   show the logical plan for a query
 ``\\grant V U``     grant view V to user U (or PUBLIC)
 ``\\tables``        list base tables
+``\\stats``         gateway metrics: requests, cache, pool, latency
+``\\audit [N]``     last N audit-log records (default 10)
+``\\reset``         discard the partially-entered statement buffer
 ``\\help``          this text
 ``\\quit``          exit
 =================  ====================================================
@@ -26,7 +32,7 @@ import argparse
 import sys
 from typing import Optional, TextIO
 
-from repro.db import Connection, Database
+from repro.db import Connection, Database, MODES
 from repro.errors import ReproError
 from repro.sql import parse_statement, ast
 
@@ -38,12 +44,15 @@ Type SQL terminated by ';', or \\help for meta-commands."""
 class Shell:
     """A line-oriented REPL over one Database."""
 
-    def __init__(self, db: Database, out: TextIO = sys.stdout):
+    def __init__(self, db: Database, out: TextIO = sys.stdout,
+                 gateway_workers: int = 2):
         self.db = db
         self.out = out
         self.mode = "non-truman"
         self.user: Optional[str] = None
         self.conn: Connection = db.connect(user_id=None, mode=self.mode)
+        self.gateway_workers = gateway_workers
+        self._gateway = None
         self._buffer: list[str] = []
 
     # ------------------------------------------------------------------
@@ -54,16 +63,34 @@ class Shell:
     def reconnect(self) -> None:
         self.conn = self.db.connect(user_id=self.user, mode=self.mode)
 
+    def gateway(self):
+        """The shell's enforcement gateway, started on first use."""
+        if self._gateway is None:
+            from repro.service import EnforcementGateway
+
+            self._gateway = EnforcementGateway(
+                self.db, workers=self.gateway_workers, name="shell-gateway"
+            )
+        return self._gateway
+
+    def close(self) -> None:
+        if self._gateway is not None:
+            self._gateway.shutdown(drain=True)
+            self._gateway = None
+
     # ------------------------------------------------------------------
 
     def run(self, lines) -> None:
         self.write(BANNER)
         self._prompt()
-        for raw in lines:
-            line = raw.rstrip("\n")
-            if not self._feed(line):
-                break
-            self._prompt()
+        try:
+            for raw in lines:
+                line = raw.rstrip("\n")
+                if not self._feed(line):
+                    break
+                self._prompt()
+        finally:
+            self.close()
 
     def _prompt(self) -> None:
         user = self.user or "<anonymous>"
@@ -75,7 +102,15 @@ class Shell:
         stripped = line.strip()
         if not stripped and not self._buffer:
             return True
-        if stripped.startswith("\\") and not self._buffer:
+        if stripped.startswith("\\"):
+            if self._buffer and stripped.split(None, 1)[0].lower() != "\\reset":
+                self.write(
+                    f"error: cannot run meta-command {stripped.split()[0]} "
+                    f"with a statement in progress ({len(self._buffer)} "
+                    "buffered line(s)); finish it with ';' or discard it "
+                    "with \\reset"
+                )
+                return True
             return self._meta(stripped)
         self._buffer.append(line)
         if stripped.endswith(";"):
@@ -101,8 +136,11 @@ class Shell:
             self.write(f"connected as {self.user!r}")
         elif head == "\\mode":
             mode = rest.strip().lower()
-            if mode not in ("open", "truman", "non-truman", "motro"):
-                self.write("modes: open | truman | non-truman | motro")
+            if mode not in MODES:
+                self.write(
+                    f"error: unknown mode {mode!r} "
+                    f"(modes: {' | '.join(MODES)}); staying in {self.mode!r}"
+                )
             else:
                 self.mode = mode
                 self.reconnect()
@@ -118,6 +156,14 @@ class Shell:
             self._check(rest)
         elif head == "\\explain":
             self._explain(rest)
+        elif head == "\\stats":
+            self.write(self.gateway().render_stats())
+        elif head == "\\audit":
+            self._audit(rest)
+        elif head == "\\reset":
+            discarded = len(self._buffer)
+            self._buffer = []
+            self.write(f"input buffer cleared ({discarded} line(s) discarded)")
         else:
             self.write(f"unknown meta-command {head!r}; try \\help")
         return True
@@ -181,24 +227,65 @@ class Shell:
             return
         self.write(plan.pretty())
 
+    def _audit(self, rest: str) -> None:
+        try:
+            count = int(rest.strip()) if rest.strip() else 10
+        except ValueError:
+            self.write("usage: \\audit [N]")
+            return
+        records = self.gateway().audit.tail(count)
+        if not records:
+            self.write("  (audit log is empty)")
+            return
+        for record in records:
+            rules = ",".join(record.rules) or "-"
+            self.write(
+                f"  #{record.seq} user={record.user!r} mode={record.mode} "
+                f"status={record.status} decision={record.decision or '-'} "
+                f"rules={rules} cache={'hit' if record.cache_hit else 'miss'} "
+                f"{record.latency_ms:.2f}ms :: {record.signature}"
+            )
+
     # -- SQL execution -------------------------------------------------------
 
     def _execute_sql(self, sql: str) -> None:
         if not sql.strip():
             return
         try:
-            outcome = self.conn.execute(sql)
+            statement = parse_statement(sql)
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
-        from repro.db import Result
-
-        if isinstance(outcome, Result):
-            self._print_result(outcome)
-        elif isinstance(outcome, int):
+        if isinstance(statement, ast.QueryExpr):
+            self._execute_query(sql)
+            return
+        try:
+            outcome = self.conn.execute(statement)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        if isinstance(outcome, int):
             self.write(f"{outcome} row(s) affected")
         else:
             self.write("ok")
+
+    def _execute_query(self, sql: str) -> None:
+        """SELECTs go through the enforcement gateway (same path as the
+        service's network clients would take)."""
+        from repro.errors import ServiceError
+        from repro.service import QueryRequest, RequestStatus
+
+        try:
+            response = self.gateway().execute(
+                QueryRequest(user=self.user, sql=sql, mode=self.mode)
+            )
+        except ServiceError as exc:
+            self.write(f"error: {exc}")
+            return
+        if response.status is RequestStatus.OK:
+            self._print_result(response.result)
+        else:
+            self.write(f"error: {response.error}")
 
     def _print_result(self, result) -> None:
         from repro.bench.reporting import format_table
@@ -253,10 +340,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         choices=["open", "truman", "non-truman", "motro"],
         help="initial access-control mode",
     )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="gateway worker threads serving the shell's queries",
+    )
     args = parser.parse_args(argv)
 
     db = build_database(args.workload, args.script)
-    shell = Shell(db)
+    shell = Shell(db, gateway_workers=args.workers)
     shell.mode = args.mode
     shell.user = args.user
     shell.reconnect()

@@ -195,6 +195,19 @@ class Database:
         )
         return Connection(self, session, mode)
 
+    def serve(self, **kwargs) -> "object":
+        """Start a concurrent enforcement gateway over this database.
+
+        Keyword arguments are forwarded to
+        :class:`repro.service.EnforcementGateway` (``workers``,
+        ``queue_size``, ``cache_shards``, ...).  The caller owns the
+        gateway and should ``shutdown()`` it (or use it as a context
+        manager).
+        """
+        from repro.service import EnforcementGateway
+
+        return EnforcementGateway(self, **kwargs)
+
     # -- storage access ------------------------------------------------------
 
     def table(self, name: str) -> Table:

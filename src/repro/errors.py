@@ -114,3 +114,20 @@ class UnsupportedFeatureError(ReproError):
     validity checker raises this error for constructs outside the
     supported fragment rather than silently mis-answering.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for enforcement-gateway (``repro.service``) failures."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Raised when the gateway's admission queue is full (backpressure).
+
+    Callers should back off and retry; the request was never enqueued,
+    so nothing was executed on its behalf.
+    """
+
+
+class ServiceShutdown(ServiceError):
+    """Raised when a request is submitted to a gateway that is shutting
+    down (or already stopped) and no longer accepts new work."""

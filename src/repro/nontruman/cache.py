@@ -17,10 +17,19 @@ Two mechanisms from the paper:
 Conditional decisions depend on the database state, so cache entries
 are stamped with a data-version counter and dropped when underlying
 data changes.
+
+The cache is safe for concurrent readers and writers: every structural
+operation (lookup, store, eviction, version bump) happens under one
+re-entrant lock, so the enforcement gateway (:mod:`repro.service`) can
+share instances across worker threads.  An optional ``max_entries``
+bound turns the entry map into an LRU: lookups refresh recency, stores
+evict the least-recently-used entry on overflow.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -63,21 +72,57 @@ class _Entry:
     data_version: int
 
 
-class ValidityCache:
-    """Decision cache with exact and prepared-signature lookups."""
+def entry_matches(
+    entry: _Entry, literals: tuple, user_value: object
+) -> bool:
+    """Does a stored entry's decision carry over to these literals?
 
-    def __init__(self):
-        self._entries: dict[tuple, _Entry] = {}
-        self.data_version = 0
+    Exact literal match always carries over.  Otherwise apply the
+    prepared-statement rule: positions that previously held the session
+    parameter must hold the *current* session parameter, and every
+    other literal must be unchanged.
+    """
+    if entry.literals == literals:
+        return True
+    if len(entry.literals) != len(literals):
+        return False
+    for index, (old, new) in enumerate(zip(entry.literals, literals)):
+        if index in entry.user_positions:
+            if new != user_value:
+                return False
+        elif old != new:
+            return False
+    return True
+
+
+class ValidityCache:
+    """Decision cache with exact and prepared-signature lookups.
+
+    Thread-safe; optionally LRU-bounded via ``max_entries``.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._data_version = 0
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def data_version(self) -> int:
+        with self._lock:
+            return self._data_version
 
     def invalidate_data(self) -> None:
         """Call on any data change; drops conditional decisions."""
-        self.data_version += 1
+        with self._lock:
+            self._data_version += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
 
@@ -88,36 +133,45 @@ class ValidityCache:
         self, user: Optional[str], query: ast.QueryExpr, user_value: object
     ) -> Optional[tuple[Validity, str]]:
         skeleton, literals = query_signature(query)
-        entry = self._entries.get(self._key(user, skeleton))
-        if entry is None:
-            self.misses += 1
-            return None
-        # Conditional validity depends on the database state, and so do
-        # rejections (a query invalid today may become conditionally
-        # valid after an insert — Example 4.2's enrollment threshold).
-        # Only UNCONDITIONAL acceptances are state-independent.
-        if (
-            entry.validity is not Validity.UNCONDITIONAL
-            and entry.data_version != self.data_version
-        ):
-            self.misses += 1
-            return None
-        if entry.literals == literals:
-            self.hits += 1
-            return entry.validity, entry.reason
-        # Prepared-statement reuse: the same skeleton with different
-        # constants carries over iff the positions that previously held
-        # the session parameter still do, and all other literals match.
-        for index, (old, new) in enumerate(zip(entry.literals, literals)):
-            if index in entry.user_positions:
-                if new != user_value:
-                    self.misses += 1
-                    return None
-            elif old != new:
+        return self.lookup_signed(user, skeleton, literals, user_value)
+
+    def lookup_signed(
+        self,
+        user: Optional[str],
+        skeleton: ast.QueryExpr,
+        literals: tuple,
+        user_value: object,
+        data_version: Optional[int] = None,
+    ) -> Optional[tuple[Validity, str]]:
+        """Lookup with a precomputed :func:`query_signature`.
+
+        ``data_version`` overrides the cache's own counter, letting a
+        process-wide cache validate entries against an external
+        (database-owned) version source.
+        """
+        key = self._key(user, skeleton)
+        with self._lock:
+            version = self._data_version if data_version is None else data_version
+            entry = self._entries.get(key)
+            if entry is None:
                 self.misses += 1
                 return None
-        self.hits += 1
-        return entry.validity, entry.reason
+            # Conditional validity depends on the database state, and so do
+            # rejections (a query invalid today may become conditionally
+            # valid after an insert — Example 4.2's enrollment threshold).
+            # Only UNCONDITIONAL acceptances are state-independent.
+            if (
+                entry.validity is not Validity.UNCONDITIONAL
+                and entry.data_version != version
+            ):
+                self.misses += 1
+                return None
+            if not entry_matches(entry, literals, user_value):
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry.validity, entry.reason
 
     def store(
         self,
@@ -128,17 +182,44 @@ class ValidityCache:
         reason: str,
     ) -> None:
         skeleton, literals = query_signature(query)
+        self.store_signed(user, skeleton, literals, user_value, validity, reason)
+
+    def store_signed(
+        self,
+        user: Optional[str],
+        skeleton: ast.QueryExpr,
+        literals: tuple,
+        user_value: object,
+        validity: Validity,
+        reason: str,
+        data_version: Optional[int] = None,
+    ) -> None:
+        """Store with a precomputed signature (see :meth:`lookup_signed`).
+
+        Pass the ``data_version`` observed *before* the validity check
+        ran: if a concurrent data change bumped the version mid-check,
+        the entry is stored already-stale and treated as a miss later.
+        """
         user_positions = frozenset(
             index for index, value in enumerate(literals) if value == user_value
         )
-        self._entries[self._key(user, skeleton)] = _Entry(
-            validity=validity,
-            reason=reason,
-            literals=literals,
-            user_positions=user_positions,
-            data_version=self.data_version,
-        )
+        key = self._key(user, skeleton)
+        with self._lock:
+            version = self._data_version if data_version is None else data_version
+            self._entries[key] = _Entry(
+                validity=validity,
+                reason=reason,
+                literals=literals,
+                user_positions=user_positions,
+                data_version=version,
+            )
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     @property
     def size(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

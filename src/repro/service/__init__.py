@@ -1,0 +1,43 @@
+"""repro.service — the concurrent policy-enforcement gateway.
+
+A thread-safe, multi-session front door over one
+:class:`~repro.db.Database`: worker pool, bounded admission queue with
+backpressure, per-request deadlines, per-user connection pooling, a
+process-wide sharded validity-decision cache, and an observability
+layer (structured audit log + metrics registry).
+
+Quickstart::
+
+    from repro.service import EnforcementGateway, QueryRequest
+
+    gateway = EnforcementGateway(db, workers=4)
+    response = gateway.execute(
+        QueryRequest(user="11", sql="select * from MyGrades")
+    )
+    assert response.ok
+    gateway.shutdown()
+"""
+
+from repro.service.audit import AuditLog, AuditRecord
+from repro.service.cache import SharedValidityCache
+from repro.service.gateway import EnforcementGateway, PendingQuery
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.pool import ConnectionPool
+from repro.service.request import QueryRequest, QueryResponse, RequestStatus, Timing
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "ConnectionPool",
+    "Counter",
+    "EnforcementGateway",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PendingQuery",
+    "QueryRequest",
+    "QueryResponse",
+    "RequestStatus",
+    "SharedValidityCache",
+    "Timing",
+]

@@ -1,0 +1,121 @@
+"""Structured audit log for the enforcement gateway.
+
+Every request the gateway finishes — accepted, rejected, timed out, or
+errored — appends one :class:`AuditRecord`: who asked, the
+literal-stripped query signature (so per-user constants don't explode
+the log's cardinality), the validity decision with the inference rules
+that fired, and the end-to-end latency.  This makes the "what queries
+were asked against which views" disclosure analysis of the
+related work (Chirkova & Yu) observable in practice.
+
+The log is a bounded ring buffer; an optional ``sink`` callable
+receives each record as it is appended (e.g. to tee into a file).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One finished request."""
+
+    seq: int
+    timestamp: float  # time.time() at completion
+    user: Optional[str]
+    mode: str
+    #: literal-stripped SQL signature (falls back to raw SQL)
+    signature: str
+    status: str
+    #: validity outcome ("unconditional" / "conditional" / "invalid"),
+    #: empty for modes without a validity check
+    decision: str
+    #: inference rules that fired (e.g. ("U1", "U3a")), in trace order
+    rules: tuple[str, ...]
+    cache_hit: bool
+    latency_ms: float
+    error: Optional[str] = None
+    tag: Optional[str] = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "user": self.user,
+            "mode": self.mode,
+            "signature": self.signature,
+            "status": self.status,
+            "decision": self.decision,
+            "rules": list(self.rules),
+            "cache_hit": self.cache_hit,
+            "latency_ms": self.latency_ms,
+            "error": self.error,
+            "tag": self.tag,
+        }
+
+
+class AuditLog:
+    """Bounded, thread-safe ring of audit records."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        sink: Optional[Callable[[AuditRecord], None]] = None,
+    ):
+        self._records: deque[AuditRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._sink = sink
+
+    def record(
+        self,
+        user: Optional[str],
+        mode: str,
+        signature: str,
+        status: str,
+        decision: str = "",
+        rules: tuple[str, ...] = (),
+        cache_hit: bool = False,
+        latency_ms: float = 0.0,
+        error: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> AuditRecord:
+        with self._lock:
+            self._seq += 1
+            entry = AuditRecord(
+                seq=self._seq,
+                timestamp=time.time(),
+                user=user,
+                mode=mode,
+                signature=signature,
+                status=status,
+                decision=decision,
+                rules=rules,
+                cache_hit=cache_hit,
+                latency_ms=latency_ms,
+                error=error,
+                tag=tag,
+            )
+            self._records.append(entry)
+        if self._sink is not None:
+            self._sink(entry)
+        return entry
+
+    def tail(self, n: int = 20) -> list[AuditRecord]:
+        with self._lock:
+            return list(self._records)[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Records ever appended (including ones the ring dropped)."""
+        with self._lock:
+            return self._seq

@@ -1,0 +1,582 @@
+"""The concurrent policy-enforcement gateway.
+
+:class:`EnforcementGateway` is the service front door of the
+reproduction: clients submit :class:`~repro.service.request.QueryRequest`
+objects; a fixed worker pool takes them off a bounded admission queue,
+checks them under the requested access-control model (Truman rewriting,
+Non-Truman validity inference, Motro masking, or open), executes
+accepted queries on pooled per-user connections, and answers with
+structured :class:`~repro.service.request.QueryResponse` objects.
+
+Architecturally this is the PDP/PEP split of Guarnieri et al. (*Strong
+and Provably Secure Database Access Control*): the gateway is the
+enforcement point, the validity checker / Truman rewriter the decision
+point, and the decision is taken *before* any row is touched.
+
+Robustness controls:
+
+* **backpressure** — the admission queue is bounded; when it is full,
+  :meth:`submit` raises :class:`~repro.errors.ServiceOverloaded`
+  immediately instead of hanging the caller;
+* **deadlines** — each request may carry a deadline (seconds from
+  submission); expired requests get a structured ``TIMEOUT`` response
+  at dequeue and at every phase boundary, so a slow queue cannot make
+  a worker burn time on an answer nobody is waiting for;
+* **graceful shutdown** — :meth:`shutdown` stops admission, optionally
+  drains in-flight requests, and joins the workers; undrained requests
+  are answered with ``CANCELLED``, never dropped silently.
+
+Consistency: queries (and the probes the validity checker runs) share
+a readers-writer lock; DML takes it exclusively.  The shared validity
+cache stamps every stored decision with the data version observed
+*while holding the read lock*, so a decision can never be derived from
+one database state and served against another.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import (
+    QueryRejectedError,
+    ReproError,
+    ServiceOverloaded,
+    ServiceShutdown,
+    UpdateRejectedError,
+)
+from repro.sql import ast, parse_statement, render
+from repro.nontruman.cache import query_signature
+from repro.nontruman.decision import ValidityDecision
+from repro.service.audit import AuditLog
+from repro.service.cache import SharedValidityCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import ConnectionPool
+from repro.service.request import QueryRequest, QueryResponse, RequestStatus, Timing
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+
+class _ReadWriteLock:
+    """Many readers or one writer (no starvation handling needed at
+    this scale: writers are rare DML, readers are the query hot path)."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class PendingQuery:
+    """Handle for a submitted request; resolves to a QueryResponse."""
+
+    def __init__(self, request: QueryRequest):
+        self.request = request
+        self._done = threading.Event()
+        self._response: Optional[QueryResponse] = None
+
+    def _resolve(self, response: QueryResponse) -> None:
+        self._response = response
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResponse:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"no response within {timeout}s (request still in flight)"
+            )
+        assert self._response is not None
+        return self._response
+
+
+_SENTINEL = object()
+
+
+class EnforcementGateway:
+    """Thread-safe multi-session front door over one Database."""
+
+    def __init__(
+        self,
+        db: "Database",
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_shards: int = 8,
+        cache_capacity_per_shard: int = 512,
+        audit_capacity: int = 2048,
+        max_idle_per_user: int = 8,
+        name: str = "gateway",
+    ):
+        self.db = db
+        self.name = name
+        self.pool = ConnectionPool(db, max_idle_per_key=max_idle_per_user)
+        self.cache = SharedValidityCache(
+            shards=cache_shards,
+            capacity_per_shard=cache_capacity_per_shard,
+            version_source=self._versions,
+        )
+        self.metrics = MetricsRegistry()
+        self.audit = AuditLog(capacity=audit_capacity)
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
+        self._rwlock = _ReadWriteLock()
+        self._accepting = True
+        self._state_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- database version plumbing --------------------------------------
+
+    def _versions(self) -> tuple[int, object]:
+        """(data version, policy epoch) of the underlying database."""
+        return (
+            self.db.validity_cache.data_version,
+            (self.db.grants.version, self.db.catalog.views_version),
+        )
+
+    # -- submission ------------------------------------------------------
+
+    @property
+    def accepting(self) -> bool:
+        with self._state_lock:
+            return self._accepting
+
+    def submit(self, request: QueryRequest) -> PendingQuery:
+        """Enqueue a request; raises on shutdown or backpressure."""
+        if not self.accepting:
+            raise ServiceShutdown(f"{self.name} is not accepting requests")
+        pending = PendingQuery(request)
+        item = (pending, request, time.perf_counter())
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self.metrics.counter("requests_overloaded").inc()
+            self.audit.record(
+                user=request.user,
+                mode=request.mode,
+                signature=request.sql,
+                status="overloaded",
+                error="admission queue full",
+                tag=request.tag,
+            )
+            raise ServiceOverloaded(
+                f"{self.name} admission queue full "
+                f"({self.queue_size} requests pending); retry later"
+            ) from None
+        self.metrics.counter("requests_submitted").inc()
+        self.metrics.gauge("queue_depth").set(self._queue.qsize())
+        return pending
+
+    def execute(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Submit and wait for the response.
+
+        Overload rejections come back as a structured ``ERROR``-free
+        exception (:class:`ServiceOverloaded`) — the request was never
+        admitted, so there is no response to wait for.
+        """
+        if timeout is None and request.deadline is not None:
+            # workers resolve expired requests at phase boundaries; the
+            # slack covers a phase that is already in progress
+            timeout = request.deadline + 30.0
+        return self.submit(request).result(timeout)
+
+    def execute_many(
+        self, requests: Iterable[QueryRequest]
+    ) -> list[QueryResponse]:
+        """Closed-loop convenience: submit all, gather all.
+
+        Requests rejected by backpressure yield synthetic responses with
+        the error message, so the output aligns 1:1 with the input.
+        """
+        pendings: list[object] = []
+        for request in requests:
+            try:
+                pendings.append(self.submit(request))
+            except (ServiceOverloaded, ServiceShutdown) as exc:
+                pendings.append(
+                    QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        error=str(exc),
+                    )
+                )
+        return [
+            p.result() if isinstance(p, PendingQuery) else p for p in pendings
+        ]
+
+    # -- shutdown --------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission; drain or cancel queued work; join workers."""
+        with self._state_lock:
+            if not self._accepting and not any(
+                w.is_alive() for w in self._workers
+            ):
+                return
+            self._accepting = False
+        if drain:
+            self._queue.join()
+        else:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL:
+                    pending, request, _ = item
+                    self.metrics.counter("requests_cancelled").inc()
+                    pending._resolve(
+                        QueryResponse(
+                            request=request,
+                            status=RequestStatus.CANCELLED,
+                            error="gateway shut down before execution",
+                        )
+                    )
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "EnforcementGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._queue.task_done()
+                return
+            pending, request, submitted_at = item
+            self.metrics.gauge("queue_depth").set(self._queue.qsize())
+            self.metrics.gauge("workers_busy").inc()
+            try:
+                response = self._process(request, submitted_at)
+            except BaseException as exc:  # never let a worker die
+                response = QueryResponse(
+                    request=request,
+                    status=RequestStatus.ERROR,
+                    error=f"internal gateway error: {exc}",
+                )
+            finally:
+                self.metrics.gauge("workers_busy").dec()
+                self._queue.task_done()
+            pending._resolve(response)
+
+    # -- request processing ----------------------------------------------
+
+    @staticmethod
+    def _expired(request: QueryRequest, submitted_at: float) -> bool:
+        return (
+            request.deadline is not None
+            and time.perf_counter() - submitted_at > request.deadline
+        )
+
+    def _process(
+        self, request: QueryRequest, submitted_at: float
+    ) -> QueryResponse:
+        timing = Timing()
+        start = time.perf_counter()
+        timing.queue_s = start - submitted_at
+        worker = threading.current_thread().name
+
+        def finish(response: QueryResponse) -> QueryResponse:
+            timing.total_s = time.perf_counter() - submitted_at
+            response.timing = timing
+            response.worker = worker
+            self._account(response)
+            return response
+
+        if self._expired(request, submitted_at):
+            return finish(
+                QueryResponse(
+                    request=request,
+                    status=RequestStatus.TIMEOUT,
+                    error=(
+                        f"deadline of {request.deadline:.3f}s exceeded "
+                        "while queued"
+                    ),
+                )
+            )
+
+        # -- parse -------------------------------------------------------
+        parse_start = time.perf_counter()
+        try:
+            statement = parse_statement(request.sql)
+        except ReproError as exc:
+            timing.parse_s = time.perf_counter() - parse_start
+            return finish(
+                QueryResponse(
+                    request=request, status=RequestStatus.ERROR, error=str(exc)
+                )
+            )
+        timing.parse_s = time.perf_counter() - parse_start
+
+        if not isinstance(statement, ast.QueryExpr):
+            return finish(self._process_statement(request, statement, timing))
+        return finish(
+            self._process_query(request, statement, timing, submitted_at)
+        )
+
+    def _process_statement(
+        self, request: QueryRequest, statement: ast.Statement, timing: Timing
+    ) -> QueryResponse:
+        """DML/DDL path: exclusive access, data/policy versions move."""
+        self.metrics.counter("dml_requests").inc()
+        execute_start = time.perf_counter()
+        self._rwlock.acquire_write()
+        try:
+            with self.pool.checkout(
+                request.user, request.mode, request.params
+            ) as conn:
+                outcome = conn.execute(statement)
+        except (QueryRejectedError, UpdateRejectedError) as exc:
+            return QueryResponse(
+                request=request, status=RequestStatus.REJECTED, error=str(exc)
+            )
+        except ReproError as exc:
+            return QueryResponse(
+                request=request, status=RequestStatus.ERROR, error=str(exc)
+            )
+        finally:
+            self._rwlock.release_write()
+            timing.execute_s = time.perf_counter() - execute_start
+        return QueryResponse(
+            request=request,
+            status=RequestStatus.OK,
+            rowcount=outcome if isinstance(outcome, int) else None,
+        )
+
+    def _process_query(
+        self,
+        request: QueryRequest,
+        query: ast.QueryExpr,
+        timing: Timing,
+        submitted_at: float,
+    ) -> QueryResponse:
+        self._rwlock.acquire_read()
+        try:
+            with self.pool.checkout(
+                request.user, request.mode, request.params
+            ) as conn:
+                session = conn.session
+                decision: Optional[ValidityDecision] = None
+                cache_hit = False
+
+                check_start = time.perf_counter()
+                if request.mode == "non-truman":
+                    # the version observed under the read lock is the
+                    # version the decision is derived from
+                    data_version, _ = self.cache.current_versions()
+                    cached = self.cache.lookup(
+                        session.user, query, session.user_id
+                    )
+                    if cached is not None:
+                        validity, reason = cached
+                        decision = ValidityDecision(
+                            validity=validity, reason=reason, from_cache=True
+                        )
+                        cache_hit = True
+                    else:
+                        try:
+                            decision = self.db.check_validity(query, session)
+                        except ReproError as exc:
+                            timing.check_s = time.perf_counter() - check_start
+                            return QueryResponse(
+                                request=request,
+                                status=RequestStatus.ERROR,
+                                error=str(exc),
+                            )
+                        self.cache.store(
+                            session.user,
+                            query,
+                            session.user_id,
+                            decision.validity,
+                            decision.reason,
+                            data_version=data_version,
+                        )
+                    timing.check_s = time.perf_counter() - check_start
+                    if not decision.valid:
+                        return QueryResponse(
+                            request=request,
+                            status=RequestStatus.REJECTED,
+                            decision=decision,
+                            cache_hit=cache_hit,
+                            error=(
+                                "query rejected by Non-Truman model: "
+                                f"{decision.reason}"
+                            ),
+                        )
+                    to_execute, execute_mode = query, "open"
+                elif request.mode == "truman":
+                    from repro.truman.rewrite import truman_rewrite
+
+                    try:
+                        to_execute = truman_rewrite(self.db, query, session)
+                    except ReproError as exc:
+                        timing.check_s = time.perf_counter() - check_start
+                        return QueryResponse(
+                            request=request,
+                            status=RequestStatus.ERROR,
+                            error=str(exc),
+                        )
+                    timing.check_s = time.perf_counter() - check_start
+                    execute_mode = "open"
+                else:  # open / motro execute directly under that mode
+                    to_execute, execute_mode = query, request.mode
+                    timing.check_s = time.perf_counter() - check_start
+
+                if self._expired(request, submitted_at):
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.TIMEOUT,
+                        decision=decision,
+                        cache_hit=cache_hit,
+                        error=(
+                            f"deadline of {request.deadline:.3f}s exceeded "
+                            "before execution"
+                        ),
+                    )
+
+                execute_start = time.perf_counter()
+                try:
+                    result = self.db.execute_query(
+                        to_execute, session=session, mode=execute_mode
+                    )
+                except ReproError as exc:
+                    timing.execute_s = time.perf_counter() - execute_start
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        decision=decision,
+                        cache_hit=cache_hit,
+                        error=str(exc),
+                    )
+                timing.execute_s = time.perf_counter() - execute_start
+                return QueryResponse(
+                    request=request,
+                    status=RequestStatus.OK,
+                    result=result,
+                    decision=decision,
+                    cache_hit=cache_hit,
+                )
+        finally:
+            self._rwlock.release_read()
+
+    # -- accounting ------------------------------------------------------
+
+    _STATUS_COUNTERS = {
+        RequestStatus.OK: "requests_ok",
+        RequestStatus.REJECTED: "requests_rejected",
+        RequestStatus.TIMEOUT: "requests_timeout",
+        RequestStatus.ERROR: "requests_error",
+        RequestStatus.CANCELLED: "requests_cancelled",
+    }
+
+    def _account(self, response: QueryResponse) -> None:
+        request = response.request
+        self.metrics.counter("requests_completed").inc()
+        self.metrics.counter(self._STATUS_COUNTERS[response.status]).inc()
+        if response.cache_hit:
+            self.metrics.counter("decision_cache_hits").inc()
+        timing = response.timing
+        self.metrics.histogram("latency_ms").observe(timing.total_s * 1000)
+        self.metrics.histogram("queue_ms").observe(timing.queue_s * 1000)
+        if timing.check_s:
+            self.metrics.histogram("check_ms").observe(timing.check_s * 1000)
+        if timing.execute_s:
+            self.metrics.histogram("execute_ms").observe(timing.execute_s * 1000)
+
+        decision = response.decision
+        self.audit.record(
+            user=request.user,
+            mode=request.mode,
+            signature=self._signature(request.sql),
+            status=response.status.value,
+            decision="" if decision is None else decision.validity.value,
+            rules=()
+            if decision is None
+            else tuple(step.rule for step in decision.trace),
+            cache_hit=response.cache_hit,
+            latency_ms=timing.total_s * 1000,
+            error=response.error,
+            tag=request.tag,
+        )
+
+    @staticmethod
+    def _signature(sql: str) -> str:
+        """Literal-stripped rendering of the request for the audit log."""
+        try:
+            statement = parse_statement(sql)
+            if isinstance(statement, ast.QueryExpr):
+                skeleton, _ = query_signature(statement)
+                return render(skeleton)
+        except ReproError:
+            pass
+        return sql
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """One merged snapshot: gateway, metrics, cache, pool."""
+        merged: dict[str, object] = {
+            "workers": len(self._workers),
+            "queue_capacity": self.queue_size,
+            "accepting": self.accepting,
+        }
+        merged.update(self.metrics.snapshot())
+        merged.update(self.cache.stats())
+        merged.update(self.pool.stats())
+        return merged
+
+    def render_stats(self) -> str:
+        """Aligned text report (the ``\\stats`` meta-command body)."""
+        snap = self.stats()
+        width = max(len(name) for name in snap)
+        lines = [f"-- {self.name} --"]
+        for name, value in snap.items():
+            if isinstance(value, float):
+                lines.append(f"  {name:<{width}}  {value:.4f}")
+            else:
+                lines.append(f"  {name:<{width}}  {value}")
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Per-user connection pooling for the enforcement gateway.
+
+Each gateway worker checks a :class:`~repro.db.Connection` out of the
+pool, keyed on ``(user, mode)``: sessions are immutable
+(:class:`~repro.authviews.session.SessionContext` is frozen), so a
+connection for the same principal and model is freely reusable across
+requests.  Requests that carry extra session parameters ($time,
+$location, app-defined) get a dedicated connection instead — their
+context is request-specific and must not leak into the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Connection, Database
+
+
+class ConnectionPool:
+    """Bounded idle pool of session-bound connections."""
+
+    def __init__(self, db: "Database", max_idle_per_key: int = 8):
+        self.db = db
+        self.max_idle_per_key = max_idle_per_key
+        self._idle: dict[tuple, list["Connection"]] = {}
+        self._lock = threading.Lock()
+        self.created = 0
+        self.reused = 0
+
+    @staticmethod
+    def _key(user: Optional[str], mode: str) -> tuple:
+        return (None if user is None else str(user), mode)
+
+    def acquire(
+        self,
+        user: Optional[str],
+        mode: str,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> "Connection":
+        """Check out a connection for ``(user, mode)``.
+
+        With ``params`` the connection is freshly created and will not
+        be pooled on release (parameterized contexts are one-shot).
+        """
+        if params:
+            with self._lock:
+                self.created += 1
+            return self.db.connect(user_id=user, mode=mode, **dict(params))
+        key = self._key(user, mode)
+        with self._lock:
+            bucket = self._idle.get(key)
+            if bucket:
+                self.reused += 1
+                return bucket.pop()
+            self.created += 1
+        return self.db.connect(user_id=user, mode=mode)
+
+    def release(self, conn: "Connection") -> None:
+        """Return a connection to the idle pool (drops on overflow)."""
+        if conn.session.extra or conn.session.time or conn.session.location:
+            return  # one-shot parameterized session; do not pool
+        key = self._key(conn.session.user, conn.mode)
+        with self._lock:
+            bucket = self._idle.setdefault(key, [])
+            if len(bucket) < self.max_idle_per_key:
+                bucket.append(conn)
+
+    @contextlib.contextmanager
+    def checkout(
+        self,
+        user: Optional[str],
+        mode: str,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> Iterator["Connection"]:
+        conn = self.acquire(user, mode, params)
+        try:
+            yield conn
+        finally:
+            self.release(conn)
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            idle = sum(len(b) for b in self._idle.values())
+            keys = len(self._idle)
+            return {
+                "pool_connections_created": self.created,
+                "pool_connections_reused": self.reused,
+                "pool_idle_connections": idle,
+                "pool_session_keys": keys,
+            }

@@ -45,6 +45,65 @@ class TestMetaCommands:
         output = run_shell(db, "\\mode bogus\n")
         assert "modes:" in output
 
+    def test_invalid_mode_keeps_session_consistent(self, db):
+        """\\mode with an unknown mode errors cleanly and the session
+        stays in the previous, working mode."""
+        output = run_shell(
+            db,
+            "\\user 11\n\\mode bogus\n"
+            "select grade from Grades where student_id = '11';\n",
+        )
+        assert "error: unknown mode 'bogus'" in output
+        assert "staying in 'non-truman'" in output
+        # the shell still enforces non-truman (query is valid → rows)
+        assert "2 row(s)" in output
+        # prompt still shows the old mode, not a broken one
+        assert "11@non-truman>" in output
+
+    def test_meta_command_mid_buffer_is_rejected_cleanly(self, db):
+        """\\user typed mid-statement must not be swallowed into the SQL
+        buffer (which silently corrupted both the statement and the
+        session) — it errors and leaves the buffer intact."""
+        output = run_shell(
+            db,
+            "\\mode open\nselect count(*)\n\\user 12\nfrom Grades;\n",
+        )
+        assert "error: cannot run meta-command \\user" in output
+        assert "1 buffered line(s)" in output
+        # the statement completes afterwards with the original session
+        assert "4" in output
+        assert "connected as" not in output
+
+    def test_reset_discards_buffer(self, db):
+        output = run_shell(
+            db,
+            "\\mode open\nselect count(*)\n\\reset\n"
+            "select count(*) from Courses;\n",
+        )
+        assert "input buffer cleared (1 line(s) discarded)" in output
+        assert "3" in output
+
+    def test_stats_meta_command(self, db):
+        output = run_shell(
+            db,
+            "\\user 11\nselect grade from Grades where student_id = '11';\n"
+            "\\stats\n",
+        )
+        assert "shell-gateway" in output
+        assert "requests_ok" in output
+        assert "cache_hit_rate" in output
+
+    def test_audit_meta_command(self, db):
+        output = run_shell(
+            db,
+            "\\user 11\nselect grade from Grades where student_id = '11';\n"
+            "select * from Grades;\n\\audit 5\n",
+        )
+        assert "status=ok" in output
+        assert "status=rejected" in output
+        # audit signatures are literal-stripped
+        assert "$_lit" in output.lower() or "student_id =" in output
+
     def test_views_listing_marks_availability(self, db):
         output = run_shell(db, "\\user 11\n\\views\n")
         assert "* MyGrades" in output

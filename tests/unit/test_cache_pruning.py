@@ -1,7 +1,9 @@
 """Unit tests for the validity cache and view pruning (§5.6 optimizations)."""
 
+from repro.db import Database
 from repro.sql import parse_query
 from repro.nontruman.cache import ValidityCache, query_signature
+from repro.nontruman.checker import ValidityChecker
 from repro.nontruman.decision import Validity
 from repro.nontruman.pruning import is_relevant, prune_views, relation_names
 from repro.authviews.views import AuthorizationView
@@ -81,6 +83,106 @@ class TestValidityCache:
         cache.store("u", q, "u", Validity.INVALID, "no rewrite")
         cache.invalidate_data()
         assert cache.lookup("u", q, "u") is None
+
+
+class TestLruBound:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ValidityCache(max_entries=2)
+        qa = parse_query("select a from T")
+        qb = parse_query("select b from T")
+        qc = parse_query("select c from T")
+        cache.store("u", qa, "u", Validity.UNCONDITIONAL, "a")
+        cache.store("u", qb, "u", Validity.UNCONDITIONAL, "b")
+        assert cache.lookup("u", qa, "u") is not None  # refresh a
+        cache.store("u", qc, "u", Validity.UNCONDITIONAL, "c")  # evicts b
+        assert cache.size == 2
+        assert cache.evictions == 1
+        assert cache.lookup("u", qb, "u") is None
+        assert cache.lookup("u", qa, "u") is not None
+        assert cache.lookup("u", qc, "u") is not None
+
+    def test_unbounded_by_default(self):
+        cache = ValidityCache()
+        for i in range(50):
+            cache.store(
+                "u", parse_query(f"select c{i} from T"), "u",
+                Validity.UNCONDITIONAL, "ok",
+            )
+        assert cache.size == 50
+        assert cache.evictions == 0
+
+    def test_explicit_data_version_override(self):
+        """The service layer validates entries against the database's
+        own version counter, passed explicitly."""
+        cache = ValidityCache()
+        q = parse_query("select x from T where y = 1")
+        cache.store_signed(
+            "u", *query_signature(q), "u", Validity.CONDITIONAL, "probe",
+            data_version=7,
+        )
+        skeleton, literals = query_signature(q)
+        assert (
+            cache.lookup_signed("u", skeleton, literals, "u", data_version=7)
+            is not None
+        )
+        assert (
+            cache.lookup_signed("u", skeleton, literals, "u", data_version=8)
+            is None
+        )
+
+
+class TestCacheInvalidationOnDml:
+    """Satellite of the E13 gateway work: cached *conditional* decisions
+    must be re-derived after INSERT/DELETE moves the data version."""
+
+    @staticmethod
+    def _db():
+        db = Database()
+        db.execute_script(
+            "create table Grades(student_id varchar(10), course_id varchar(10),"
+            " grade float, primary key (student_id, course_id));"
+            "create table Registered(student_id varchar(10),"
+            " course_id varchar(10), primary key (student_id, course_id));"
+        )
+        db.execute("insert into Registered values ('u1', 'CS1')")
+        db.execute("insert into Grades values ('u1', 'CS1', 3.5)")
+        db.execute("insert into Grades values ('u2', 'CS1', 2.0)")
+        db.execute_script(
+            "create authorization view CoGrades as"
+            " select Grades.student_id, Grades.course_id, Grades.grade"
+            " from Grades, Registered"
+            " where Registered.student_id = $user_id"
+            "   and Grades.course_id = Registered.course_id;"
+            "create authorization view MyRegs as"
+            " select * from Registered where student_id = $user_id;"
+        )
+        db.grant_public("CoGrades")
+        db.grant_public("MyRegs")
+        return db
+
+    def test_insert_then_delete_recheck_conditional_decision(self):
+        db = self._db()
+        session = db.connect(user_id="u1").session
+        checker = ValidityChecker(db, use_cache=True)
+        query = parse_query("select * from Grades where course_id = 'CS1'")
+
+        first = checker.check(query, session)
+        assert first.conditional and not first.from_cache
+        cached = checker.check(query, session)
+        assert cached.from_cache
+
+        # DELETE moves the data version: the registration probe that
+        # justified the decision no longer holds
+        db.execute("delete from Registered where student_id = 'u1'")
+        after_delete = checker.check(query, session)
+        assert not after_delete.from_cache
+        assert not after_delete.valid
+
+        # INSERT moves it again: validity is re-derived, not replayed
+        db.execute("insert into Registered values ('u1', 'CS1')")
+        after_insert = checker.check(query, session)
+        assert not after_insert.from_cache
+        assert after_insert.conditional
 
 
 def iv(name, sql):
