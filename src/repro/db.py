@@ -49,6 +49,7 @@ from repro.authviews.session import SessionContext
 from repro.authviews.views import AuthorizationView, InstantiatedView
 from repro.catalog.catalog import Catalog, ViewDef
 from repro.catalog.constraints import TotalParticipation
+from repro.engine import ENGINES, make_executor
 from repro.engine.evaluator import Evaluator, RowResolver
 from repro.engine.executor import Executor
 from repro.storage.table import Table
@@ -99,6 +100,11 @@ class _QueryContext:
     def table_rows(self, name: str) -> Iterable[tuple]:
         return self.db.table(name).rows()
 
+    def table_handle(self, name: str) -> Table:
+        """Storage-level handle; lets the vectorized engine reach hash
+        indexes for pushdown scans."""
+        return self.db.table(name)
+
     def view_plan(
         self, name: str, access_args: tuple[tuple[str, object], ...] = ()
     ) -> ops.Operator:
@@ -134,9 +140,11 @@ class Connection:
         self.mode = mode
 
     def query(self, sql: Union[str, ast.QueryExpr],
-              access_params: Optional[Mapping[str, object]] = None) -> Result:
+              access_params: Optional[Mapping[str, object]] = None,
+              engine: Optional[str] = None) -> Result:
         return self.db.execute_query(
-            sql, session=self.session, mode=self.mode, access_params=access_params
+            sql, session=self.session, mode=self.mode,
+            access_params=access_params, engine=engine,
         )
 
     def execute(self, sql: Union[str, ast.Statement],
@@ -181,6 +189,9 @@ class Database:
         from repro.optimizer.statistics import TableStatistics
 
         self.statistics = TableStatistics(self)
+        #: execution engine used when no per-query override is given:
+        #: "row" (tuple-at-a-time oracle) or "vectorized" (columnar)
+        self.default_engine = "row"
 
     # -- connections ------------------------------------------------------
 
@@ -330,6 +341,7 @@ class Database:
         session: Optional[SessionContext] = None,
         mode: str = "open",
         access_params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
     ) -> Result:
         query = parse_statement(sql) if isinstance(sql, str) else sql
         if not isinstance(query, ast.QueryExpr):
@@ -337,12 +349,12 @@ class Database:
         session = session or SessionContext()
 
         if mode == "open":
-            return self._run(query, session, access_params)
+            return self._run(query, session, access_params, engine)
         if mode == "truman":
             from repro.truman.rewrite import truman_rewrite
 
             modified = truman_rewrite(self, query, session)
-            return self._run(modified, session, access_params)
+            return self._run(modified, session, access_params, engine)
         if mode == "motro":
             from repro.motro.model import motro_query
 
@@ -354,7 +366,7 @@ class Database:
                     f"query rejected by Non-Truman model: {decision.reason}",
                     decision=decision,
                 )
-            return self._run(query, session, access_params)
+            return self._run(query, session, access_params, engine)
         raise AccessControlError(f"unknown access-control mode {mode!r}")
 
     def check_validity(
@@ -375,9 +387,10 @@ class Database:
         query: ast.QueryExpr,
         session: SessionContext,
         access_params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
     ) -> Result:
         plan = self.plan_query(query, session, access_params)
-        return self.run_plan(plan, session, access_params)
+        return self.run_plan(plan, session, access_params, engine)
 
     def plan_query(
         self,
@@ -407,12 +420,20 @@ class Database:
         plan: ops.Operator,
         session: Optional[SessionContext] = None,
         access_params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
     ) -> Result:
         session = session or SessionContext()
         from repro.algebra.rewrite import push_selections
 
+        engine = engine or self.default_engine
+        if engine not in ENGINES:
+            raise ExecutionError(
+                f"unknown execution engine {engine!r} (expected one of {ENGINES})"
+            )
         plan = push_selections(plan)
-        executor = Executor(_QueryContext(self, session, access_params))
+        executor = make_executor(
+            engine, _QueryContext(self, session, access_params)
+        )
         rows = executor.execute(plan)
         return Result(tuple(c.name for c in plan.columns), rows)
 

@@ -1,6 +1,41 @@
-"""Query execution engine: scalar evaluation and operator execution."""
+"""Query execution engines: scalar evaluation and operator execution.
+
+Two interchangeable executors evaluate the same logical plans:
+
+* :class:`Executor` — the tuple-at-a-time row engine (default, and the
+  semantic oracle for differential testing);
+* :class:`VectorizedExecutor` — the columnar batch engine
+  (:mod:`repro.engine.vectorized`) with compiled predicates and
+  index-aware scans.
+"""
 
 from repro.engine.executor import Executor, ExecContext
 from repro.engine.evaluator import Evaluator, RowResolver
+from repro.engine.vectorized import BATCH_SIZE, VectorizedExecutor
 
-__all__ = ["Executor", "ExecContext", "Evaluator", "RowResolver"]
+ENGINES = ("row", "vectorized")
+
+
+def make_executor(engine: str, context: ExecContext):
+    """Instantiate the named execution engine over ``context``."""
+    if engine == "row":
+        return Executor(context)
+    if engine == "vectorized":
+        return VectorizedExecutor(context)
+    from repro.errors import ExecutionError
+
+    raise ExecutionError(
+        f"unknown execution engine {engine!r} (expected one of {ENGINES})"
+    )
+
+
+__all__ = [
+    "BATCH_SIZE",
+    "ENGINES",
+    "Evaluator",
+    "ExecContext",
+    "Executor",
+    "RowResolver",
+    "VectorizedExecutor",
+    "make_executor",
+]

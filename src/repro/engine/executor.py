@@ -23,7 +23,13 @@ from repro.engine.evaluator import Evaluator, RowResolver
 
 
 class ExecContext(Protocol):
-    """What the executor needs from its host (the Database facade)."""
+    """What the executor needs from its host (the Database facade).
+
+    Hosts may additionally expose ``table_handle(name) -> Table`` to let
+    the vectorized engine reach hash indexes for pushdown scans; the
+    method is optional and discovered via ``getattr``, so row-only
+    contexts (tests, ad-hoc harnesses) need not provide it.
+    """
 
     def table_rows(self, name: str) -> Iterable[tuple]:
         """Current rows of a base table."""
@@ -52,13 +58,15 @@ class Executor:
             return rows
         if isinstance(plan, ops.ViewRel):
             inner = self.context.view_plan(plan.name, plan.access_args)
-            rows = self.execute(inner)
-            if rows and len(rows[0]) != len(plan.schema_columns):
+            # Validate arity against the declared schema *before* looking
+            # at any row: a mismatched view must fail identically whether
+            # it returns a million rows or none.
+            if len(inner.columns) != len(plan.schema_columns):
                 raise ExecutionError(
-                    f"view {plan.name!r} produced {len(rows[0])} columns, "
+                    f"view {plan.name!r} produces {len(inner.columns)} columns, "
                     f"expected {len(plan.schema_columns)}"
                 )
-            return rows
+            return self.execute(inner)
         if isinstance(plan, ops.Alias):
             return self.execute(plan.child)
         if isinstance(plan, ops.Select):
@@ -306,39 +314,11 @@ class Executor:
     def _execute_set_operation(self, plan: ops.SetOperation) -> list[tuple]:
         left_rows = self.execute(plan.left)
         right_rows = self.execute(plan.right)
-        if plan.op == "union":
-            combined = left_rows + right_rows
-            if plan.all:
-                return combined
-            return self._dedupe(combined)
-        left_counts = Counter(left_rows)
-        right_counts = Counter(right_rows)
-        if plan.op == "intersect":
-            result = []
-            for row in self._dedupe(left_rows):
-                count = min(left_counts[row], right_counts.get(row, 0))
-                result.extend([row] * (count if plan.all else min(count, 1)))
-            return result
-        if plan.op == "except":
-            result = []
-            for row in self._dedupe(left_rows):
-                if plan.all:
-                    count = max(left_counts[row] - right_counts.get(row, 0), 0)
-                else:
-                    count = 0 if right_counts.get(row, 0) else 1
-                result.extend([row] * count)
-            return result
-        raise ExecutionError(f"unknown set operation {plan.op!r}")
+        return combine_set_operation(plan.op, plan.all, left_rows, right_rows)
 
     @staticmethod
     def _dedupe(rows: list[tuple]) -> list[tuple]:
-        seen: set[tuple] = set()
-        result = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                result.append(row)
-        return result
+        return dedupe_rows(rows)
 
     # -- sorting -----------------------------------------------------------------
 
@@ -357,6 +337,50 @@ class Executor:
                 return (0, _Comparable(value))
             rows = sorted(rows, key=key_fn, reverse=descending)
         return rows
+
+
+def dedupe_rows(rows: list[tuple]) -> list[tuple]:
+    """First occurrence of each distinct row, in order."""
+    seen: set[tuple] = set()
+    result = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            result.append(row)
+    return result
+
+
+def combine_set_operation(
+    op: str, all_: bool, left_rows: list[tuple], right_rows: list[tuple]
+) -> list[tuple]:
+    """Bag UNION/INTERSECT/EXCEPT [ALL] over materialized inputs.
+
+    Shared between the row and vectorized engines so the counter-based
+    multiset semantics live in exactly one place.
+    """
+    if op == "union":
+        combined = left_rows + right_rows
+        if all_:
+            return combined
+        return dedupe_rows(combined)
+    left_counts = Counter(left_rows)
+    right_counts = Counter(right_rows)
+    if op == "intersect":
+        result = []
+        for row in dedupe_rows(left_rows):
+            count = min(left_counts[row], right_counts.get(row, 0))
+            result.extend([row] * (count if all_ else min(count, 1)))
+        return result
+    if op == "except":
+        result = []
+        for row in dedupe_rows(left_rows):
+            if all_:
+                count = max(left_counts[row] - right_counts.get(row, 0), 0)
+            else:
+                count = 0 if right_counts.get(row, 0) else 1
+            result.extend([row] * count)
+        return result
+    raise ExecutionError(f"unknown set operation {op!r}")
 
 
 class _NullOrder:

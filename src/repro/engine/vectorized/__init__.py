@@ -1,0 +1,33 @@
+"""repro.engine.vectorized — columnar batch execution.
+
+A drop-in alternative to the tuple-at-a-time row engine: the same
+logical :mod:`repro.algebra.ops` plans, evaluated over column-vector
+batches with per-operator compiled predicates/projections, hash
+joins/aggregation over batches, and index-aware base-table scans that
+push single-column equality conjuncts into
+:class:`repro.storage.HashIndex` lookups.
+
+Select it per query (``engine="vectorized"``) through
+:meth:`repro.db.Database.execute_query`,
+:meth:`repro.db.Connection.query`, or a gateway
+:class:`~repro.service.QueryRequest`; the row engine stays the default
+and the semantic oracle (see the differential suite).
+"""
+
+from repro.engine.vectorized.batch import (
+    ColumnBatch,
+    batches_from_rows,
+    rows_from_batches,
+)
+from repro.engine.vectorized.compile import compile_scalar, selection_vector
+from repro.engine.vectorized.executor import BATCH_SIZE, VectorizedExecutor
+
+__all__ = [
+    "BATCH_SIZE",
+    "ColumnBatch",
+    "VectorizedExecutor",
+    "batches_from_rows",
+    "compile_scalar",
+    "rows_from_batches",
+    "selection_vector",
+]

@@ -1,0 +1,85 @@
+"""Column-vector batches.
+
+A :class:`ColumnBatch` holds ``width`` parallel Python lists, one per
+output column, all of the same ``length``.  NULL is ``None`` inside a
+column vector, exactly as in row tuples, so converting between the two
+representations is lossless.
+
+The batch is the unit of work of the vectorized executor: operators
+consume and produce lists of batches of at most
+:data:`~repro.engine.vectorized.BATCH_SIZE` rows, and compiled
+expressions evaluate over whole column vectors at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class ColumnBatch:
+    """A fixed-width batch of rows in columnar layout."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: list[list], length: int):
+        self.columns = columns
+        self.length = length
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], width: int) -> "ColumnBatch":
+        if not rows:
+            return cls.empty(width)
+        if width == 0:
+            return cls([], len(rows))
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+    @classmethod
+    def empty(cls, width: int) -> "ColumnBatch":
+        return cls([[] for _ in range(width)], 0)
+
+    # -- conversion -------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def to_rows(self) -> list[tuple]:
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    # -- transformation ---------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the rows at ``indices`` (a selection vector)."""
+        return ColumnBatch(
+            [[col[i] for i in indices] for col in self.columns], len(indices)
+        )
+
+    def concat_columns(self, other: "ColumnBatch") -> "ColumnBatch":
+        """Widen: same length, columns of ``other`` appended."""
+        assert self.length == other.length
+        return ColumnBatch(self.columns + other.columns, self.length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColumnBatch(width={self.width}, length={self.length})"
+
+
+def batches_from_rows(
+    rows: Sequence[tuple], width: int, batch_size: int
+) -> Iterator[ColumnBatch]:
+    """Chunk ``rows`` into column batches of at most ``batch_size``."""
+    for start in range(0, len(rows), batch_size):
+        yield ColumnBatch.from_rows(rows[start : start + batch_size], width)
+
+
+def rows_from_batches(batches: Iterable[ColumnBatch]) -> list[tuple]:
+    result: list[tuple] = []
+    for batch in batches:
+        result.extend(batch.to_rows())
+    return result

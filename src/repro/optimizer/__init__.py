@@ -27,6 +27,12 @@ from repro.optimizer.expand import expand_memo
 from repro.optimizer.marking import mark_validity
 from repro.optimizer.cost import best_plan, CostModel
 from repro.optimizer.planner import VolcanoOptimizer, DagStatistics
+from repro.optimizer.pushdown import (
+    PushableEquality,
+    ScanAnnotation,
+    annotate_scan,
+    split_pushable_equalities,
+)
 
 __all__ = [
     "Memo",
@@ -38,4 +44,8 @@ __all__ = [
     "CostModel",
     "VolcanoOptimizer",
     "DagStatistics",
+    "PushableEquality",
+    "ScanAnnotation",
+    "annotate_scan",
+    "split_pushable_equalities",
 ]

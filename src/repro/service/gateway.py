@@ -481,7 +481,10 @@ class EnforcementGateway:
                 execute_start = time.perf_counter()
                 try:
                     result = self.db.execute_query(
-                        to_execute, session=session, mode=execute_mode
+                        to_execute,
+                        session=session,
+                        mode=execute_mode,
+                        engine=request.engine,
                     )
                 except ReproError as exc:
                     timing.execute_s = time.perf_counter() - execute_start

@@ -47,6 +47,8 @@ class QueryRequest:
     deadline: Optional[float] = None
     #: opaque client tag, echoed in the response and the audit log
     tag: Optional[str] = None
+    #: execution engine ("row" | "vectorized"); None = database default
+    engine: Optional[str] = None
 
 
 @dataclass

@@ -169,3 +169,51 @@ class TestSortLimit:
 class TestFromlessSelect:
     def test_constant_select(self, db):
         assert db.execute("select 1 + 1 as two").scalar() == 2
+
+
+class TestViewScanArity:
+    """Regression: the ViewRel arity check must fire even when the view
+    produces zero rows.  It used to be validated against the first
+    result row, so a stale plan over an *empty* authorization view
+    silently returned mis-shaped (empty) output instead of failing."""
+
+    @pytest.fixture
+    def secured(self, db):
+        db.execute(
+            "create authorization view EmptyView as "
+            "select id, grp from T where val > 1000.0"
+        )
+        db.grant_public("EmptyView")
+        return db
+
+    @pytest.mark.parametrize("engine", ["row", "vectorized"])
+    def test_empty_view_arity_mismatch_raises(self, secured, engine):
+        from repro.algebra import ops
+        from repro.errors import ExecutionError
+
+        # plan claims three columns; the stored definition produces two
+        stale = ops.ViewRel("EmptyView", "v", ("id", "grp", "val"))
+        with pytest.raises(ExecutionError, match="produces 2 columns, expected 3"):
+            secured.run_plan(stale, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["row", "vectorized"])
+    def test_empty_view_matching_arity_is_fine(self, secured, engine):
+        from repro.algebra import ops
+
+        plan = ops.ViewRel("EmptyView", "v", ("id", "grp"))
+        result = secured.run_plan(plan, engine=engine)
+        assert result.rows == []
+        assert result.columns == ("id", "grp")
+
+    @pytest.mark.parametrize("engine", ["row", "vectorized"])
+    def test_nonempty_view_arity_mismatch_raises(self, db, engine):
+        from repro.algebra import ops
+        from repro.errors import ExecutionError
+
+        db.execute(
+            "create authorization view SomeRows as select id, grp from T"
+        )
+        db.grant_public("SomeRows")
+        stale = ops.ViewRel("SomeRows", "v", ("id",))
+        with pytest.raises(ExecutionError, match="expected 1"):
+            db.run_plan(stale, engine=engine)

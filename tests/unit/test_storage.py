@@ -154,3 +154,109 @@ class TestHashIndex:
         assert index.would_violate((1, "x", 0.0))
         assert not index.would_violate((1, "x", 0.0), ignore_row_id=rid)
         assert not index.would_violate((2, "x", 0.0))
+
+
+class TestIndexChurnOracle:
+    """Randomized insert/delete/update churn: after every operation the
+    index must answer exactly what a full scan answers, for every key
+    ever seen.  Drives the same index the vectorized engine's pushdown
+    scans probe, so divergence here would silently corrupt its results."""
+
+    KEYS = ["a", "b", "c", "d", None]
+
+    def _oracle(self, t, key):
+        return {
+            rid
+            for rid, row in t.rows_with_ids()
+            if row[1] == key
+        }
+
+    def _assert_consistent(self, t, index):
+        for key in self.KEYS:
+            if key is None:
+                assert index.lookup((None,)) == frozenset()
+                continue
+            assert index.lookup((key,)) == self._oracle(t, key), key
+
+    def test_churn_matches_full_scan(self):
+        import random
+
+        rng = random.Random(1234)
+        t = make_table()
+        index = t.create_index(("name",))
+        live = []
+        serial = 0
+        for step in range(400):
+            action = rng.random()
+            if action < 0.5 or not live:
+                serial += 1
+                rid = t.insert((serial, rng.choice(self.KEYS), float(serial)))
+                live.append(rid)
+            elif action < 0.8:
+                rid = live.pop(rng.randrange(len(live)))
+                t.delete_row(rid)
+            else:
+                rid = rng.choice(live)
+                old = t.get_row(rid)
+                t.update_row(rid, (old[0], rng.choice(self.KEYS), old[2]))
+            if step % 20 == 0:
+                self._assert_consistent(t, index)
+        self._assert_consistent(t, index)
+        # every live row is indexed (NULL keys included in the buckets)
+        assert len(index) == len(t)
+
+    def test_unique_churn_never_admits_duplicates(self):
+        import random
+
+        rng = random.Random(99)
+        t = make_table(unique_on=("id",))
+        live = {}  # id -> row_id
+        for _ in range(300):
+            key = rng.randrange(12)
+            action = rng.random()
+            if action < 0.55:
+                if key in live:
+                    with pytest.raises(IntegrityError):
+                        t.insert((key, "dup", 0.0))
+                else:
+                    live[key] = t.insert((key, "x", float(key)))
+            elif action < 0.8 and live:
+                victim = rng.choice(list(live))
+                t.delete_row(live.pop(victim))
+            elif live:
+                victim = rng.choice(list(live))
+                target = rng.randrange(12)
+                rid = live[victim]
+                if target != victim and target in live:
+                    with pytest.raises(IntegrityError):
+                        t.update_row(rid, (target, "y", 0.0))
+                else:
+                    t.update_row(rid, (target, "y", 0.0))
+                    live[target] = live.pop(victim)
+            # uniqueness invariant: one live row per id
+            ids = [row[0] for _, row in t.rows_with_ids()]
+            assert len(ids) == len(set(ids))
+            assert sorted(ids) == sorted(live)
+
+    def test_failed_insert_leaves_index_unchanged(self):
+        t = make_table(unique_on=("id",))
+        t.insert((1, "a", 1.0))
+        index = t.find_index(("id",))
+        before = index.lookup((1,))
+        with pytest.raises(IntegrityError):
+            t.insert((1, "b", 2.0))
+        assert index.lookup((1,)) == before
+        assert len(t) == 1
+
+    def test_failed_update_preserves_old_key(self):
+        t = make_table(unique_on=("id",))
+        t.insert((1, "a", 1.0))
+        rid = t.insert((2, "b", 2.0))
+        with pytest.raises(IntegrityError):
+            t.update_row(rid, (1, "b", 2.0))
+        assert t.get_row(rid) == (2, "b", 2.0)
+        assert index_rids(t, ("id",), (2,)) == {rid}
+
+
+def index_rids(table, columns, key):
+    return set(table.find_index(columns).lookup(key))
