@@ -1,0 +1,161 @@
+"""E15 — durable storage: WAL group commit and crash recovery.
+
+The durability layer (repro.durability) must not undo the service
+layer's concurrency story: per-operation fsync would serialize the
+gateway's worker pool behind the disk.  E15 measures:
+
+* **group commit leverage** — 8 concurrent gateway sessions streaming
+  single-row inserts under the ``group`` sync policy vs the ``always``
+  (fsync-per-operation) baseline; the acceptance gate requires group
+  commit to cut fsyncs by ≥3x;
+* **recovery time vs WAL length** — wall-clock ``Database.open`` as the
+  un-checkpointed WAL tail grows, and the effect of a checkpoint;
+* **recovery fidelity** — a crash-injection sweep over the write-path
+  crash points; the gate requires 0 mismatches against the
+  never-crashed oracle.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.service import EnforcementGateway, QueryRequest, RequestStatus
+from repro.bench import Experiment, time_callable
+
+from benchmarks.conftest import register_experiment
+from tests.integration.test_recovery import (
+    CRASH_POSITIONS,
+    WAL_POINTS,
+    fingerprint,
+    run_crash,
+)
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E15",
+        title="durable storage: group commit + crash recovery",
+        claim="group commit amortizes fsync across sessions; recovery restores the oracle state",
+    )
+)
+
+SESSIONS = 8
+INSERTS = 256
+
+
+def insert_workload(db: Database, gateway: EnforcementGateway) -> dict:
+    """Stream INSERTS single-row inserts through the gateway; returns
+    the WAL stats snapshot taken right after the last response."""
+    requests = [
+        QueryRequest(
+            user=None,
+            sql=f"insert into Ledger values ({i}, {i * 3})",
+            mode="open",
+        )
+        for i in range(INSERTS)
+    ]
+    responses = gateway.execute_many(requests)
+    assert all(r.status is RequestStatus.OK for r in responses)
+    return db.durability.wal_stats()
+
+
+def run_policy(tmp_path, policy: str) -> dict:
+    data_dir = str(tmp_path / f"e15-{policy}")
+    db = Database.open(data_dir, sync=policy)
+    db.execute("create table Ledger(id int primary key, v int)")
+    db.checkpoint()  # fold DDL away so the run measures inserts only
+    gateway = EnforcementGateway(
+        db, workers=SESSIONS, queue_size=INSERTS + SESSIONS
+    )
+    try:
+        import time
+
+        start = time.perf_counter()
+        stats = insert_workload(db, gateway)
+        stats["elapsed_s"] = time.perf_counter() - start
+    finally:
+        gateway.shutdown(drain=True)
+        db.close()
+    assert stats["wal_records"] == INSERTS
+    return stats
+
+
+def test_group_commit_beats_per_op_fsync(tmp_path):
+    """Acceptance gate: ≥3x fewer fsyncs than the per-operation
+    baseline under 8 concurrent gateway sessions."""
+    group = run_policy(tmp_path, "group")
+    always = run_policy(tmp_path, "always")
+
+    assert always["wal_fsyncs"] >= INSERTS  # baseline: one per insert
+    ratio = always["wal_fsyncs"] / max(group["wal_fsyncs"], 1)
+    for stats in (group, always):
+        EXPERIMENT.add(
+            f"{INSERTS} inserts, {SESSIONS} sessions, sync={stats['sync_policy']}",
+            fsyncs=stats["wal_fsyncs"],
+            fsyncs_per_op=f"{stats['wal_fsyncs'] / INSERTS:.3f}",
+            throughput_ops=f"{INSERTS / stats['elapsed_s']:.0f}",
+        )
+    EXPERIMENT.add(
+        "group-commit leverage (gate: >= 3x)",
+        fsync_reduction=f"{ratio:.1f}x",
+    )
+    assert ratio >= 3.0, (
+        f"group commit managed only {ratio:.1f}x fewer fsyncs than "
+        f"per-operation fsync under {SESSIONS} concurrent sessions"
+    )
+
+
+@pytest.mark.parametrize("wal_records", [100, 1000, 4000])
+def test_recovery_time_scales_with_wal_length(tmp_path, wal_records):
+    data_dir = str(tmp_path / f"e15-recover-{wal_records}")
+    db = Database.open(data_dir, sync="none")  # building the tail fast
+    db.execute("create table Ledger(id int primary key, v int)")
+    for i in range(wal_records):
+        db.execute(f"insert into Ledger values ({i}, {i})", sync=False)
+    db.durability.writer.fsync_now()
+    expected = wal_records
+
+    def recover():
+        recovered = Database.open(data_dir)
+        count = len(recovered.table("Ledger"))
+        replayed = recovered.durability.recovery_info["wal_records_replayed"]
+        recovered.close(checkpoint=False)
+        return count, replayed
+
+    (count, replayed) = recover()
+    assert count == expected and replayed >= wal_records
+    median_s, _ = time_callable(recover, repeat=3, warmup=0)
+    EXPERIMENT.add(
+        f"recovery, {wal_records}-record WAL tail",
+        recover_ms=f"{median_s * 1000:.1f}",
+        records_per_s=f"{replayed / median_s:.0f}",
+    )
+
+    # a checkpoint collapses the tail: recovery becomes snapshot-only
+    db.checkpoint()
+    db.close(checkpoint=False)
+    snap_s, _ = time_callable(recover, repeat=3, warmup=0)
+    EXPERIMENT.add(
+        f"recovery after checkpoint ({wal_records} rows in snapshot)",
+        recover_ms=f"{snap_s * 1000:.1f}",
+    )
+
+
+def test_crash_sweep_zero_oracle_mismatches(tmp_path):
+    """Acceptance gate: every (crash point × position) recovery in the
+    sweep must reproduce the oracle state exactly."""
+    mismatches = 0
+    cases = 0
+    for point in WAL_POINTS:
+        for position in CRASH_POSITIONS:
+            cases += 1
+            recovered, oracle, _ = run_crash(
+                tmp_path / f"{point}-{position}", point, position,
+                seed=position * 13 + 1,
+            )
+            if fingerprint(recovered) != fingerprint(oracle):
+                mismatches += 1
+            recovered.close(checkpoint=False)
+    EXPERIMENT.add(
+        f"crash-injection sweep ({cases} point x position cases)",
+        oracle_mismatches=mismatches,
+    )
+    assert mismatches == 0

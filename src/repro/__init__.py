@@ -35,8 +35,10 @@ from repro.authviews.views import AuthorizationView, InstantiatedView
 from repro.catalog.constraints import TotalParticipation
 from repro.nontruman.checker import ValidityChecker
 from repro.nontruman.decision import Validity, ValidityDecision
+from repro.durability import DurabilityManager, FaultInjector, InjectedCrash
 from repro.errors import (
     AccessControlError,
+    DurabilityError,
     IntegrityError,
     ParseError,
     QueryRejectedError,
@@ -69,7 +71,11 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "RequestStatus",
+    "DurabilityManager",
+    "FaultInjector",
+    "InjectedCrash",
     "ReproError",
+    "DurabilityError",
     "ParseError",
     "IntegrityError",
     "AccessControlError",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import GrantError
 
@@ -48,12 +48,30 @@ class GrantRegistry:
         self._records: list[GrantRecord] = []
         self._lock = threading.RLock()
         self._version = 0
+        #: durability hook (repro.durability): called as
+        #: ``on_change("grant"|"revoke", info_dict)`` after every
+        #: successful state change, so registry mutations reach the WAL
+        #: no matter which API performed them
+        self.on_change: Optional[Callable[[str, dict], None]] = None
 
     @property
     def version(self) -> int:
         """Monotonic counter bumped on every grant/revoke."""
         with self._lock:
             return self._version
+
+    def restore(self, records: Iterable[GrantRecord], version: int) -> None:
+        """Replace the full state (snapshot load; no validation)."""
+        with self._lock:
+            self._records = list(records)
+            self._version = version
+
+    def restore_version(self, version: int) -> None:
+        """Advance the version counter (WAL replay restores the policy
+        epoch so cached decisions from before the crash can never be
+        mistaken for current ones)."""
+        with self._lock:
+            self._version = max(self._version, version)
 
     # -- granting ---------------------------------------------------------
 
@@ -79,6 +97,17 @@ class GrantRegistry:
             if record not in self._records:
                 self._records.append(record)
                 self._version += 1
+                if self.on_change is not None:
+                    self.on_change(
+                        "grant",
+                        {
+                            "view": view,
+                            "grantee": who,
+                            "grantor": giver,
+                            "option": grant_option,
+                            "gv": self._version,
+                        },
+                    )
 
     def delegate(
         self,
@@ -113,6 +142,18 @@ class GrantRegistry:
                 self._records.remove(record)
             self._cascade(view)
             self._version += 1
+            if self.on_change is not None:
+                # the cascade is deterministic from the registry state,
+                # so logging the originating revoke is enough to replay it
+                self.on_change(
+                    "revoke",
+                    {
+                        "view": view,
+                        "grantee": who,
+                        "grantor": giver,
+                        "gv": self._version,
+                    },
+                )
 
     def _cascade(self, view: str) -> None:
         """Drop delegated grants whose grantor no longer has the option."""

@@ -48,6 +48,10 @@ class Catalog:
         self._foreign_keys: list[ForeignKey] = []
         self._checks: list[CheckConstraint] = []
         self._participations: list[TotalParticipation] = []
+        #: participations declared directly (not derived from foreign
+        #: keys); these need explicit persistence — FK-derived ones are
+        #: rebuilt when the CREATE TABLE DDL replays
+        self._manual_participations: list[TotalParticipation] = []
         #: bumped on every view-registry change; cached validity
         #: decisions (repro.service) are dropped when this moves
         self._views_version = 0
@@ -55,6 +59,11 @@ class Catalog:
     @property
     def views_version(self) -> int:
         return self._views_version
+
+    def restore_views_version(self, version: int) -> None:
+        """Advance the views version (snapshot load restores the policy
+        epoch observed at checkpoint time)."""
+        self._views_version = max(self._views_version, version)
 
     # -- registration ---------------------------------------------------
 
@@ -135,6 +144,11 @@ class Catalog:
             for p in self._participations
             if p.core_table.lower() != key and p.remainder_table.lower() != key
         ]
+        self._manual_participations = [
+            p
+            for p in self._manual_participations
+            if p.core_table.lower() != key and p.remainder_table.lower() != key
+        ]
 
     def drop_view(self, name: str) -> None:
         key = name.lower()
@@ -160,6 +174,10 @@ class Catalog:
 
     def add_participation(self, constraint: TotalParticipation) -> None:
         self._participations.append(constraint)
+        self._manual_participations.append(constraint)
+
+    def manual_participations(self) -> list[TotalParticipation]:
+        return list(self._manual_participations)
 
     # -- lookups -----------------------------------------------------------
 

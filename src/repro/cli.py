@@ -20,10 +20,19 @@ exposes — ``\\stats`` shows the gateway's live metrics.  Meta-commands:
 ``\\tables``        list base tables
 ``\\stats``         gateway metrics: requests, cache, pool, latency
 ``\\audit [N]``     last N audit-log records (default 10)
+``\\save DIR``      attach durable storage: checkpoint this database
+                   into DIR and WAL-log every later change
+``\\open DIR``      switch to the durable database in DIR (recovers
+                   from its latest snapshot + WAL tail)
+``\\checkpoint``    snapshot all state and truncate the WAL
+``\\wal-stats``     durability counters: records, fsyncs, LSNs
 ``\\reset``         discard the partially-entered statement buffer
 ``\\help``          this text
 ``\\quit``          exit
 =================  ====================================================
+
+``--data-dir DIR`` on the command line opens (or, combined with
+``--workload``/``--script``, initializes) a durable database at DIR.
 """
 
 from __future__ import annotations
@@ -160,6 +169,14 @@ class Shell:
             self.write(self.gateway().render_stats())
         elif head == "\\audit":
             self._audit(rest)
+        elif head == "\\save":
+            self._save(rest)
+        elif head == "\\open":
+            self._open(rest)
+        elif head == "\\checkpoint":
+            self._checkpoint()
+        elif head == "\\wal-stats":
+            self._wal_stats()
         elif head == "\\reset":
             discarded = len(self._buffer)
             self._buffer = []
@@ -246,6 +263,60 @@ class Shell:
                 f"{record.latency_ms:.2f}ms :: {record.signature}"
             )
 
+    # -- durability meta-commands --------------------------------------------
+
+    def _save(self, rest: str) -> None:
+        target = rest.strip()
+        if not target:
+            self.write("usage: \\save <directory>")
+            return
+        try:
+            self.db.save(target)
+            self.write(f"durable at {target!r} (snapshot written, WAL open)")
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def _open(self, rest: str) -> None:
+        target = rest.strip()
+        if not target:
+            self.write("usage: \\open <directory>")
+            return
+        try:
+            db = Database.open(target)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        # drain the gateway and flush the old database before switching
+        self.close()
+        self.db.close()
+        self.db = db
+        self.reconnect()
+        info = db.durability.recovery_info
+        if info:
+            self.write(
+                f"opened {target!r}: snapshot LSN {info['snapshot_lsn']}, "
+                f"{info['wal_records_replayed']} WAL record(s) replayed"
+                + (" (torn tail truncated)" if info["torn_truncated"] else "")
+            )
+        else:
+            self.write(f"opened {target!r} (fresh durable database)")
+
+    def _checkpoint(self) -> None:
+        try:
+            lsn = self.db.checkpoint()
+            self.write(f"checkpoint complete at LSN {lsn}")
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def _wal_stats(self) -> None:
+        if self.db.durability is None:
+            self.write("  (database is in-memory; \\save or \\open first)")
+            return
+        stats = self.db.durability.wal_stats()
+        width = max(len(name) for name in stats)
+        for name, value in stats.items():
+            self.write(f"  {name:<{width}}  {value}")
+
     # -- SQL execution -------------------------------------------------------
 
     def _execute_sql(self, sql: str) -> None:
@@ -303,7 +374,20 @@ class Shell:
                 self.write(f"  note: {note}")
 
 
-def build_database(workload: Optional[str], script: Optional[str]) -> Database:
+def build_database(
+    workload: Optional[str],
+    script: Optional[str],
+    data_dir: Optional[str] = None,
+) -> Database:
+    if data_dir is not None:
+        from repro.durability import has_durable_data
+
+        if has_durable_data(data_dir):
+            # existing durable state wins over --workload/--script
+            return Database.open(data_dir)
+        db = build_database(workload, script)
+        db.save(data_dir)
+        return db
     if workload == "university":
         from repro.workloads.university import build_university
 
@@ -344,9 +428,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--workers", type=int, default=2,
         help="gateway worker threads serving the shell's queries",
     )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="durable data directory (opened if it holds state, "
+             "initialized from --workload/--script otherwise)",
+    )
     args = parser.parse_args(argv)
 
-    db = build_database(args.workload, args.script)
+    db = build_database(args.workload, args.script, args.data_dir)
     shell = Shell(db, gateway_workers=args.workers)
     shell.mode = args.mode
     shell.user = args.user
@@ -355,6 +444,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         shell.run(sys.stdin)
     except KeyboardInterrupt:
         shell.write("\nbye")
+    finally:
+        shell.db.close()
     return 0
 
 

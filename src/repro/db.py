@@ -33,6 +33,7 @@ from typing import Iterable, Mapping, Optional, Union
 from repro.errors import (
     AccessControlError,
     BindError,
+    DurabilityError,
     ExecutionError,
     GrantError,
     IntegrityError,
@@ -148,9 +149,11 @@ class Connection:
         )
 
     def execute(self, sql: Union[str, ast.Statement],
-                access_params: Optional[Mapping[str, object]] = None) -> object:
+                access_params: Optional[Mapping[str, object]] = None,
+                sync: bool = True) -> object:
         return self.db.execute(
-            sql, session=self.session, mode=self.mode, access_params=access_params
+            sql, session=self.session, mode=self.mode,
+            access_params=access_params, sync=sync,
         )
 
     def check_validity(self, sql: Union[str, ast.QueryExpr]):
@@ -159,9 +162,20 @@ class Connection:
 
 
 class Database:
-    """In-memory relational database with fine-grained access control."""
+    """Relational database with fine-grained access control.
 
-    def __init__(self):
+    By default everything lives in memory and evaporates with the
+    process.  Passing ``data_dir`` (or using :meth:`open` /
+    :meth:`save`) attaches the durability layer
+    (:mod:`repro.durability`): every mutation is written to a
+    CRC-framed write-ahead log, :meth:`checkpoint` snapshots the full
+    state and truncates the log, and :meth:`open` recovers tables,
+    indexes, the auth-view registry, and the policy-epoch/data-version
+    counters after a crash.
+    """
+
+    def __init__(self, data_dir: Optional[str] = None,
+                 durability_sync: str = "group"):
         self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self.grants = GrantRegistry()
@@ -192,6 +206,73 @@ class Database:
         #: execution engine used when no per-query override is given:
         #: "row" (tuple-at-a-time oracle) or "vectorized" (columnar)
         self.default_engine = "row"
+        #: durability manager (repro.durability); None = in-memory
+        self.durability = None
+        if data_dir is not None:
+            self._attach_durability(data_dir, sync=durability_sync)
+
+    # -- durability lifecycle ---------------------------------------------
+
+    @classmethod
+    def open(cls, data_dir: str, sync: str = "group",
+             injector: Optional[object] = None) -> "Database":
+        """Open (or create) a durable database rooted at ``data_dir``.
+
+        If the directory holds durable state, the latest valid snapshot
+        is loaded and the WAL tail replayed (a torn final record is
+        detected by CRC and truncated, never applied).  Otherwise an
+        empty durable database is initialized there.
+        """
+        db = cls()
+        db._attach_durability(data_dir, sync=sync, injector=injector)
+        return db
+
+    def save(self, data_dir: str, sync: str = "group") -> None:
+        """Attach durable storage to this in-memory database.
+
+        Writes an initial checkpoint of the current state to
+        ``data_dir``; subsequent mutations are logged.  Refuses to save
+        over a directory that already holds durable data.
+        """
+        from repro.durability.layout import has_durable_data
+
+        if has_durable_data(data_dir):
+            raise DurabilityError(
+                f"{data_dir!r} already holds durable data; open it with "
+                "Database.open or choose an empty directory"
+            )
+        self._attach_durability(data_dir, sync=sync)
+
+    def _attach_durability(self, data_dir: str, sync: str = "group",
+                           injector: Optional[object] = None) -> None:
+        if self.durability is not None:
+            raise DurabilityError(
+                f"database is already durable at {self.durability.data_dir!r}"
+            )
+        from repro.durability.manager import DurabilityManager
+
+        DurabilityManager(
+            data_dir, sync_policy=sync, injector=injector
+        ).attach(self)
+
+    def checkpoint(self) -> int:
+        """Snapshot all state + truncate the WAL; returns the LSN."""
+        if self.durability is None:
+            raise DurabilityError(
+                "checkpoint requires a durable database "
+                "(Database.open or save first)"
+            )
+        return self.durability.checkpoint()
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush and close durable storage (no-op when in-memory)."""
+        if self.durability is not None:
+            self.durability.close(checkpoint=checkpoint)
+
+    def _durable_commit(self) -> None:
+        """Group-commit the WAL when durable and not inside BEGIN."""
+        if self.durability is not None and self._txn_log is None:
+            self.durability.commit()
 
     # -- connections ------------------------------------------------------
 
@@ -240,9 +321,16 @@ class Database:
         session: Optional[SessionContext] = None,
         mode: str = "open",
         access_params: Optional[Mapping[str, object]] = None,
+        sync: bool = True,
     ) -> object:
         """Execute any statement; returns a Result for queries, a count
-        for DML, None for DDL."""
+        for DML, None for DDL.
+
+        When durable, non-query statements are group-committed (WAL
+        fsync) before returning unless ``sync=False`` — concurrent
+        callers (the gateway) pass False and issue one shared
+        :meth:`DurabilityManager.commit` per batch instead.
+        """
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         session = session or SessionContext()
 
@@ -250,21 +338,33 @@ class Database:
             return self.execute_query(
                 statement, session=session, mode=mode, access_params=access_params
             )
+        result = self._execute_statement(statement, session, mode)
+        if sync:
+            self._durable_commit()
+        return result
+
+    def _execute_statement(
+        self, statement: ast.Statement, session: SessionContext, mode: str
+    ) -> object:
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateView):
-            return self._create_view(statement)
+            self._create_view(statement)
+            self._log_ddl(statement)
+            return None
         if isinstance(statement, ast.DropStmt):
             if statement.kind == "table":
                 self.catalog.drop_table(statement.name)
                 self._tables.pop(statement.name.lower(), None)
             else:
                 self.catalog.drop_view(statement.name)
+            self._log_ddl(statement)
             return None
         if isinstance(statement, ast.Grant):
             return self.grant(statement.object_name, to_user=statement.grantee)
         if isinstance(statement, ast.AuthorizeStmt):
             self.update_authorizer.add_policy(statement)
+            self._log_ddl(statement)
             return None
         if isinstance(statement, ast.TransactionStmt):
             return self._transaction(statement.action)
@@ -278,6 +378,10 @@ class Database:
             f"cannot execute statement {type(statement).__name__}"
         )
 
+    def _log_ddl(self, statement: ast.Statement) -> None:
+        if self.durability is not None:
+            self.durability.log_ddl(render(statement))
+
     # -- DDL ------------------------------------------------------------------
 
     def _create_table(self, statement: ast.CreateTable) -> None:
@@ -289,6 +393,9 @@ class Database:
         for unique in self.catalog.uniques_for(schema.name):
             table.create_index(unique.columns, unique=True)
         self._tables[schema.name.lower()] = table
+        if self.durability is not None:
+            self._log_ddl(statement)
+            self.durability.register_table(table)
 
     def _create_view(self, statement: ast.CreateView) -> None:
         view = ViewDef(
@@ -304,6 +411,7 @@ class Database:
         if not self.catalog.has_view(view_name):
             raise GrantError(f"no view named {view_name!r}")
         self.grants.grant(view_name, to_user, grantor)
+        self._durable_commit()
 
     def grant_public(self, view_name: str) -> None:
         self.grant(view_name, PUBLIC)
@@ -311,6 +419,8 @@ class Database:
     def add_participation_constraint(self, constraint: TotalParticipation) -> None:
         """Declare a total-participation integrity constraint (used by U3)."""
         self.catalog.add_participation(constraint)
+        if self.durability is not None:
+            self.durability.log_participation(constraint)
 
     def set_truman_view(self, table_name: str, view_name: str) -> None:
         """Truman model: DBA maps a base table to its per-user view."""
@@ -319,6 +429,8 @@ class Database:
         if not self.catalog.has_view(view_name):
             raise UnknownTableError(view_name)
         self.truman_policy[table_name.lower()] = view_name
+        if self.durability is not None:
+            self.durability.log_truman(table_name.lower(), view_name)
 
     # -- authorization views available to a user -----------------------------------
 
@@ -582,6 +694,7 @@ class Database:
         if self._txn_log is None:
             raise ExecutionError("no active transaction")
         self._txn_log = None
+        self._durable_commit()
 
     def rollback(self) -> None:
         """Undo every change made since BEGIN, in reverse order."""

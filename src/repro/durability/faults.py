@@ -1,0 +1,81 @@
+"""Fault injection for crash-recovery testing.
+
+The durability layer calls :meth:`FaultInjector.fire` at named *crash
+points* on the write path (around WAL append, fsync, and checkpoint
+steps).  A disarmed injector is a few-nanosecond dictionary probe; an
+armed one raises :class:`InjectedCrash` when its countdown for that
+point reaches zero, simulating the process dying at exactly that
+instant.  Tests then re-open the data directory and compare the
+recovered state against a never-crashed oracle.
+
+:class:`InjectedCrash` derives from ``BaseException`` so that library
+code catching ``ReproError`` (or even ``Exception``) cannot absorb a
+simulated crash and keep running past it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class InjectedCrash(BaseException):
+    """A simulated process crash at a named crash point."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+#: every crash point the write path fires, in write-path order —
+#: the recovery test matrix iterates this list
+CRASH_POINTS = (
+    "wal.before_append",   # nothing written: the operation is lost whole
+    "wal.torn_append",     # half a frame written: CRC must catch it
+    "wal.after_append",    # framed + flushed, not fsynced
+    "wal.before_fsync",    # group-commit leader dies pre-fsync
+    "wal.after_fsync",     # durable; crash immediately after
+    "checkpoint.before_snapshot",   # checkpoint never starts
+    "checkpoint.mid_snapshot",      # half-written snapshot temp file
+    "checkpoint.after_snapshot",    # snapshot published, WAL not truncated
+    "checkpoint.after_truncate",    # complete checkpoint, then crash
+)
+
+
+class FaultInjector:
+    """Arms crash points with countdowns; thread-safe."""
+
+    def __init__(self):
+        self._armed: dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: crash points that actually fired (for test assertions)
+        self.fired: list[str] = []
+
+    def arm(self, point: str, countdown: int = 1) -> None:
+        """Crash at the ``countdown``-th future visit of ``point``."""
+        if countdown < 1:
+            raise ValueError("countdown must be >= 1")
+        with self._lock:
+            self._armed[point] = countdown
+
+    def disarm(self, point: str) -> None:
+        with self._lock:
+            self._armed.pop(point, None)
+
+    def consume(self, point: str) -> bool:
+        """Decrement the countdown; True when this visit should crash."""
+        with self._lock:
+            remaining = self._armed.get(point)
+            if remaining is None:
+                return False
+            remaining -= 1
+            if remaining > 0:
+                self._armed[point] = remaining
+                return False
+            del self._armed[point]
+            self.fired.append(point)
+            return True
+
+    def fire(self, point: str) -> None:
+        """Raise :class:`InjectedCrash` when ``point`` is due to crash."""
+        if self.consume(point):
+            raise InjectedCrash(point)

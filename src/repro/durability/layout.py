@@ -1,0 +1,58 @@
+"""On-disk layout of a durable data directory.
+
+::
+
+    data_dir/
+      snapshot-<LSN 16 digits>.json   checkpoint taken at that LSN
+      wal-<LSN 16 digits>.log         segment holding records with lsn > LSN
+
+A checkpoint at LSN *N* publishes ``snapshot-N.json``, rotates the log
+to ``wal-N.log``, and deletes every older snapshot and segment (log
+truncation).  Recovery pairs the newest valid snapshot with every
+segment record past its LSN, so a crash between any two checkpoint
+steps leaves a recoverable directory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.json$")
+_SEGMENT_RE = re.compile(r"^wal-(\d{16})\.log$")
+
+
+def snapshot_path(data_dir: str, lsn: int) -> str:
+    return os.path.join(data_dir, f"snapshot-{lsn:016d}.json")
+
+
+def segment_path(data_dir: str, base_lsn: int) -> str:
+    return os.path.join(data_dir, f"wal-{base_lsn:016d}.log")
+
+
+def _scan(data_dir: str, pattern: re.Pattern) -> list[tuple[int, str]]:
+    found: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(data_dir)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        match = pattern.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(data_dir, name)))
+    found.sort()
+    return found
+
+
+def list_snapshots(data_dir: str) -> list[tuple[int, str]]:
+    """(lsn, path) of every snapshot file, oldest first."""
+    return _scan(data_dir, _SNAPSHOT_RE)
+
+
+def list_segments(data_dir: str) -> list[tuple[int, str]]:
+    """(base_lsn, path) of every WAL segment, oldest first."""
+    return _scan(data_dir, _SEGMENT_RE)
+
+
+def has_durable_data(data_dir: str) -> bool:
+    return bool(list_snapshots(data_dir)) or bool(list_segments(data_dir))

@@ -1,0 +1,274 @@
+"""The durability manager: glue between a Database and its data_dir.
+
+One :class:`DurabilityManager` owns a data directory: the WAL writer,
+checkpoint/truncation logic, and the mutation hooks that turn logical
+changes into WAL records.  Attachment has two shapes:
+
+* **fresh or existing directory** (``Database.open`` /
+  ``Database(data_dir=...)``): if the directory holds durable state the
+  target database must be empty and is recovered from it; otherwise an
+  initial checkpoint of the (possibly pre-populated, for
+  ``Database.save``) state is published at LSN 0;
+* after attachment every table gets an ``on_mutate`` hook and the grant
+  registry an ``on_change`` hook, so mutations are logged no matter
+  which API level performed them — including the compensating writes a
+  transaction ROLLBACK issues.
+
+Record kinds: ``ddl`` (CREATE TABLE / CREATE VIEW / DROP / AUTHORIZE,
+replayed as SQL), ``row`` (insert/update/delete with stable row ids and
+the validity-cache data version), ``index``, ``grant``/``revoke`` (with
+the resulting registry version — the policy epoch), ``truman``, and
+``participation``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DurabilityError
+from repro.durability import layout
+from repro.durability.faults import FaultInjector
+from repro.durability.recovery import recover
+from repro.durability.snapshot import (
+    _participation_state,
+    capture_state,
+    write_snapshot,
+)
+from repro.durability.wal import WalWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+    from repro.storage.table import Table
+
+
+class DurabilityManager:
+    """Write-ahead logging, checkpoints, and recovery for one Database."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        sync_policy: str = "group",
+        injector: Optional[FaultInjector] = None,
+    ):
+        self.data_dir = data_dir
+        self.sync_policy = sync_policy
+        self.injector = injector
+        self.db: Optional["Database"] = None
+        self.writer: Optional[WalWriter] = None
+        self.snapshot_lsn = 0
+        self.recovery_info: dict = {}
+        self.closed = False
+        self.commits = 0
+        self.checkpoints = 0
+        self._checkpoint_lock = threading.Lock()
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, db: "Database") -> None:
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.db = db
+        if layout.has_durable_data(self.data_dir):
+            if db.catalog.tables() or db.catalog.views():
+                raise DurabilityError(
+                    f"{self.data_dir!r} already holds durable state; it can "
+                    "only be opened into an empty database "
+                    "(use Database.open, not save)"
+                )
+            self.recovery_info = recover(db, self.data_dir)
+            self.snapshot_lsn = self.recovery_info["snapshot_lsn"]
+            segments = layout.list_segments(self.data_dir)
+            tail_base = segments[-1][0] if segments else self.snapshot_lsn
+            self.writer = WalWriter(
+                layout.segment_path(self.data_dir, tail_base),
+                start_lsn=self.recovery_info["last_lsn"] + 1,
+                sync_policy=self.sync_policy,
+                injector=self.injector,
+            )
+        else:
+            # fresh directory: initial checkpoint of the current state
+            # (empty for open(), populated for save()) at LSN 0
+            write_snapshot(
+                layout.snapshot_path(self.data_dir, 0),
+                capture_state(db, 0),
+                self.injector,
+            )
+            self.snapshot_lsn = 0
+            self.writer = WalWriter(
+                layout.segment_path(self.data_dir, 0),
+                start_lsn=1,
+                sync_policy=self.sync_policy,
+                injector=self.injector,
+            )
+        db.durability = self
+        for table in db._tables.values():
+            self.register_table(table)
+        db.grants.on_change = self._registry_change
+
+    # -- logging hooks ---------------------------------------------------
+
+    def _append(self, payload: dict) -> int:
+        if self.closed:
+            raise DurabilityError(
+                f"durable database at {self.data_dir!r} is closed"
+            )
+        return self.writer.append(payload)
+
+    def log_ddl(self, sql: str) -> int:
+        return self._append({"kind": "ddl", "sql": sql})
+
+    def log_truman(self, table_name: str, view_name: str) -> int:
+        return self._append(
+            {"kind": "truman", "table": table_name, "view": view_name}
+        )
+
+    def log_participation(self, constraint) -> int:
+        return self._append(
+            {
+                "kind": "participation",
+                "constraint": _participation_state(constraint),
+            }
+        )
+
+    def register_table(self, table: "Table") -> None:
+        """Install the mutation hook emitting WAL records for one table."""
+        name = table.schema.name.lower()
+
+        def hook(event: str, *args) -> None:
+            if event == "insert":
+                rid, row = args
+                self._append(
+                    {
+                        "kind": "row",
+                        "op": "insert",
+                        "table": name,
+                        "rid": rid,
+                        "row": list(row),
+                        "dv": self.db.validity_cache.data_version,
+                    }
+                )
+            elif event == "update":
+                rid, row, _old = args
+                self._append(
+                    {
+                        "kind": "row",
+                        "op": "update",
+                        "table": name,
+                        "rid": rid,
+                        "row": list(row),
+                        "dv": self.db.validity_cache.data_version,
+                    }
+                )
+            elif event == "delete":
+                rid, _row = args
+                self._append(
+                    {
+                        "kind": "row",
+                        "op": "delete",
+                        "table": name,
+                        "rid": rid,
+                        "dv": self.db.validity_cache.data_version,
+                    }
+                )
+            elif event == "index":
+                columns, unique = args
+                self._append(
+                    {
+                        "kind": "index",
+                        "table": name,
+                        "columns": list(columns),
+                        "unique": unique,
+                    }
+                )
+
+        table.on_mutate = hook
+
+    def _registry_change(self, event: str, info: dict) -> None:
+        payload = {"kind": event}
+        payload.update(info)
+        self._append(payload)
+
+    # -- commit / checkpoint ---------------------------------------------
+
+    def commit(self) -> None:
+        """Make everything appended so far durable (group commit)."""
+        if self.closed:
+            return
+        self.commits += 1
+        self.writer.sync()
+
+    def checkpoint(self) -> int:
+        """Snapshot the current state and truncate the log behind it.
+
+        The caller must have quiesced DML (the gateway checkpoints after
+        drain; the CLI and direct API are single-threaded).  Returns the
+        checkpoint LSN.
+        """
+        with self._checkpoint_lock:
+            if self.closed:
+                raise DurabilityError(
+                    f"durable database at {self.data_dir!r} is closed"
+                )
+            if self.injector is not None:
+                self.injector.fire("checkpoint.before_snapshot")
+            last_lsn = self.writer.last_appended_lsn
+            self.writer.fsync_now()
+            write_snapshot(
+                layout.snapshot_path(self.data_dir, last_lsn),
+                capture_state(self.db, last_lsn),
+                self.injector,
+            )
+            if self.injector is not None:
+                self.injector.fire("checkpoint.after_snapshot")
+            # rotate the log so replay after this snapshot starts empty
+            self.writer.close()
+            self.writer = WalWriter(
+                layout.segment_path(self.data_dir, last_lsn),
+                start_lsn=last_lsn + 1,
+                sync_policy=self.sync_policy,
+                injector=self.injector,
+            )
+            self.snapshot_lsn = last_lsn
+            # truncate: drop snapshots and segments the new pair obsoletes
+            for lsn, path in layout.list_snapshots(self.data_dir):
+                if lsn < last_lsn:
+                    os.remove(path)
+            for base, path in layout.list_segments(self.data_dir):
+                if base < last_lsn:
+                    os.remove(path)
+            if self.injector is not None:
+                self.injector.fire("checkpoint.after_truncate")
+            self.checkpoints += 1
+            return last_lsn
+
+    def close(self, checkpoint: bool = True) -> None:
+        if self.closed:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self.writer.close()
+        self.closed = True
+
+    # -- observability ---------------------------------------------------
+
+    def wal_stats(self) -> dict[str, object]:
+        stats: dict[str, object] = {
+            "data_dir": self.data_dir,
+            "sync_policy": self.sync_policy,
+            "wal_records": self.writer.records_appended,
+            "wal_bytes": self.writer.bytes_appended,
+            "wal_fsyncs": self.writer.fsync_count,
+            "wal_commits": self.commits,
+            "wal_last_lsn": self.writer.last_appended_lsn,
+            "wal_synced_lsn": self.writer.synced_lsn,
+            "snapshot_lsn": self.snapshot_lsn,
+            "checkpoints": self.checkpoints,
+        }
+        if self.recovery_info:
+            stats["recovered_wal_records"] = self.recovery_info[
+                "wal_records_replayed"
+            ]
+            stats["recovered_torn_tail"] = self.recovery_info["torn_truncated"]
+            stats["recovery_s"] = round(self.recovery_info["recover_s"], 6)
+        return stats

@@ -1,0 +1,247 @@
+"""Append-only write-ahead log with CRC32 framing and group commit.
+
+Every logical mutation of a durable database becomes one WAL record: a
+JSON payload carrying a monotonically increasing LSN, framed as::
+
+    [4-byte little-endian payload length][4-byte CRC32 of payload][payload]
+
+A record is *valid* only when the full frame is present and the CRC
+matches; a crash mid-write therefore leaves a detectably torn tail that
+recovery truncates instead of applying (a half-applied mutation would
+silently diverge from the pre-crash state).
+
+Durability is decoupled from appending so that it does not serialize
+the enforcement gateway's worker pool:
+
+* :meth:`WalWriter.append` frames the record and writes it to the OS
+  under a short lock (microseconds);
+* :meth:`WalWriter.sync` implements **group commit**: the first caller
+  to arrive becomes the *leader* and issues one ``fsync`` covering
+  every record appended so far; concurrent callers whose records are
+  covered simply wait for the leader's fsync — N concurrent commits
+  cost one disk flush, not N.
+
+Sync policies: ``"group"`` (the default, described above), ``"always"``
+(fsync inside every append — the per-operation baseline the E15
+benchmark compares against), and ``"none"`` (never fsync; OS-crash
+durability is forfeited but process-crash recovery still works because
+appends are flushed to the kernel).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import DurabilityError
+from repro.durability.faults import FaultInjector, InjectedCrash
+
+_HEADER = struct.Struct("<II")  # (payload length, CRC32 of payload)
+
+#: a frame longer than this is treated as corruption, not data
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+SYNC_POLICIES = ("group", "always", "none")
+
+
+def _crc(payload: bytes) -> int:
+    import zlib
+
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def encode_record(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(len(body), _crc(body)) + body
+
+
+def read_wal(path: str) -> tuple[list[dict], int, bool]:
+    """Decode a WAL file.
+
+    Returns ``(records, valid_bytes, torn)`` where ``valid_bytes`` is
+    the offset one past the last intact record and ``torn`` is True
+    when trailing bytes exist that do not form a CRC-valid record.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: list[dict] = []
+    offset = 0
+    torn = False
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            torn = True
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if length > MAX_RECORD_BYTES or start + length > len(data):
+            torn = True
+            break
+        body = data[start : start + length]
+        if _crc(body) != crc:
+            torn = True
+            break
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            torn = True
+            break
+        records.append(record)
+        offset = start + length
+    return records, offset, torn
+
+
+def truncate_torn(path: str, valid_bytes: int) -> None:
+    """Drop a torn tail so future appends start at a record boundary."""
+    with open(path, "r+b") as handle:
+        handle.truncate(valid_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class WalWriter:
+    """Thread-safe appender over one WAL segment file."""
+
+    def __init__(
+        self,
+        path: str,
+        start_lsn: int,
+        sync_policy: str = "group",
+        injector: Optional[FaultInjector] = None,
+    ):
+        if sync_policy not in SYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown WAL sync policy {sync_policy!r} "
+                f"(expected one of {SYNC_POLICIES})"
+            )
+        self.path = path
+        self.sync_policy = sync_policy
+        self.injector = injector
+        self._file = open(path, "ab")
+        self._append_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._next_lsn = start_lsn
+        self._last_appended = start_lsn - 1
+        self._synced_lsn = start_lsn - 1
+        self._syncing = False
+        self._closed = False
+        # counters (read by \wal-stats and the E15 benchmark)
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsync_count = 0
+
+    # -- appending -------------------------------------------------------
+
+    @property
+    def last_appended_lsn(self) -> int:
+        with self._append_lock:
+            return self._last_appended
+
+    @property
+    def synced_lsn(self) -> int:
+        with self._cond:
+            return self._synced_lsn
+
+    def append(self, payload: dict) -> int:
+        """Frame ``payload``, assign it the next LSN, write it out.
+
+        The record is flushed to the OS before returning (surviving a
+        process crash); it survives an OS crash only once a later
+        :meth:`sync` covers its LSN (or with the ``"always"`` policy).
+        """
+        with self._append_lock:
+            if self._closed:
+                raise DurabilityError(f"WAL writer for {self.path} is closed")
+            lsn = self._next_lsn
+            payload = dict(payload)
+            payload["lsn"] = lsn
+            frame = encode_record(payload)
+            if self.injector is not None:
+                self.injector.fire("wal.before_append")
+                if self.injector.consume("wal.torn_append"):
+                    # simulate the process dying mid-write: half a frame
+                    # reaches the file, then nothing else ever does
+                    self._file.write(frame[: max(1, len(frame) // 2)])
+                    self._file.flush()
+                    raise InjectedCrash("wal.torn_append")
+            self._file.write(frame)
+            self._file.flush()
+            self._next_lsn = lsn + 1
+            self._last_appended = lsn
+            self.records_appended += 1
+            self.bytes_appended += len(frame)
+            if self.injector is not None:
+                self.injector.fire("wal.after_append")
+            if self.sync_policy == "always":
+                if self.injector is not None:
+                    self.injector.fire("wal.before_fsync")
+                os.fsync(self._file.fileno())
+                self.fsync_count += 1
+                with self._cond:
+                    self._synced_lsn = lsn
+                if self.injector is not None:
+                    self.injector.fire("wal.after_fsync")
+        return lsn
+
+    # -- group commit ----------------------------------------------------
+
+    def sync(self, lsn: Optional[int] = None) -> None:
+        """Block until every record up to ``lsn`` is fsynced.
+
+        Group commit: one concurrent caller fsyncs on behalf of all;
+        the rest wait on the condition variable and return as soon as
+        the covering flush lands.
+        """
+        if self.sync_policy != "group":
+            return  # "always" synced in append; "none" never syncs
+        with self._append_lock:
+            target = self._last_appended if lsn is None else lsn
+        while True:
+            with self._cond:
+                while self._synced_lsn < target and self._syncing:
+                    self._cond.wait()
+                if self._synced_lsn >= target:
+                    return
+                self._syncing = True
+            # we are the leader; cover everything appended so far
+            with self._append_lock:
+                cover = self._last_appended
+            synced = False
+            try:
+                if self.injector is not None:
+                    self.injector.fire("wal.before_fsync")
+                os.fsync(self._file.fileno())
+                self.fsync_count += 1
+                synced = True
+            finally:
+                with self._cond:
+                    self._syncing = False
+                    if synced:
+                        self._synced_lsn = max(self._synced_lsn, cover)
+                    self._cond.notify_all()
+            if self.injector is not None:
+                self.injector.fire("wal.after_fsync")
+
+    def fsync_now(self) -> None:
+        """Unconditional flush regardless of policy (checkpoint uses it)."""
+        with self._append_lock:
+            if self._closed:
+                return
+            cover = self._last_appended
+            os.fsync(self._file.fileno())
+            self.fsync_count += 1
+        with self._cond:
+            self._synced_lsn = max(self._synced_lsn, cover)
+
+    def close(self) -> None:
+        with self._append_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()

@@ -131,3 +131,14 @@ class ServiceOverloaded(ServiceError):
 class ServiceShutdown(ServiceError):
     """Raised when a request is submitted to a gateway that is shutting
     down (or already stopped) and no longer accepts new work."""
+
+
+class DurabilityError(ReproError):
+    """Raised by the durable-storage layer (``repro.durability``).
+
+    Covers unrecoverable on-disk corruption (a torn record *before* the
+    WAL tail, a snapshot whose CRC fails with no older snapshot to fall
+    back to), misuse (checkpointing an in-memory database, mutating a
+    closed database), and attaching durable state to a non-empty
+    database.
+    """

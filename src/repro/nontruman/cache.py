@@ -120,6 +120,12 @@ class ValidityCache:
         with self._lock:
             self._data_version += 1
 
+    def restore_data_version(self, version: int) -> None:
+        """Advance the counter after crash recovery so decisions stamped
+        before the crash can never validate against the recovered state."""
+        with self._lock:
+            self._data_version = max(self._data_version, version)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -4,6 +4,20 @@ Rows are Python tuples keyed by a monotonically increasing row id; a
 table is a *multiset* (SQL bag semantics) — the same tuple value may
 appear under many row ids.  Hash indexes are maintained incrementally
 on insert/delete.
+
+Mutations are **atomic across all indexes**: if applying a change to a
+later index raises (e.g. a unique violation that slipped past the
+pre-check under concurrent mutation), every already-applied index entry
+is rolled back and the row map is left untouched, so storage can never
+end half-mutated.
+
+Each table carries an optional ``on_mutate`` hook, set by the
+durability layer (:mod:`repro.durability`): after a mutation fully
+succeeds the hook receives ``("insert", row_id, row)``,
+``("update", row_id, new_row, old_row)``, ``("delete", row_id, row)``,
+or ``("index", column_names, unique)`` and appends the matching WAL
+record.  In-memory databases leave the hook ``None``; the cost on that
+path is one attribute check per mutation and nothing on reads.
 """
 
 from __future__ import annotations
@@ -24,6 +38,8 @@ class Table:
         self._rows: dict[int, tuple] = {}
         self._next_id = 0
         self._indexes: list[HashIndex] = []
+        #: durability hook; see module docstring
+        self.on_mutate: Optional[Callable[..., None]] = None
 
     # -- index management -------------------------------------------------
 
@@ -34,6 +50,8 @@ class Table:
         for row_id, row in self._rows.items():
             index.insert(row_id, row)
         self._indexes.append(index)
+        if self.on_mutate is not None:
+            self.on_mutate("index", names, unique)
         return index
 
     def find_index(self, columns: Iterable[str]) -> Optional[HashIndex]:
@@ -42,6 +60,18 @@ class Table:
             if index.columns == wanted:
                 return index
         return None
+
+    def has_index(self, columns: Iterable[str], unique: bool) -> bool:
+        """True when an index on exactly these columns + uniqueness exists."""
+        wanted = tuple(self.schema.column_index(c) for c in columns)
+        return any(
+            index.columns == wanted and index.unique == unique
+            for index in self._indexes
+        )
+
+    def index_defs(self) -> list[tuple[tuple[str, ...], bool]]:
+        """(column names, unique) for every index, in creation order."""
+        return [(index.column_names, index.unique) for index in self._indexes]
 
     # -- row access ---------------------------------------------------------
 
@@ -65,6 +95,14 @@ class Table:
     def row_count(self) -> int:
         return len(self._rows)
 
+    @property
+    def next_row_id(self) -> int:
+        return self._next_id
+
+    def set_next_row_id(self, next_id: int) -> None:
+        """Restore the id counter (snapshot load; ids must stay stable)."""
+        self._next_id = max(self._next_id, next_id)
+
     # -- mutation -------------------------------------------------------------
 
     def _coerce(self, values: tuple) -> tuple:
@@ -82,7 +120,13 @@ class Table:
             coerced.append(coerce_value(value, col.dtype))
         return tuple(coerced)
 
-    def insert(self, values: tuple) -> int:
+    def insert(self, values: tuple, row_id: Optional[int] = None) -> int:
+        """Insert a row; returns its id.
+
+        ``row_id`` pins the id during WAL replay / snapshot load, where
+        ids recorded before the crash must keep addressing the same
+        rows.
+        """
         row = self._coerce(values)
         for index in self._indexes:
             if index.would_violate(row):
@@ -90,18 +134,37 @@ class Table:
                     f"unique violation on {self.schema.name}"
                     f"({', '.join(index.column_names)}): {index.key_of(row)!r}"
                 )
-        row_id = self._next_id
-        self._next_id += 1
-        self._rows[row_id] = row
-        for index in self._indexes:
-            index.insert(row_id, row)
-        return row_id
+        if row_id is None:
+            rid = self._next_id
+        else:
+            if row_id in self._rows:
+                raise ExecutionError(
+                    f"{self.schema.name}: row id {row_id} already exists"
+                )
+            rid = row_id
+        applied: list[HashIndex] = []
+        try:
+            for index in self._indexes:
+                index.insert(rid, row)
+                applied.append(index)
+        except BaseException:
+            # atomicity across indexes: undo the entries already applied
+            for index in applied:
+                index.delete(rid, row)
+            raise
+        self._next_id = max(self._next_id, rid + 1)
+        self._rows[rid] = row
+        if self.on_mutate is not None:
+            self.on_mutate("insert", rid, row)
+        return rid
 
     def delete_row(self, row_id: int) -> tuple:
         row = self.get_row(row_id)
         del self._rows[row_id]
         for index in self._indexes:
             index.delete(row_id, row)
+        if self.on_mutate is not None:
+            self.on_mutate("delete", row_id, row)
         return row
 
     def update_row(self, row_id: int, values: tuple) -> tuple:
@@ -116,9 +179,21 @@ class Table:
                 )
         for index in self._indexes:
             index.delete(row_id, old)
+        applied: list[HashIndex] = []
+        try:
+            for index in self._indexes:
+                index.insert(row_id, new)
+                applied.append(index)
+        except BaseException:
+            # roll the indexes back to the pre-update image
+            for index in applied:
+                index.delete(row_id, new)
+            for index in self._indexes:
+                index.insert(row_id, old)
+            raise
         self._rows[row_id] = new
-        for index in self._indexes:
-            index.insert(row_id, new)
+        if self.on_mutate is not None:
+            self.on_mutate("update", row_id, new, old)
         return old
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:

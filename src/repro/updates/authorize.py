@@ -44,6 +44,16 @@ class UpdatePolicy:
         allowed = {c.lower() for c in self.columns}
         return all(c.lower() in allowed for c in changed)
 
+    def to_statement(self) -> ast.AuthorizeStmt:
+        """The AUTHORIZE statement this policy came from (rendered into
+        snapshots and replayed through the normal parse path)."""
+        return ast.AuthorizeStmt(
+            action=self.action,
+            table=self.table,
+            columns=self.columns,
+            where=self.predicate,
+        )
+
 
 class UpdateAuthorizer:
     """Holds AUTHORIZE policies and checks DML statements against them."""
@@ -61,6 +71,10 @@ class UpdateAuthorizer:
                 predicate=statement.where,
             )
         )
+
+    def policies(self) -> list[UpdatePolicy]:
+        """Every declared policy, in declaration order (persistence)."""
+        return list(self._policies)
 
     def policies_for(self, action: str, table: str) -> list[UpdatePolicy]:
         key = table.lower()

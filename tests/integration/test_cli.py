@@ -191,3 +191,87 @@ class TestBuildDatabase:
         script.write_text("create table T(a int primary key); insert into T values (1);")
         db = build_database(None, str(script))
         assert db.execute("select count(*) from T").scalar() == 1
+
+
+class TestDurabilityMetaCommands:
+    def test_save_checkpoint_walstats_open(self, db, tmp_path):
+        data_dir = str(tmp_path / "cli-data")
+        output = run_shell(
+            db,
+            "\\mode open\n"
+            f"\\save {data_dir}\n"
+            "insert into Students values ('99', 'Zoe', null);\n"
+            "\\wal-stats\n"
+            "\\checkpoint\n",
+        )
+        assert f"durable at {data_dir!r}" in output
+        assert "1 row(s) affected" in output
+        assert "wal_records" in output
+        assert "sync_policy" in output
+        assert "checkpoint complete at LSN" in output
+
+        # a fresh shell re-opens the directory and sees the insert
+        out2 = run_shell(
+            Database(),
+            f"\\open {data_dir}\n"
+            "\\mode open\n"
+            "select name from Students where student_id = '99';\n",
+        )
+        assert f"opened {data_dir!r}" in out2
+        assert "Zoe" in out2
+
+    def test_save_requires_argument(self, db):
+        output = run_shell(db, "\\save\n")
+        assert "usage: \\save <directory>" in output
+
+    def test_open_requires_argument(self, db):
+        output = run_shell(db, "\\open\n")
+        assert "usage: \\open <directory>" in output
+
+    def test_checkpoint_in_memory_errors(self, db):
+        output = run_shell(db, "\\checkpoint\n")
+        assert "error:" in output
+
+    def test_wal_stats_in_memory_hint(self, db):
+        output = run_shell(db, "\\wal-stats\n")
+        assert "in-memory" in output
+
+    def test_save_over_existing_data_reports_error(self, db, tmp_path):
+        data_dir = str(tmp_path / "occupied")
+        Database.open(data_dir).close()
+        output = run_shell(db, f"\\save {data_dir}\n")
+        assert "error:" in output
+        assert "already holds durable data" in output
+
+    def test_open_replays_wal_tail(self, db, tmp_path):
+        data_dir = str(tmp_path / "tail")
+        durable = Database.open(data_dir)
+        durable.execute("create table T(id int primary key)")
+        durable.execute("insert into T values (7)")
+        durable.close(checkpoint=False)  # leave records in the WAL
+        output = run_shell(Database(), f"\\open {data_dir}\n")
+        assert "WAL record(s) replayed" in output
+
+
+class TestDataDirFlag:
+    def test_build_database_initializes_then_reopens(self, tmp_path):
+        data_dir = str(tmp_path / "flagged")
+        first = build_database("bank", None, data_dir)
+        accounts = len(first.table("Accounts"))
+        assert first.durability is not None
+        first.execute(
+            "insert into Customers values ('C999', 'New', '1 Elm St')"
+        )
+        first.close()
+        # second invocation ignores --workload and opens the saved state
+        second = build_database(None, None, data_dir)
+        assert len(second.table("Accounts")) == accounts
+        result = second.execute(
+            "select name from Customers where cust_id = 'C999'"
+        )
+        assert result.rows == [("New",)]
+        second.close()
+
+    def test_build_database_without_data_dir_is_in_memory(self):
+        db = build_database(None, None)
+        assert db.durability is None

@@ -260,3 +260,70 @@ class TestIndexChurnOracle:
 
 def index_rids(table, columns, key):
     return set(table.find_index(columns).lookup(key))
+
+
+class TestMultiIndexAtomicity:
+    """Satellite regression: a mutation that fails while applying a
+    *later* index must roll back the entries already applied to earlier
+    indexes — storage never ends half-mutated."""
+
+    def two_unique_indexes(self):
+        t = make_table(unique_on=("id",))
+        t.create_index(("name",), unique=True)
+        return t
+
+    def test_insert_rolls_back_first_index_when_second_rejects(self):
+        t = self.two_unique_indexes()
+        t.insert((1, "a", 1.0))
+        # id=2 is fresh (passes the id index) but name='a' collides in
+        # the name index; defeat the pre-check on the name index so the
+        # violation surfaces at *apply* time, after the id entry landed
+        name_index = t.find_index(("name",))
+        original = name_index.would_violate
+        name_index.would_violate = lambda row, ignore_row_id=None: False
+        try:
+            with pytest.raises(IntegrityError):
+                t.insert((2, "a", 2.0))
+        finally:
+            name_index.would_violate = original
+        assert len(t) == 1
+        assert index_rids(t, ("id",), (2,)) == set()
+        assert index_rids(t, ("name",), ("a",)) == {0}
+
+    def test_update_restores_both_indexes_when_second_rejects(self):
+        t = self.two_unique_indexes()
+        t.insert((1, "a", 1.0))
+        rid = t.insert((2, "b", 2.0))
+        name_index = t.find_index(("name",))
+        original = name_index.would_violate
+        name_index.would_violate = lambda row, ignore_row_id=None: False
+        try:
+            with pytest.raises(IntegrityError):
+                # id 2 -> 3 is fine; name 'b' -> 'a' collides at apply time
+                t.update_row(rid, (3, "a", 2.0))
+        finally:
+            name_index.would_violate = original
+        # row and BOTH indexes must show the pre-update image
+        assert t.get_row(rid) == (2, "b", 2.0)
+        assert index_rids(t, ("id",), (2,)) == {rid}
+        assert index_rids(t, ("id",), (3,)) == set()
+        assert index_rids(t, ("name",), ("b",)) == {rid}
+        assert index_rids(t, ("name",), ("a",)) == {0}
+
+    def test_hook_does_not_fire_for_failed_mutation(self):
+        t = self.two_unique_indexes()
+        events = []
+        t.on_mutate = lambda *args: events.append(args[0])
+        t.insert((1, "a", 1.0))
+        with pytest.raises(IntegrityError):
+            t.insert((1, "z", 2.0))
+        assert events == ["insert"]
+
+    def test_index_creation_fires_hook(self):
+        t = make_table()
+        events = []
+        t.on_mutate = lambda *args: events.append(args)
+        t.create_index(("score",), unique=False)
+        assert events == [("index", ("score",), False)]
+        assert t.has_index(("score",), unique=False)
+        assert not t.has_index(("score",), unique=True)

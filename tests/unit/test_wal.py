@@ -1,0 +1,175 @@
+"""Unit tests for the WAL layer: framing, CRC, torn tails, group commit."""
+
+import os
+import struct
+import threading
+
+import pytest
+
+from repro.durability.faults import FaultInjector, InjectedCrash
+from repro.durability.wal import (
+    WalWriter,
+    encode_record,
+    read_wal,
+    truncate_torn,
+)
+from repro.errors import DurabilityError
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal-0.log")
+
+
+class TestFraming:
+    def test_round_trip(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1)
+        writer.append({"kind": "ddl", "sql": "create table t (id int)"})
+        writer.append({"kind": "row", "op": "insert", "rid": 0})
+        writer.close()
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert not torn
+        assert valid_bytes == os.path.getsize(wal_path)
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert records[0]["sql"] == "create table t (id int)"
+        assert records[1]["op"] == "insert"
+
+    def test_lsn_assignment_is_monotonic(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=10)
+        lsns = [writer.append({"kind": "ddl", "sql": str(i)}) for i in range(5)]
+        writer.close()
+        assert lsns == [10, 11, 12, 13, 14]
+        assert writer.last_appended_lsn == 14
+
+    def test_crc_catches_bit_flip(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1)
+        writer.append({"kind": "ddl", "sql": "alpha"})
+        writer.append({"kind": "ddl", "sql": "beta"})
+        writer.close()
+        data = bytearray(open(wal_path, "rb").read())
+        # flip a bit inside the *second* record's payload
+        first_len = struct.unpack_from("<I", data, 0)[0]
+        target = 8 + first_len + 8 + 2
+        data[target] ^= 0x40
+        open(wal_path, "wb").write(bytes(data))
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert torn
+        assert [r["sql"] for r in records] == ["alpha"]
+        assert valid_bytes == 8 + first_len
+
+    def test_torn_tail_detected_and_truncated(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1)
+        writer.append({"kind": "ddl", "sql": "kept"})
+        writer.close()
+        frame = encode_record({"kind": "ddl", "sql": "torn", "lsn": 2})
+        with open(wal_path, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert torn
+        assert len(records) == 1
+        truncate_torn(wal_path, valid_bytes)
+        records, _, torn = read_wal(wal_path)
+        assert not torn
+        assert [r["sql"] for r in records] == ["kept"]
+        # appends after truncation land on a clean record boundary
+        writer = WalWriter(wal_path, start_lsn=2)
+        writer.append({"kind": "ddl", "sql": "after"})
+        writer.close()
+        records, _, torn = read_wal(wal_path)
+        assert not torn
+        assert [r["sql"] for r in records] == ["kept", "after"]
+
+    def test_absurd_length_field_is_corruption(self, wal_path):
+        with open(wal_path, "wb") as handle:
+            handle.write(struct.pack("<II", 2**31, 0))
+            handle.write(b"x" * 64)
+        records, valid_bytes, torn = read_wal(wal_path)
+        assert torn
+        assert records == []
+        assert valid_bytes == 0
+
+
+class TestSyncPolicies:
+    def test_unknown_policy_rejected(self, wal_path):
+        with pytest.raises(DurabilityError):
+            WalWriter(wal_path, start_lsn=1, sync_policy="sometimes")
+
+    def test_always_fsyncs_per_append(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1, sync_policy="always")
+        for i in range(5):
+            writer.append({"kind": "ddl", "sql": str(i)})
+        assert writer.fsync_count == 5
+        assert writer.synced_lsn == 5
+        writer.close()
+
+    def test_none_never_fsyncs_on_commit(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1, sync_policy="none")
+        writer.append({"kind": "ddl", "sql": "x"})
+        writer.sync()
+        assert writer.fsync_count == 0
+        writer.close()
+
+    def test_group_commit_batches_fsyncs(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1, sync_policy="group")
+        barrier = threading.Barrier(8)
+
+        def worker(i):
+            barrier.wait()
+            lsn = writer.append({"kind": "ddl", "sql": str(i)})
+            writer.sync(lsn)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert writer.records_appended == 8
+        assert writer.synced_lsn == 8
+        # a leader's single fsync covers every concurrent appender; with
+        # the barrier the 8 commits collapse into far fewer flushes
+        assert writer.fsync_count <= 8
+        records, _, torn = read_wal(wal_path)
+        assert not torn and len(records) == 8
+        writer.close()
+
+    def test_sync_waits_for_covering_lsn(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1, sync_policy="group")
+        lsn = writer.append({"kind": "ddl", "sql": "x"})
+        writer.sync(lsn)
+        assert writer.synced_lsn >= lsn
+        # an already-covered sync returns without another fsync
+        before = writer.fsync_count
+        writer.sync(lsn)
+        assert writer.fsync_count == before
+        writer.close()
+
+    def test_append_after_close_raises(self, wal_path):
+        writer = WalWriter(wal_path, start_lsn=1)
+        writer.close()
+        with pytest.raises(DurabilityError):
+            writer.append({"kind": "ddl", "sql": "x"})
+
+
+class TestFaultInjector:
+    def test_countdown(self):
+        injector = FaultInjector()
+        injector.arm("wal.after_append", countdown=3)
+        assert not injector.consume("wal.after_append")
+        assert not injector.consume("wal.after_append")
+        assert injector.consume("wal.after_append")
+        assert not injector.consume("wal.after_append")
+        assert injector.fired == ["wal.after_append"]
+
+    def test_injected_crash_is_not_an_exception(self):
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_torn_append_leaves_half_frame(self, wal_path):
+        injector = FaultInjector()
+        writer = WalWriter(wal_path, start_lsn=1, injector=injector)
+        writer.append({"kind": "ddl", "sql": "whole"})
+        injector.arm("wal.torn_append")
+        with pytest.raises(InjectedCrash):
+            writer.append({"kind": "ddl", "sql": "torn-record"})
+        records, _, torn = read_wal(wal_path)
+        assert torn
+        assert [r["sql"] for r in records] == ["whole"]
