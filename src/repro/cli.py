@@ -54,13 +54,16 @@ class Shell:
     """A line-oriented REPL over one Database."""
 
     def __init__(self, db: Database, out: TextIO = sys.stdout,
-                 gateway_workers: int = 2):
+                 gateway_workers: int = 2,
+                 query_timeout: Optional[float] = 30.0):
         self.db = db
         self.out = out
         self.mode = "non-truman"
         self.user: Optional[str] = None
         self.conn: Connection = db.connect(user_id=None, mode=self.mode)
         self.gateway_workers = gateway_workers
+        #: default per-query deadline (seconds); None disables it
+        self.query_timeout = query_timeout
         self._gateway = None
         self._buffer: list[str] = []
 
@@ -78,7 +81,8 @@ class Shell:
             from repro.service import EnforcementGateway
 
             self._gateway = EnforcementGateway(
-                self.db, workers=self.gateway_workers, name="shell-gateway"
+                self.db, workers=self.gateway_workers, name="shell-gateway",
+                default_deadline=self.query_timeout,
             )
         return self._gateway
 
@@ -429,6 +433,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="gateway worker threads serving the shell's queries",
     )
     parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query deadline in seconds (0 disables it); "
+             "a runaway validity check or scan is cancelled "
+             "cooperatively when it elapses",
+    )
+    parser.add_argument(
         "--data-dir", default=None,
         help="durable data directory (opened if it holds state, "
              "initialized from --workload/--script otherwise)",
@@ -436,7 +446,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     db = build_database(args.workload, args.script, args.data_dir)
-    shell = Shell(db, gateway_workers=args.workers)
+    shell = Shell(
+        db,
+        gateway_workers=args.workers,
+        query_timeout=args.timeout if args.timeout > 0 else None,
+    )
     shell.mode = args.mode
     shell.user = args.user
     shell.reconnect()

@@ -454,6 +454,7 @@ class Database:
         mode: str = "open",
         access_params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
+        ctx=None,
     ) -> Result:
         query = parse_statement(sql) if isinstance(sql, str) else sql
         if not isinstance(query, ast.QueryExpr):
@@ -461,30 +462,38 @@ class Database:
         session = session or SessionContext()
 
         if mode == "open":
-            return self._run(query, session, access_params, engine)
+            return self._run(query, session, access_params, engine, ctx)
         if mode == "truman":
             from repro.truman.rewrite import truman_rewrite
 
             modified = truman_rewrite(self, query, session)
-            return self._run(modified, session, access_params, engine)
+            return self._run(modified, session, access_params, engine, ctx)
         if mode == "motro":
             from repro.motro.model import motro_query
 
             return motro_query(self, query, session)
         if mode == "non-truman":
-            decision = self.check_validity(query, session)
+            decision = self.check_validity(query, session, ctx=ctx)
             if not decision.valid:
                 raise QueryRejectedError(
                     f"query rejected by Non-Truman model: {decision.reason}",
                     decision=decision,
                 )
-            return self._run(query, session, access_params, engine)
+            return self._run(query, session, access_params, engine, ctx)
         raise AccessControlError(f"unknown access-control mode {mode!r}")
 
     def check_validity(
-        self, sql: Union[str, ast.QueryExpr], session: Optional[SessionContext] = None
+        self,
+        sql: Union[str, ast.QueryExpr],
+        session: Optional[SessionContext] = None,
+        ctx=None,
     ):
-        """Run the Non-Truman validity test; returns a ValidityDecision."""
+        """Run the Non-Truman validity test; returns a ValidityDecision.
+
+        ``ctx`` (a :class:`repro.service.context.QueryContext`) makes the
+        inference cooperative: the matcher's cover search observes the
+        request's deadline/cancel token and aborts mid-inference.
+        """
         from repro.nontruman.checker import ValidityChecker
 
         query = parse_statement(sql) if isinstance(sql, str) else sql
@@ -492,7 +501,7 @@ class Database:
             raise BindError("check_validity requires a SELECT statement")
         session = session or SessionContext()
         checker = ValidityChecker(self, **self.checker_options)
-        return checker.check(query, session)
+        return checker.check(query, session, ctx=ctx)
 
     def _run(
         self,
@@ -500,9 +509,10 @@ class Database:
         session: SessionContext,
         access_params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
+        ctx=None,
     ) -> Result:
         plan = self.plan_query(query, session, access_params)
-        return self.run_plan(plan, session, access_params, engine)
+        return self.run_plan(plan, session, access_params, engine, ctx)
 
     def plan_query(
         self,
@@ -533,6 +543,7 @@ class Database:
         session: Optional[SessionContext] = None,
         access_params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
+        ctx=None,
     ) -> Result:
         session = session or SessionContext()
         from repro.algebra.rewrite import push_selections
@@ -544,7 +555,7 @@ class Database:
             )
         plan = push_selections(plan)
         executor = make_executor(
-            engine, _QueryContext(self, session, access_params)
+            engine, _QueryContext(self, session, access_params), ctx=ctx
         )
         rows = executor.execute(plan)
         return Result(tuple(c.name for c in plan.columns), rows)

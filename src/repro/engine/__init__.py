@@ -16,12 +16,17 @@ from repro.engine.vectorized import BATCH_SIZE, VectorizedExecutor
 ENGINES = ("row", "vectorized")
 
 
-def make_executor(engine: str, context: ExecContext):
-    """Instantiate the named execution engine over ``context``."""
+def make_executor(engine: str, context: ExecContext, ctx=None):
+    """Instantiate the named execution engine over ``context``.
+
+    ``ctx`` (a :class:`repro.service.context.QueryContext`) makes
+    execution cooperative: the row engine checks it every N rows, the
+    vectorized engine every batch.  ``None`` costs nothing.
+    """
     if engine == "row":
-        return Executor(context)
+        return Executor(context, ctx=ctx)
     if engine == "vectorized":
-        return VectorizedExecutor(context)
+        return VectorizedExecutor(context, ctx=ctx)
     from repro.errors import ExecutionError
 
     raise ExecutionError(

@@ -43,10 +43,18 @@ class ExecContext(Protocol):
 
 
 class Executor:
-    """Evaluates a logical plan to a list of rows."""
+    """Evaluates a logical plan to a list of rows.
 
-    def __init__(self, context: ExecContext):
+    ``ctx`` (a :class:`repro.service.context.QueryContext`) makes
+    execution cooperative: row loops tick it so deadlines, cancellation,
+    and row/memory budgets are observed *mid-scan* and *mid-join*, not
+    just between operators.  With ``ctx=None`` (the default for direct
+    library use) the hot loops pay a single ``is None`` branch.
+    """
+
+    def __init__(self, context: ExecContext, ctx=None):
         self.context = context
+        self.qctx = ctx
         #: simple instrumentation used by benchmarks
         self.rows_scanned = 0
         self.join_pairs_examined = 0
@@ -55,6 +63,8 @@ class Executor:
         if isinstance(plan, ops.Rel):
             rows = list(self.context.table_rows(plan.name))
             self.rows_scanned += len(rows)
+            if self.qctx is not None:
+                self.qctx.tick(len(rows), len(rows) * max(len(plan.columns), 1))
             return rows
         if isinstance(plan, ops.ViewRel):
             inner = self.context.view_plan(plan.name, plan.access_args)
@@ -100,15 +110,31 @@ class Executor:
     def _execute_select(self, plan: ops.Select) -> list[tuple]:
         rows = self.execute(plan.child)
         evaluator = Evaluator(RowResolver(plan.child.columns))
-        return [row for row in rows if evaluator.matches(plan.predicate, row)]
+        qctx = self.qctx
+        if qctx is None:
+            return [row for row in rows if evaluator.matches(plan.predicate, row)]
+        result = []
+        for row in rows:
+            qctx.tick()
+            if evaluator.matches(plan.predicate, row):
+                result.append(row)
+        return result
 
     def _execute_project(self, plan: ops.Project) -> list[tuple]:
         rows = self.execute(plan.child)
         evaluator = Evaluator(RowResolver(plan.child.columns))
         compiled = [expr for expr, _ in plan.exprs]
-        return [
-            tuple(evaluator.evaluate(expr, row) for expr in compiled) for row in rows
-        ]
+        qctx = self.qctx
+        if qctx is None:
+            return [
+                tuple(evaluator.evaluate(expr, row) for expr in compiled)
+                for row in rows
+            ]
+        result = []
+        for row in rows:
+            qctx.tick(1, len(compiled))
+            result.append(tuple(evaluator.evaluate(expr, row) for expr in compiled))
+        return result
 
     def _execute_distinct(self, plan: ops.Distinct) -> list[tuple]:
         rows = self.execute(plan.child)
@@ -130,6 +156,8 @@ class Executor:
         combined = left_cols + right_cols
         evaluator = Evaluator(RowResolver(combined))
 
+        qctx = self.qctx
+
         if plan.kind == "cross" or plan.predicate is None:
             if plan.kind == "left":
                 # LEFT JOIN with no predicate behaves like a cross join
@@ -138,7 +166,15 @@ class Executor:
                     null_pad = (None,) * len(right_cols)
                     return [l + null_pad for l in left_rows]
             self.join_pairs_examined += len(left_rows) * len(right_rows)
-            return [l + r for l in left_rows for r in right_rows]
+            if qctx is None:
+                return [l + r for l in left_rows for r in right_rows]
+            result = []
+            width = len(combined)
+            for l in left_rows:
+                for r in right_rows:
+                    qctx.tick(1, width)
+                    result.append(l + r)
+            return result
 
         equi, residual = self._split_equi(
             plan.predicate,
@@ -166,6 +202,8 @@ class Executor:
                 for right_row in matches:
                     combined_row = left_row + right_row
                     self.join_pairs_examined += 1
+                    if qctx is not None:
+                        qctx.tick()
                     if residual is None or evaluator.matches(residual, combined_row):
                         result.append(combined_row)
                         matched = True
@@ -181,6 +219,8 @@ class Executor:
             for right_row in right_rows:
                 combined_row = left_row + right_row
                 self.join_pairs_examined += 1
+                if qctx is not None:
+                    qctx.tick()
                 if evaluator.matches(plan.predicate, combined_row):
                     result.append(combined_row)
                     matched = True
@@ -239,6 +279,8 @@ class Executor:
             for view_row in view_cache[key]:
                 combined = left_row + view_row
                 self.join_pairs_examined += 1
+                if self.qctx is not None:
+                    self.qctx.tick()
                 if plan.predicate is None or combined_eval.matches(
                     plan.predicate, combined
                 ):
@@ -288,7 +330,10 @@ class Executor:
                 accs.append(make_accumulator(call.name, call.distinct, star))
             return accs
 
+        qctx = self.qctx
         for row in rows:
+            if qctx is not None:
+                qctx.tick()
             key = tuple(evaluator.evaluate(e, row) for e in group_exprs)
             if key not in groups:
                 groups[key] = new_accumulators()

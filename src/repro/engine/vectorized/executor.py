@@ -52,16 +52,30 @@ BATCH_SIZE = 1024
 
 
 class VectorizedExecutor:
-    """Evaluates a logical plan batch-at-a-time to a list of rows."""
+    """Evaluates a logical plan batch-at-a-time to a list of rows.
 
-    def __init__(self, context: ExecContext, batch_size: int = BATCH_SIZE):
+    ``ctx`` (a :class:`repro.service.context.QueryContext`) makes
+    execution cooperative at batch granularity: every produced or
+    examined batch charges its row count against the request's budgets
+    and observes the deadline/cancel token, so cancellation latency is
+    bounded by one batch (``batch_size`` rows), not one operator.
+    """
+
+    def __init__(
+        self, context: ExecContext, batch_size: int = BATCH_SIZE, ctx=None
+    ):
         self.context = context
         self.batch_size = batch_size
+        self.qctx = ctx
         #: instrumentation mirroring the row engine (E2/E4 contrasts)
         self.rows_scanned = 0
         self.join_pairs_examined = 0
         #: index probes answered without a full scan (vectorized-only)
         self.index_probes = 0
+
+    def _tick(self, rows: int, cells: int = 0) -> None:
+        if self.qctx is not None:
+            self.qctx.tick(rows, cells)
 
     # -- public API -------------------------------------------------------
 
@@ -132,6 +146,7 @@ class VectorizedExecutor:
                 rows = [table.get_row(rid) for rid in row_ids]
                 self.rows_scanned += len(rows)
                 self.index_probes += 1
+                self._tick(len(rows), len(rows) * width)
                 batches = list(
                     batches_from_rows(rows, width, self.batch_size)
                 )
@@ -145,6 +160,7 @@ class VectorizedExecutor:
             table.rows() if table is not None else self.context.table_rows(rel.name)
         )
         self.rows_scanned += len(rows)
+        self._tick(len(rows), len(rows) * width)
         batches = list(batches_from_rows(rows, width, self.batch_size))
         if predicate is None:
             return batches
@@ -170,6 +186,7 @@ class VectorizedExecutor:
         compiled = compile_scalar(predicate, RowResolver(columns))
         result = []
         for batch in batches:
+            self._tick(batch.length)
             sel = selection_vector(compiled(batch))
             if len(sel) == batch.length:
                 result.append(batch)
@@ -200,6 +217,7 @@ class VectorizedExecutor:
         seen: set[tuple] = set()
         kept: list[tuple] = []
         for batch in self._batches(plan.child):
+            self._tick(batch.length)
             for row in batch.to_rows():
                 if row not in seen:
                     seen.add(row)
@@ -239,6 +257,25 @@ class VectorizedExecutor:
             return self._hash_join(plan, left_batches, right, equi, residual)
         return self._loop_join(plan, left_batches, right, plan.predicate)
 
+    def _ctx_chunks(self, batch: ColumnBatch, right_length: int):
+        """Split a join's left batch so cooperative checks interleave
+        with the pair materialization.  A single batch crossed with a
+        wide right side is one untracked burst of ``batch.length *
+        right_length`` pairs — far past the check interval — so under a
+        QueryContext the batch is re-sliced to keep each burst small.
+        Without a context the batch passes through untouched (no
+        overhead, identical output batching)."""
+        if self.qctx is None or right_length <= 0:
+            yield batch
+            return
+        per_chunk = max(1, (16 * self.batch_size) // right_length)
+        if per_chunk >= batch.length:
+            yield batch
+            return
+        for start in range(0, batch.length, per_chunk):
+            stop = min(start + per_chunk, batch.length)
+            yield batch.take(list(range(start, stop)))
+
     def _null_pad_batch(
         self, left_batch: ColumnBatch, indices: list[int], pad_width: int
     ) -> ColumnBatch:
@@ -263,17 +300,21 @@ class VectorizedExecutor:
                 )
             return result
         right_indices = list(range(right.length))
-        for batch in left_batches:
-            self.join_pairs_examined += batch.length * right.length
-            left_idx = [
-                i for i in range(batch.length) for _ in right_indices
-            ]
-            right_idx = right_indices * batch.length
-            combined = batch.take(left_idx).concat_columns(
-                right.take(right_idx)
-            )
-            if combined.length:
-                result.append(combined)
+        pair_width = len(plan.columns)
+        for full_batch in left_batches:
+            for batch in self._ctx_chunks(full_batch, right.length):
+                self.join_pairs_examined += batch.length * right.length
+                self._tick(batch.length * right.length,
+                           batch.length * right.length * pair_width)
+                left_idx = [
+                    i for i in range(batch.length) for _ in right_indices
+                ]
+                right_idx = right_indices * batch.length
+                combined = batch.take(left_idx).concat_columns(
+                    right.take(right_idx)
+                )
+                if combined.length:
+                    result.append(combined)
         return result
 
     def _hash_join(
@@ -330,6 +371,7 @@ class VectorizedExecutor:
                     left_idx.extend([i] * len(matches))
                     right_idx.extend(matches)
             self.join_pairs_examined += len(left_idx)
+            self._tick(max(batch.length, len(left_idx)))
             combined = batch.take(left_idx).concat_columns(right.take(right_idx))
             if compiled_residual is not None:
                 sel = selection_vector(compiled_residual(combined))
@@ -367,24 +409,26 @@ class VectorizedExecutor:
         pad_width = len(right_cols)
         right_indices = list(range(right.length))
         result = []
-        for batch in left_batches:
-            self.join_pairs_examined += batch.length * right.length
-            left_idx = [i for i in range(batch.length) for _ in right_indices]
-            right_idx = right_indices * batch.length
-            combined = batch.take(left_idx).concat_columns(right.take(right_idx))
-            sel = selection_vector(compiled(combined))
-            matched_left = {left_idx[s] for s in sel}
-            kept = combined.take(sel)
-            if kept.length:
-                result.append(kept)
-            if is_left:
-                unmatched = [
-                    i for i in range(batch.length) if i not in matched_left
-                ]
-                if unmatched:
-                    result.append(
-                        self._null_pad_batch(batch, unmatched, pad_width)
-                    )
+        for full_batch in left_batches:
+            for batch in self._ctx_chunks(full_batch, right.length):
+                self.join_pairs_examined += batch.length * right.length
+                self._tick(batch.length * right.length)
+                left_idx = [i for i in range(batch.length) for _ in right_indices]
+                right_idx = right_indices * batch.length
+                combined = batch.take(left_idx).concat_columns(right.take(right_idx))
+                sel = selection_vector(compiled(combined))
+                matched_left = {left_idx[s] for s in sel}
+                kept = combined.take(sel)
+                if kept.length:
+                    result.append(kept)
+                if is_left:
+                    unmatched = [
+                        i for i in range(batch.length) if i not in matched_left
+                    ]
+                    if unmatched:
+                        result.append(
+                            self._null_pad_batch(batch, unmatched, pad_width)
+                        )
         return result
 
     def _semi_join(self, plan: ops.SemiJoin) -> list[ColumnBatch]:
@@ -438,6 +482,7 @@ class VectorizedExecutor:
         view_cache: dict[object, list[tuple]] = {}
         combined_rows: list[tuple] = []
         for batch in left_batches:
+            self._tick(batch.length)
             keys = key_fn(batch)
             rows = batch.to_rows()
             for left_row, key in zip(rows, keys):
@@ -486,6 +531,7 @@ class VectorizedExecutor:
             ]
 
         for batch in self._batches(plan.child):
+            self._tick(batch.length)
             group_vectors = [fn(batch) for fn in group_fns]
             arg_vectors = [
                 None if fn is None else fn(batch)

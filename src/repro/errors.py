@@ -116,8 +116,55 @@ class UnsupportedFeatureError(ReproError):
     """
 
 
+class QueryAborted(ReproError):
+    """Base class for cooperative aborts of in-flight work.
+
+    Raised from :meth:`repro.service.context.QueryContext.tick` /
+    ``check`` calls placed inside the validity checker's inference
+    loops and both executors' row/batch loops.  The abort unwinds the
+    whole request cleanly: no decision is cached, no partial result is
+    returned, and the worker that served the request stays alive.
+    """
+
+
+class QueryTimeout(QueryAborted):
+    """The request's deadline elapsed while work was in flight."""
+
+
+class QueryCancelled(QueryAborted):
+    """The request was cancelled (``PendingQuery.cancel``) mid-flight."""
+
+
+class ResourceBudgetExceeded(QueryAborted):
+    """The request exceeded its row or memory budget."""
+
+
 class ServiceError(ReproError):
     """Base class for enforcement-gateway (``repro.service``) failures."""
+
+
+class TransientFault(ServiceError):
+    """A fault classified as transient (flaky dependency, injected
+    chaos): the gateway may retry the request with jittered backoff
+    instead of failing it outright."""
+
+
+class ServiceDegraded(ServiceError):
+    """The gateway is in degraded read-only mode: the circuit breaker
+    around the WAL commit path is open, so writes are rejected up front
+    (no partial state) while SELECTs keep serving.  The breaker
+    half-open probe recovers automatically once commits succeed again."""
+
+
+class PendingTimeout(ServiceError, TimeoutError):
+    """``PendingQuery.result(timeout)`` elapsed with the request still
+    in flight.  Carries the :attr:`pending` handle so the caller can
+    ``pending.cancel()`` the running work and later reap the terminal
+    response instead of leaking it."""
+
+    def __init__(self, message: str, pending=None):
+        super().__init__(message)
+        self.pending = pending
 
 
 class ServiceOverloaded(ServiceError):

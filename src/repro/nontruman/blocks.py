@@ -150,11 +150,17 @@ class _Partial:
 
 
 class BlockBuilder:
-    """Converts logical plans to blocks; owns binding uniquification."""
+    """Converts logical plans to blocks; owns binding uniquification.
 
-    def __init__(self):
+    ``ctx`` (a :class:`repro.service.context.QueryContext`) makes the
+    plan-flattening recursion cooperative: deeply nested plans observe
+    the request deadline/cancel token while being blockified.
+    """
+
+    def __init__(self, ctx=None):
         self._used_bindings: set[str] = set()
         self._counter = itertools.count(1)
+        self.ctx = ctx
 
     def _fresh_binding(self, base: str) -> str:
         candidate = base
@@ -275,6 +281,8 @@ class BlockBuilder:
     # -- recursive flattening ------------------------------------------------
 
     def _build(self, plan: ops.Operator, allow_opaque: bool) -> Optional[_Partial]:
+        if self.ctx is not None:
+            self.ctx.tick(0)
         if type(plan).__name__ == "_Dual":
             # FROM-less SELECT: one row, no columns, no tables.
             return _Partial()

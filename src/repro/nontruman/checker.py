@@ -83,7 +83,17 @@ class ValidityChecker:
 
     # ------------------------------------------------------------------
 
-    def check(self, query: ast.QueryExpr, session: SessionContext) -> ValidityDecision:
+    def check(
+        self,
+        query: ast.QueryExpr,
+        session: SessionContext,
+        ctx=None,
+    ) -> ValidityDecision:
+        """Decide validity; ``ctx`` (a
+        :class:`repro.service.context.QueryContext`) makes the inference
+        cooperative — the matcher's cover search ticks it, so a
+        deadline/cancel aborts *mid-inference* and nothing is cached.
+        """
         if self.use_cache:
             cached = self.db.validity_cache.lookup(
                 session.user, query, session.user_id
@@ -94,7 +104,7 @@ class ValidityChecker:
                     validity=validity, reason=reason, from_cache=True
                 )
 
-        decision = self._check_fresh(query, session)
+        decision = self._check_fresh(query, session, ctx)
 
         if self.use_cache:
             self.db.validity_cache.store(
@@ -103,7 +113,7 @@ class ValidityChecker:
         return decision
 
     def _check_fresh(
-        self, query: ast.QueryExpr, session: SessionContext
+        self, query: ast.QueryExpr, session: SessionContext, ctx=None
     ) -> ValidityDecision:
         try:
             plan = self._bind(query, session)
@@ -116,7 +126,7 @@ class ValidityChecker:
         matcher = BlockMatcher(
             catalog=self.db.catalog,
             views=views,
-            probe_runner=lambda p: self._run_probe(p, session),
+            probe_runner=lambda p: self._run_probe(p, session, ctx),
             subcheck=lambda p: None,  # replaced below (needs matcher ref)
             user=session.user,
             max_cover_nodes=self.max_cover_nodes,
@@ -125,6 +135,7 @@ class ValidityChecker:
             enable_dependent_joins=self.enable_dependent_joins,
             enable_overlap_covers=self.enable_overlap_covers,
             enable_reaggregation=self.enable_reaggregation,
+            ctx=ctx,
         )
         matcher.subcheck = lambda p, depth=[0]: self._subcheck(p, matcher, depth)
 
@@ -289,11 +300,11 @@ class ValidityChecker:
                 probes_executed=child.probes_executed,
             )
 
-        builder = BlockBuilder()
+        builder = BlockBuilder(ctx=matcher.ctx)
         agg = builder.to_agg(plan)
         if agg is not None:
             return matcher.match_agg(agg)
-        spj = BlockBuilder().to_spj(plan)
+        spj = BlockBuilder(ctx=matcher.ctx).to_spj(plan)
         if spj is not None and not self._is_nonprogress(spj, plan):
             return matcher.match_spj(spj)
         return None
@@ -320,6 +331,8 @@ class ValidityChecker:
         finally:
             depth_box[0] -= 1
 
-    def _run_probe(self, plan: ops.Operator, session: SessionContext) -> bool:
-        result = self.db.run_plan(plan, session)
+    def _run_probe(
+        self, plan: ops.Operator, session: SessionContext, ctx=None
+    ) -> bool:
+        result = self.db.run_plan(plan, session, ctx=ctx)
         return len(result.rows) > 0

@@ -171,6 +171,7 @@ class BlockMatcher:
         enable_dependent_joins: bool = True,
         enable_overlap_covers: bool = True,
         enable_reaggregation: bool = True,
+        ctx=None,
     ):
         self.catalog = catalog
         self.views = views
@@ -183,8 +184,17 @@ class BlockMatcher:
         self.enable_dependent_joins = enable_dependent_joins
         self.enable_overlap_covers = enable_overlap_covers
         self.enable_reaggregation = enable_reaggregation
+        #: optional QueryContext; the cover search and the application
+        #: enumeration tick it so an adversarially expensive inference
+        #: is aborted by its deadline mid-search, not only by the node
+        #: budget
+        self.ctx = ctx
         self.probes_executed = 0
         self._binding_counter = itertools.count(1)
+
+    def _tick(self) -> None:
+        if self.ctx is not None:
+            self.ctx.tick(0)
 
     # ------------------------------------------------------------------
     # SPJ matching
@@ -239,6 +249,7 @@ class BlockMatcher:
             if budget[0] <= 0:
                 return None
             budget[0] -= 1
+            self._tick()
             if not uncovered:
                 try:
                     return self._assemble(block, chosen, theory, dependent)
@@ -291,6 +302,7 @@ class BlockMatcher:
             if budget[0] <= 0:
                 return None
             budget[0] -= 1
+            self._tick()
             if not uncovered:
                 try:
                     return self._assemble(block, chosen, theory, dependent)
@@ -340,6 +352,7 @@ class BlockMatcher:
             choices.append(options + [REMAINDER])
 
         for assignment in itertools.product(*choices):
+            self._tick()
             mapped = [
                 (vt, qt) for vt, qt in zip(vtables, assignment) if qt is not None
             ]
@@ -1195,6 +1208,7 @@ class BlockMatcher:
             by_relation.get(vt.relation.lower(), []) for vt in vblock.inner.tables
         ]
         for assignment in itertools.product(*choices):
+            self._tick()
             bindings = [qt.binding for qt in assignment]
             if len(set(bindings)) != len(bindings):
                 continue
@@ -1523,6 +1537,7 @@ class BlockMatcher:
             by_relation.get(vt.relation.lower(), []) for vt in vblock.inner.tables
         ]
         for assignment in itertools.product(*choices):
+            self._tick()
             bindings = [qt.binding for qt in assignment]
             if len(set(bindings)) != len(bindings):
                 continue

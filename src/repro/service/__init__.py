@@ -19,25 +19,34 @@ Quickstart::
 """
 
 from repro.service.audit import AuditLog, AuditRecord
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import SharedValidityCache
+from repro.service.chaos import ChaosInjector, FaultSpec, GATEWAY_FAULT_POINTS
+from repro.service.context import QueryContext
 from repro.service.gateway import EnforcementGateway, PendingQuery
-from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry, State
 from repro.service.pool import ConnectionPool
 from repro.service.request import QueryRequest, QueryResponse, RequestStatus, Timing
 
 __all__ = [
     "AuditLog",
     "AuditRecord",
+    "ChaosInjector",
+    "CircuitBreaker",
     "ConnectionPool",
     "Counter",
     "EnforcementGateway",
+    "FaultSpec",
+    "GATEWAY_FAULT_POINTS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PendingQuery",
+    "QueryContext",
     "QueryRequest",
     "QueryResponse",
     "RequestStatus",
     "SharedValidityCache",
+    "State",
     "Timing",
 ]

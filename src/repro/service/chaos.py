@@ -1,0 +1,144 @@
+"""Chaos injection for the serving path.
+
+Builds on the durability layer's crash-point machinery
+(:mod:`repro.durability.faults`): a :class:`ChaosInjector` *is* a
+:class:`~repro.durability.faults.FaultInjector` (so it can be handed to
+``Database.open(injector=...)`` and fire the WAL crash points), and
+additionally supports **recoverable**, probabilistic faults at named
+points the gateway fires while serving:
+
+================================  =====================================
+``gateway.dequeue``               a worker picked the request up
+``gateway.before_check``          before the validity check / rewrite
+``gateway.before_execute``        before query execution
+``gateway.before_commit``         before the durable group commit
+``wal.before_fsync`` (via WAL)    inside the group-commit fsync path
+================================  =====================================
+
+Fault kinds:
+
+* ``"delay"`` — sleep ``delay_s`` (slow operator / slow disk);
+* ``"transient"`` — raise :class:`~repro.errors.TransientFault`
+  (flaky dependency; the gateway retries with jittered backoff);
+* ``"io-error"`` — raise ``OSError`` (disk failure; on the commit path
+  this feeds the gateway's WAL circuit breaker);
+* ``"worker-crash"`` — raise ``RuntimeError`` (a bug in worker code;
+  the worker loop must answer a typed error and survive).
+
+Each injected fault point carries a probability, an optional maximum
+number of firings, and a seeded RNG, so chaos sweeps are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.durability.faults import FaultInjector
+from repro.errors import TransientFault
+
+#: serving-path fault points the gateway fires (the WAL adds its own)
+GATEWAY_FAULT_POINTS = (
+    "gateway.dequeue",
+    "gateway.before_check",
+    "gateway.before_execute",
+    "gateway.before_commit",
+)
+
+FAULT_KINDS = ("delay", "transient", "io-error", "worker-crash")
+
+
+@dataclass
+class FaultSpec:
+    """One armed probabilistic fault."""
+
+    kind: str
+    probability: float = 1.0
+    delay_s: float = 0.0
+    #: remaining firings (None = unlimited)
+    times: Optional[int] = None
+
+
+class ChaosInjector(FaultInjector):
+    """Probabilistic, recoverable fault injection; thread-safe.
+
+    The inherited :class:`FaultInjector` countdown machinery still
+    works for hard crash points (``arm``); :meth:`inject` arms the
+    softer, probabilistic faults used by the serving-layer chaos
+    harness.
+    """
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self._specs: dict[str, FaultSpec] = {}
+        self._rng = random.Random(seed)
+        self._chaos_lock = threading.Lock()
+        #: (point, kind) of every fault actually injected, in order
+        self.injected: list[tuple[str, str]] = []
+
+    def inject(
+        self,
+        point: str,
+        kind: str,
+        probability: float = 1.0,
+        delay_s: float = 0.0,
+        times: Optional[int] = None,
+    ) -> None:
+        """Arm a probabilistic fault at ``point``."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (expected one of {FAULT_KINDS})"
+            )
+        with self._chaos_lock:
+            self._specs[point] = FaultSpec(
+                kind=kind, probability=probability, delay_s=delay_s, times=times
+            )
+
+    def clear(self, point: Optional[str] = None) -> None:
+        """Disarm one point (or all of them)."""
+        with self._chaos_lock:
+            if point is None:
+                self._specs.clear()
+            else:
+                self._specs.pop(point, None)
+
+    # -- firing -----------------------------------------------------------
+
+    def fire(self, point: str) -> None:
+        # hard crash points (InjectedCrash) first, exactly as before
+        super().fire(point)
+        with self._chaos_lock:
+            spec = self._specs.get(point)
+            if spec is None:
+                return
+            if spec.times is not None and spec.times <= 0:
+                return
+            if self._rng.random() >= spec.probability:
+                return
+            if spec.times is not None:
+                spec.times -= 1
+            kind, delay_s = spec.kind, spec.delay_s
+            self.injected.append((point, kind))
+        if kind == "delay":
+            time.sleep(delay_s)
+            return
+        if delay_s:
+            time.sleep(delay_s)
+        if kind == "transient":
+            raise TransientFault(f"chaos: transient fault injected at {point!r}")
+        if kind == "io-error":
+            raise OSError(f"chaos: injected IO error at {point!r}")
+        if kind == "worker-crash":
+            raise RuntimeError(f"chaos: injected worker crash at {point!r}")
+
+    def stats(self) -> dict[str, int]:
+        """Count of injected faults per ``point:kind``."""
+        with self._chaos_lock:
+            out: dict[str, int] = {}
+            for point, kind in self.injected:
+                key = f"{point}:{kind}"
+                out[key] = out.get(key, 0) + 1
+            return out

@@ -1,0 +1,154 @@
+"""Per-request cancellation and resource governance.
+
+A :class:`QueryContext` is created by the gateway for every admitted
+request and threaded through the phases whose cost is request- (and in
+the Non-Truman case adversary-) controlled: the validity checker's
+inference loops (:mod:`repro.nontruman.matching`, ``blocks``,
+``checker``), the row executor (amortized per-N-rows checks), and the
+vectorized executor (per-batch checks).
+
+The contract is *cooperative*: long-running loops call :meth:`tick`
+(cheap — integer arithmetic; the wall clock is consulted only every
+``check_interval`` charged rows) or :meth:`check` (always consults the
+clock).  When the deadline has passed, the cancel token is set, or a
+budget is exhausted, the call raises a typed
+:class:`~repro.errors.QueryAborted` subclass that unwinds the whole
+request with no partial state — no cached decision, no partial result,
+and a worker that is immediately free for the next request.
+
+Code paths outside the gateway pass ``ctx=None`` and pay nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import QueryCancelled, QueryTimeout, ResourceBudgetExceeded
+
+#: rows charged between wall-clock checks; small enough that a scan of
+#: a few thousand rows observes cancellation, large enough that the
+#: per-row cost is a couple of integer ops
+DEFAULT_CHECK_INTERVAL = 512
+
+#: crude per-cell cost estimate for the memory budget (a small Python
+#: object reference plus amortized tuple overhead)
+BYTES_PER_CELL = 8
+
+
+class QueryContext:
+    """Deadline, cancel token, and row/memory budgets for one request."""
+
+    __slots__ = (
+        "deadline_s",
+        "deadline_at",
+        "row_budget",
+        "memory_budget",
+        "check_interval",
+        "rows_charged",
+        "bytes_charged",
+        "checks_performed",
+        "_pending_rows",
+        "_cancelled",
+    )
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        row_budget: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+    ):
+        now = time.monotonic()
+        self.deadline_s = deadline
+        self.deadline_at = None if deadline is None else now + deadline
+        self.row_budget = row_budget
+        self.memory_budget = memory_budget
+        self.check_interval = max(1, check_interval)
+        #: rows charged so far (scans + materialized operator outputs)
+        self.rows_charged = 0
+        #: estimated bytes of materialized state charged so far
+        self.bytes_charged = 0
+        #: full (clock-consulting) checks performed
+        self.checks_performed = 0
+        self._pending_rows = 0
+        self._cancelled = threading.Event()
+
+    # -- cancellation -----------------------------------------------------
+
+    def cancel(self) -> None:
+        """Set the cancel token; the next cooperative check raises."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    # -- time -------------------------------------------------------------
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline_at is not None and time.monotonic() > self.deadline_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None = no deadline)."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - time.monotonic())
+
+    # -- cooperative checks ----------------------------------------------
+
+    def check(self, phase: str = "") -> None:
+        """Full check: raises if cancelled, expired, or over budget."""
+        self.checks_performed += 1
+        where = f" during {phase}" if phase else ""
+        if self._cancelled.is_set():
+            raise QueryCancelled(f"query cancelled{where}")
+        if self.deadline_at is not None and time.monotonic() > self.deadline_at:
+            raise QueryTimeout(
+                f"deadline of {self.deadline_s:.3f}s exceeded{where}"
+            )
+
+    def tick(self, rows: int = 1, cells: int = 0) -> None:
+        """Charge ``rows`` (and optionally ``cells`` of materialized
+        state) against the budgets; consult the wall clock and cancel
+        token only once per ``check_interval`` charged rows.
+
+        ``rows=0`` still counts as one unit of work, so pure search
+        loops (the cover search in the matcher) stay interruptible.
+        """
+        if rows:
+            self.rows_charged += rows
+            if (
+                self.row_budget is not None
+                and self.rows_charged > self.row_budget
+            ):
+                raise ResourceBudgetExceeded(
+                    f"row budget of {self.row_budget} rows exceeded "
+                    f"({self.rows_charged} charged)"
+                )
+        if cells:
+            self.bytes_charged += cells * BYTES_PER_CELL
+            if (
+                self.memory_budget is not None
+                and self.bytes_charged > self.memory_budget
+            ):
+                raise ResourceBudgetExceeded(
+                    f"memory budget of {self.memory_budget} bytes exceeded "
+                    f"(~{self.bytes_charged} estimated)"
+                )
+        self._pending_rows += rows if rows else 1
+        if self._pending_rows >= self.check_interval:
+            self._pending_rows = 0
+            self.check()
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "rows_charged": self.rows_charged,
+            "bytes_charged": self.bytes_charged,
+            "checks_performed": self.checks_performed,
+            "cancelled": self.cancelled,
+        }

@@ -18,41 +18,70 @@ Robustness controls:
 * **backpressure** — the admission queue is bounded; when it is full,
   :meth:`submit` raises :class:`~repro.errors.ServiceOverloaded`
   immediately instead of hanging the caller;
-* **deadlines** — each request may carry a deadline (seconds from
-  submission); expired requests get a structured ``TIMEOUT`` response
-  at dequeue and at every phase boundary, so a slow queue cannot make
-  a worker burn time on an answer nobody is waiting for;
+* **cooperative cancellation & resource governance** — every admitted
+  request gets a :class:`~repro.service.context.QueryContext` (deadline,
+  cancel token, row/memory budgets) threaded through the validity
+  checker's inference loops and both execution engines, so even the
+  adversary-controlled Non-Truman check is killed *mid-inference* by
+  its deadline, a scan is killed *mid-scan*, and
+  :meth:`PendingQuery.cancel` interrupts in-flight work — not just
+  queued work;
+* **default deadline** — requests without an explicit deadline inherit
+  the gateway's ``default_deadline``, so :meth:`execute` can never hang
+  forever;
+* **retries** — faults classified transient
+  (:class:`~repro.errors.TransientFault`) are retried with jittered
+  exponential backoff, bounded by the request's deadline;
+* **degraded read-only mode** — a circuit breaker around the WAL
+  commit path trips after consecutive durable-commit failures: writes
+  are rejected up front with a typed
+  :class:`~repro.errors.ServiceDegraded` error (no partial state)
+  while SELECTs keep serving; a half-open probe recovers automatically;
 * **graceful shutdown** — :meth:`shutdown` stops admission, optionally
   drains in-flight requests, and joins the workers; undrained requests
   are answered with ``CANCELLED``, never dropped silently.
+
+Every request — answered, rejected, timed out, cancelled, degraded,
+overloaded, or felled by an internal fault — is audited exactly once.
 
 Consistency: queries (and the probes the validity checker runs) share
 a readers-writer lock; DML takes it exclusively.  The shared validity
 cache stamps every stored decision with the data version observed
 *while holding the read lock*, so a decision can never be derived from
-one database state and served against another.
+one database state and served against another.  An aborted check
+(timeout/cancel) stores nothing.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.errors import (
     DurabilityError,
+    PendingTimeout,
+    QueryAborted,
+    QueryCancelled,
     QueryRejectedError,
+    QueryTimeout,
     ReproError,
+    ResourceBudgetExceeded,
+    ServiceDegraded,
     ServiceOverloaded,
     ServiceShutdown,
+    TransientFault,
     UpdateRejectedError,
 )
 from repro.sql import ast, parse_statement, render
 from repro.nontruman.cache import query_signature
 from repro.nontruman.decision import ValidityDecision
 from repro.service.audit import AuditLog
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import SharedValidityCache
+from repro.service.context import QueryContext
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import ConnectionPool
 from repro.service.request import QueryRequest, QueryResponse, RequestStatus, Timing
@@ -97,8 +126,10 @@ class _ReadWriteLock:
 class PendingQuery:
     """Handle for a submitted request; resolves to a QueryResponse."""
 
-    def __init__(self, request: QueryRequest):
+    def __init__(self, request: QueryRequest, ctx: Optional[QueryContext] = None):
         self.request = request
+        #: the request's cancellation/governance context
+        self.ctx = ctx if ctx is not None else QueryContext()
         self._done = threading.Event()
         self._response: Optional[QueryResponse] = None
 
@@ -109,10 +140,34 @@ class PendingQuery:
     def done(self) -> bool:
         return self._done.is_set()
 
+    def cancel(self) -> bool:
+        """Request cooperative cancellation of this query.
+
+        Works both while queued (the worker answers ``CANCELLED`` at
+        dequeue) and in flight (the next cooperative check inside the
+        checker or executor raises
+        :class:`~repro.errors.QueryCancelled`).  Returns False when the
+        request already has a terminal response.
+        """
+        if self._done.is_set():
+            return False
+        self.ctx.cancel()
+        return True
+
     def result(self, timeout: Optional[float] = None) -> QueryResponse:
+        """Wait for the terminal response.
+
+        On timeout raises :class:`~repro.errors.PendingTimeout`, which
+        carries this handle (``exc.pending``) — the request is *still
+        in flight*, and the caller can ``cancel()`` it and call
+        :meth:`result` again to reap the terminal response instead of
+        leaking the running work.
+        """
         if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"no response within {timeout}s (request still in flight)"
+            raise PendingTimeout(
+                f"no response within {timeout}s (request still in flight; "
+                "cancel() the handle to reap it)",
+                pending=self,
             )
         assert self._response is not None
         return self._response
@@ -134,6 +189,15 @@ class EnforcementGateway:
         audit_capacity: int = 2048,
         max_idle_per_user: int = 8,
         name: str = "gateway",
+        default_deadline: Optional[float] = 30.0,
+        default_row_budget: Optional[int] = None,
+        default_memory_budget: Optional[int] = None,
+        retry_attempts: int = 2,
+        retry_backoff: float = 0.05,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        chaos: Optional[object] = None,
+        retry_seed: Optional[int] = None,
     ):
         self.db = db
         self.name = name
@@ -146,6 +210,38 @@ class EnforcementGateway:
         self.metrics = MetricsRegistry()
         self.audit = AuditLog(capacity=audit_capacity)
         self.queue_size = queue_size
+        #: deadline applied to requests that carry none (None = unbounded)
+        self.default_deadline = default_deadline
+        self.default_row_budget = default_row_budget
+        self.default_memory_budget = default_memory_budget
+        self.retry_attempts = retry_attempts
+        self.retry_backoff = retry_backoff
+        #: extra wait in execute() past the deadline: covers queue slack
+        #: plus the gap until the worker's next cooperative check
+        self.result_grace = 30.0
+        #: wait for a cancelled request to be reaped before giving up
+        self.cancel_grace = 30.0
+        #: optional ChaosInjector fired at serving-path fault points
+        self.chaos = chaos
+        self._rng = random.Random(retry_seed)
+        self._breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            on_transition=self._breaker_transition,
+        )
+        self.metrics.state("breaker_state", initial="closed").set("closed")
+        # pre-create the resilience instruments so operators see them in
+        # \stats (and tests can assert on them) even before they fire
+        for counter in (
+            "requests_cancelled_inflight",
+            "requests_degraded",
+            "requests_retried",
+            "retries_total",
+            "requests_budget_exceeded",
+            "worker_faults",
+            "wal_commit_failures",
+        ):
+            self.metrics.counter(counter)
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
         self._rwlock = _ReadWriteLock()
         self._accepting = True
@@ -168,6 +264,14 @@ class EnforcementGateway:
             (self.db.grants.version, self.db.catalog.views_version),
         )
 
+    def _breaker_transition(self, old: str, new: str) -> None:
+        self.metrics.state("breaker_state").set(new)
+        self.metrics.counter("breaker_transitions").inc()
+
+    def _fire_chaos(self, point: str) -> None:
+        if self.chaos is not None:
+            self.chaos.fire(point)
+
     # -- submission ------------------------------------------------------
 
     @property
@@ -175,11 +279,33 @@ class EnforcementGateway:
         with self._state_lock:
             return self._accepting
 
+    def _make_context(self, request: QueryRequest) -> QueryContext:
+        deadline = (
+            request.deadline
+            if request.deadline is not None
+            else self.default_deadline
+        )
+        row_budget = (
+            request.row_budget
+            if request.row_budget is not None
+            else self.default_row_budget
+        )
+        memory_budget = (
+            request.memory_budget
+            if request.memory_budget is not None
+            else self.default_memory_budget
+        )
+        return QueryContext(
+            deadline=deadline,
+            row_budget=row_budget,
+            memory_budget=memory_budget,
+        )
+
     def submit(self, request: QueryRequest) -> PendingQuery:
         """Enqueue a request; raises on shutdown or backpressure."""
         if not self.accepting:
             raise ServiceShutdown(f"{self.name} is not accepting requests")
-        pending = PendingQuery(request)
+        pending = PendingQuery(request, self._make_context(request))
         item = (pending, request, time.perf_counter())
         try:
             self._queue.put_nowait(item)
@@ -209,12 +335,23 @@ class EnforcementGateway:
         Overload rejections come back as a structured ``ERROR``-free
         exception (:class:`ServiceOverloaded`) — the request was never
         admitted, so there is no response to wait for.
+
+        The wait is always bounded: with no explicit ``timeout`` it is
+        derived from the request deadline (or the gateway's
+        ``default_deadline``) plus :attr:`result_grace`.  If the wait
+        still elapses, the in-flight request is cancelled cooperatively
+        and its terminal (``CANCELLED``) response reaped, so no work is
+        left running with no handle.
         """
-        if timeout is None and request.deadline is not None:
-            # workers resolve expired requests at phase boundaries; the
-            # slack covers a phase that is already in progress
-            timeout = request.deadline + 30.0
-        return self.submit(request).result(timeout)
+        pending = self.submit(request)
+        if timeout is None:
+            deadline = pending.ctx.deadline_s
+            timeout = None if deadline is None else deadline + self.result_grace
+        try:
+            return pending.result(timeout)
+        except PendingTimeout:
+            pending.cancel()
+            return pending.result(self.cancel_grace)
 
     def execute_many(
         self, requests: Iterable[QueryRequest]
@@ -261,6 +398,14 @@ class EnforcementGateway:
                 if item is not _SENTINEL:
                     pending, request, _ = item
                     self.metrics.counter("requests_cancelled").inc()
+                    self.audit.record(
+                        user=request.user,
+                        mode=request.mode,
+                        signature=request.sql,
+                        status=RequestStatus.CANCELLED.value,
+                        error="gateway shut down before execution",
+                        tag=request.tag,
+                    )
                     pending._resolve(
                         QueryResponse(
                             request=request,
@@ -279,8 +424,8 @@ class EnforcementGateway:
             # truncated log
             try:
                 self.db.durability.checkpoint()
-            except DurabilityError:
-                pass  # already closed elsewhere
+            except (DurabilityError, OSError):
+                pass  # already closed elsewhere, or durability degraded
 
     def __enter__(self) -> "EnforcementGateway":
         return self
@@ -300,13 +445,20 @@ class EnforcementGateway:
             self.metrics.gauge("queue_depth").set(self._queue.qsize())
             self.metrics.gauge("workers_busy").inc()
             try:
-                response = self._process(request, submitted_at)
+                response = self._process(request, submitted_at, pending.ctx)
             except BaseException as exc:  # never let a worker die
+                self.metrics.counter("worker_faults").inc()
                 response = QueryResponse(
                     request=request,
                     status=RequestStatus.ERROR,
                     error=f"internal gateway error: {exc}",
                 )
+                # _process accounts in its finish(); a fault that
+                # escaped it has not been audited yet — audit exactly
+                # once here so no request ever goes missing
+                if not getattr(response, "_accounted", False):
+                    response.timing.total_s = time.perf_counter() - submitted_at
+                    self._account(response)
             finally:
                 self.metrics.gauge("workers_busy").dec()
                 self._queue.task_done()
@@ -314,15 +466,8 @@ class EnforcementGateway:
 
     # -- request processing ----------------------------------------------
 
-    @staticmethod
-    def _expired(request: QueryRequest, submitted_at: float) -> bool:
-        return (
-            request.deadline is not None
-            and time.perf_counter() - submitted_at > request.deadline
-        )
-
     def _process(
-        self, request: QueryRequest, submitted_at: float
+        self, request: QueryRequest, submitted_at: float, ctx: QueryContext
     ) -> QueryResponse:
         timing = Timing()
         start = time.perf_counter()
@@ -336,13 +481,23 @@ class EnforcementGateway:
             self._account(response)
             return response
 
-        if self._expired(request, submitted_at):
+        self._fire_chaos("gateway.dequeue")
+
+        if ctx.cancelled:
+            return finish(
+                QueryResponse(
+                    request=request,
+                    status=RequestStatus.CANCELLED,
+                    error="cancelled while queued",
+                )
+            )
+        if ctx.expired:
             return finish(
                 QueryResponse(
                     request=request,
                     status=RequestStatus.TIMEOUT,
                     error=(
-                        f"deadline of {request.deadline:.3f}s exceeded "
+                        f"deadline of {ctx.deadline_s:.3f}s exceeded "
                         "while queued"
                     ),
                 )
@@ -364,8 +519,72 @@ class EnforcementGateway:
         if not isinstance(statement, ast.QueryExpr):
             return finish(self._process_statement(request, statement, timing))
         return finish(
-            self._process_query(request, statement, timing, submitted_at)
+            self._process_query_with_retries(request, statement, timing, ctx)
         )
+
+    # -- query path: retries + abort mapping ------------------------------
+
+    def _process_query_with_retries(
+        self,
+        request: QueryRequest,
+        query: ast.QueryExpr,
+        timing: Timing,
+        ctx: QueryContext,
+    ) -> QueryResponse:
+        attempts = 0
+        while True:
+            try:
+                response = self._process_query(request, query, timing, ctx)
+                break
+            except TransientFault as exc:
+                self.metrics.counter("retries_total").inc()
+                if attempts >= self.retry_attempts or ctx.cancelled or ctx.expired:
+                    response = QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        error=(
+                            f"transient fault persisted after {attempts} "
+                            f"retr{'y' if attempts == 1 else 'ies'}: {exc}"
+                        ),
+                    )
+                    break
+                attempts += 1
+                # jittered exponential backoff, clamped to the deadline
+                delay = (
+                    self.retry_backoff
+                    * (2 ** (attempts - 1))
+                    * (0.5 + self._rng.random())
+                )
+                remaining = ctx.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
+            except QueryTimeout as exc:
+                response = QueryResponse(
+                    request=request, status=RequestStatus.TIMEOUT, error=str(exc)
+                )
+                break
+            except QueryCancelled as exc:
+                self.metrics.counter("requests_cancelled_inflight").inc()
+                response = QueryResponse(
+                    request=request,
+                    status=RequestStatus.CANCELLED,
+                    error=str(exc),
+                )
+                break
+            except ResourceBudgetExceeded as exc:
+                self.metrics.counter("requests_budget_exceeded").inc()
+                response = QueryResponse(
+                    request=request, status=RequestStatus.ERROR, error=str(exc)
+                )
+                break
+        if attempts:
+            self.metrics.counter("requests_retried").inc()
+        response.retries = attempts
+        return response
+
+    # -- statement (DML/DDL) path -----------------------------------------
 
     def _process_statement(
         self, request: QueryRequest, statement: ast.Statement, timing: Timing
@@ -377,42 +596,93 @@ class EnforcementGateway:
         it: concurrent workers that appended while this one held the
         lock share one group-commit fsync instead of queueing for the
         lock around their own.
+
+        The durable commit is governed by the WAL circuit breaker: when
+        it is open, the write is refused *before* any state changes
+        (typed :class:`ServiceDegraded` error); in half-open state one
+        probe write is admitted to test recovery.
         """
         self.metrics.counter("dml_requests").inc()
+        durable = self.db.durability is not None
+        if durable and not self._breaker.allow():
+            return QueryResponse(
+                request=request,
+                status=RequestStatus.DEGRADED,
+                error=str(
+                    ServiceDegraded(
+                        "gateway is in degraded read-only mode (WAL commit "
+                        "circuit breaker open); writes are refused until "
+                        "the half-open probe succeeds — reads keep serving"
+                    )
+                ),
+            )
         execute_start = time.perf_counter()
-        self._rwlock.acquire_write()
+        failure: Optional[QueryResponse] = None
+        outcome: object = None
+        breaker_resolved = False
         try:
-            with self.pool.checkout(
-                request.user, request.mode, request.params
-            ) as conn:
-                outcome = conn.execute(statement, sync=False)
-        except (QueryRejectedError, UpdateRejectedError) as exc:
-            return QueryResponse(
-                request=request, status=RequestStatus.REJECTED, error=str(exc)
-            )
-        except ReproError as exc:
-            return QueryResponse(
-                request=request, status=RequestStatus.ERROR, error=str(exc)
-            )
-        finally:
-            self._rwlock.release_write()
-            timing.execute_s = time.perf_counter() - execute_start
+            self._rwlock.acquire_write()
+            try:
+                with self.pool.checkout(
+                    request.user, request.mode, request.params
+                ) as conn:
+                    outcome = conn.execute(statement, sync=False)
+            except (QueryRejectedError, UpdateRejectedError) as exc:
+                failure = QueryResponse(
+                    request=request, status=RequestStatus.REJECTED, error=str(exc)
+                )
+            except ReproError as exc:
+                failure = QueryResponse(
+                    request=request, status=RequestStatus.ERROR, error=str(exc)
+                )
+            finally:
+                self._rwlock.release_write()
+                timing.execute_s = time.perf_counter() - execute_start
             # durable group commit outside the write lock (also covers
             # rejected/errored statements that appended before failing)
-            if self.db.durability is not None:
-                self.db.durability.commit()
+            if durable:
+                try:
+                    self._fire_chaos("gateway.before_commit")
+                    self.db.durability.commit()
+                    self._breaker.record_success()
+                    breaker_resolved = True
+                except (DurabilityError, OSError, TransientFault) as exc:
+                    self._breaker.record_failure()
+                    breaker_resolved = True
+                    self.metrics.counter("wal_commit_failures").inc()
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.DEGRADED,
+                        error=(
+                            "durable commit failed; the change is volatile "
+                            "and the gateway is entering degraded read-only "
+                            f"mode: {exc}"
+                        ),
+                    )
+            else:
+                breaker_resolved = True
+        finally:
+            # an exception that escapes everything above (injected
+            # crash, internal bug) must not leave a half-open probe
+            # dangling — resolve it as a failure
+            if durable and not breaker_resolved:
+                self._breaker.record_failure()
+        if failure is not None:
+            return failure
         return QueryResponse(
             request=request,
             status=RequestStatus.OK,
             rowcount=outcome if isinstance(outcome, int) else None,
         )
 
+    # -- query path -------------------------------------------------------
+
     def _process_query(
         self,
         request: QueryRequest,
         query: ast.QueryExpr,
         timing: Timing,
-        submitted_at: float,
+        ctx: QueryContext,
     ) -> QueryResponse:
         self._rwlock.acquire_read()
         try:
@@ -423,6 +693,7 @@ class EnforcementGateway:
                 decision: Optional[ValidityDecision] = None
                 cache_hit = False
 
+                self._fire_chaos("gateway.before_check")
                 check_start = time.perf_counter()
                 if request.mode == "non-truman":
                     # the version observed under the read lock is the
@@ -439,7 +710,12 @@ class EnforcementGateway:
                         cache_hit = True
                     else:
                         try:
-                            decision = self.db.check_validity(query, session)
+                            decision = self.db.check_validity(
+                                query, session, ctx=ctx
+                            )
+                        except QueryAborted:
+                            timing.check_s = time.perf_counter() - check_start
+                            raise  # unwound with nothing cached
                         except ReproError as exc:
                             timing.check_s = time.perf_counter() - check_start
                             return QueryResponse(
@@ -486,18 +762,11 @@ class EnforcementGateway:
                     to_execute, execute_mode = query, request.mode
                     timing.check_s = time.perf_counter() - check_start
 
-                if self._expired(request, submitted_at):
-                    return QueryResponse(
-                        request=request,
-                        status=RequestStatus.TIMEOUT,
-                        decision=decision,
-                        cache_hit=cache_hit,
-                        error=(
-                            f"deadline of {request.deadline:.3f}s exceeded "
-                            "before execution"
-                        ),
-                    )
+                # phase boundary: don't start executing an answer
+                # nobody is waiting for
+                ctx.check("phase boundary before execution")
 
+                self._fire_chaos("gateway.before_execute")
                 execute_start = time.perf_counter()
                 try:
                     result = self.db.execute_query(
@@ -505,7 +774,11 @@ class EnforcementGateway:
                         session=session,
                         mode=execute_mode,
                         engine=request.engine,
+                        ctx=ctx,
                     )
+                except QueryAborted:
+                    timing.execute_s = time.perf_counter() - execute_start
+                    raise
                 except ReproError as exc:
                     timing.execute_s = time.perf_counter() - execute_start
                     return QueryResponse(
@@ -534,10 +807,12 @@ class EnforcementGateway:
         RequestStatus.TIMEOUT: "requests_timeout",
         RequestStatus.ERROR: "requests_error",
         RequestStatus.CANCELLED: "requests_cancelled",
+        RequestStatus.DEGRADED: "requests_degraded",
     }
 
     def _account(self, response: QueryResponse) -> None:
         request = response.request
+        response._accounted = True
         self.metrics.counter("requests_completed").inc()
         self.metrics.counter(self._STATUS_COUNTERS[response.status]).inc()
         if response.cache_hit:
@@ -580,16 +855,28 @@ class EnforcementGateway:
 
     # -- observability ---------------------------------------------------
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The WAL-commit circuit breaker (for tests and operators)."""
+        return self._breaker
+
+    @property
+    def degraded(self) -> bool:
+        """True while the gateway refuses writes (breaker not closed)."""
+        return self._breaker.state != "closed"
+
     def stats(self) -> dict[str, object]:
-        """One merged snapshot: gateway, metrics, cache, pool."""
+        """One merged snapshot: gateway, metrics, cache, pool, breaker."""
         merged: dict[str, object] = {
             "workers": len(self._workers),
             "queue_capacity": self.queue_size,
             "accepting": self.accepting,
+            "default_deadline_s": self.default_deadline,
         }
         merged.update(self.metrics.snapshot())
         merged.update(self.cache.stats())
         merged.update(self.pool.stats())
+        merged.update(self._breaker.stats())
         if self.db.durability is not None:
             merged.update(self.db.durability.wal_stats())
         return merged

@@ -60,6 +60,33 @@ class Gauge:
             return self._value
 
 
+class State:
+    """A named textual state (e.g. ``breaker_state`` = "closed" /
+    "open" / "half-open") with a transition counter."""
+
+    def __init__(self, name: str, initial: str = ""):
+        self.name = name
+        self._value = initial
+        self._transitions = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: str) -> None:
+        with self._lock:
+            if value != self._value:
+                self._transitions += 1
+            self._value = value
+
+    @property
+    def value(self) -> str:
+        with self._lock:
+            return self._value
+
+    @property
+    def transitions(self) -> int:
+        with self._lock:
+            return self._transitions
+
+
 class Histogram:
     """Sampled distribution with percentile queries.
 
@@ -113,6 +140,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._states: dict[str, State] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -133,17 +161,27 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name, maxlen=maxlen)
             return self._histograms[name]
 
+    def state(self, name: str, initial: str = "") -> State:
+        with self._lock:
+            if name not in self._states:
+                self._states[name] = State(name, initial)
+            return self._states[name]
+
     def snapshot(self) -> dict[str, object]:
         """All instrument values as one flat dict."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            states = dict(self._states)
         out: dict[str, object] = {}
         for name, counter in sorted(counters.items()):
             out[name] = counter.value
         for name, gauge in sorted(gauges.items()):
             out[name] = gauge.value
+        for name, state in sorted(states.items()):
+            out[name] = state.value
+            out[f"{name}_transitions"] = state.transitions
         for name, histogram in sorted(histograms.items()):
             out[f"{name}_count"] = histogram.count
             out[f"{name}_mean"] = histogram.mean

@@ -29,8 +29,13 @@ class RequestStatus(enum.Enum):
     TIMEOUT = "timeout"
     #: a library error (parse, bind, execution, integrity, ...) occurred
     ERROR = "error"
-    #: the gateway was stopped before the request was processed
+    #: the request was cancelled — by shutdown before execution, or by
+    #: ``PendingQuery.cancel()`` interrupting in-flight work
     CANCELLED = "cancelled"
+    #: a write was refused (or its durable commit failed) because the
+    #: WAL circuit breaker is open: the gateway is read-only until the
+    #: half-open probe recovers
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,10 @@ class QueryRequest:
     tag: Optional[str] = None
     #: execution engine ("row" | "vectorized"); None = database default
     engine: Optional[str] = None
+    #: max rows this request may scan/materialize (None = gateway default)
+    row_budget: Optional[int] = None
+    #: approximate max bytes of materialized state (None = gateway default)
+    memory_budget: Optional[int] = None
 
 
 @dataclass
@@ -88,6 +97,8 @@ class QueryResponse:
     #: True when the decision came from the gateway's shared cache
     cache_hit: bool = False
     worker: Optional[str] = None
+    #: transient-fault retries performed before this outcome
+    retries: int = 0
 
     @property
     def ok(self) -> bool:

@@ -1,12 +1,56 @@
-"""Shared fixtures: small hand-built databases and the paper workloads."""
+"""Shared fixtures: small hand-built databases and the paper workloads.
+
+Also installs a whole-run watchdog: the chaos/concurrency suites assert
+"no request ever hangs", and a regression there would otherwise hang
+the test run itself.  When the ``pytest-timeout`` plugin is installed
+(CI passes ``--timeout`` on the command line) it owns per-test limits;
+as a fallback for environments without the plugin, a session-scoped
+timer dumps every thread's stack and aborts the run hard if it exceeds
+``REPRO_TEST_WATCHDOG_S`` (default 1200 s, 0 disables).
+"""
 
 from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+import threading
 
 import pytest
 
 from repro.db import Database
 from repro.workloads.bank import BankConfig, build_bank
 from repro.workloads.university import UniversityConfig, build_university
+
+WATCHDOG_DEFAULT_S = 1200.0
+
+
+def _watchdog_fire(limit: float) -> None:
+    sys.stderr.write(
+        f"\n*** test-run watchdog: exceeded {limit:.0f}s — a test is "
+        "hanging; dumping thread stacks and aborting ***\n"
+    )
+    faulthandler.dump_traceback(file=sys.stderr)
+    sys.stderr.flush()
+    os._exit(2)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _test_run_watchdog():
+    try:
+        limit = float(os.environ.get("REPRO_TEST_WATCHDOG_S", WATCHDOG_DEFAULT_S))
+    except ValueError:
+        limit = WATCHDOG_DEFAULT_S
+    if limit <= 0:
+        yield
+        return
+    timer = threading.Timer(limit, _watchdog_fire, args=(limit,))
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
 
 #: the running-example schema of paper Section 2 (plus FeesPaid, Ex. 5.4)
 UNIVERSITY_SCHEMA = """

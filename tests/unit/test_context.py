@@ -1,0 +1,103 @@
+"""Unit tests for QueryContext: deadlines, cancellation, budgets."""
+
+import time
+
+import pytest
+
+from repro.errors import QueryCancelled, QueryTimeout, ResourceBudgetExceeded
+from repro.service.context import BYTES_PER_CELL, QueryContext
+
+
+class TestDeadline:
+    def test_no_deadline_never_expires(self):
+        ctx = QueryContext()
+        assert not ctx.expired
+        assert ctx.remaining() is None
+        ctx.check()  # does not raise
+
+    def test_expired_deadline_raises_on_check(self):
+        ctx = QueryContext(deadline=0.0)
+        time.sleep(0.001)
+        assert ctx.expired
+        with pytest.raises(QueryTimeout):
+            ctx.check()
+
+    def test_check_reports_phase(self):
+        ctx = QueryContext(deadline=0.0)
+        time.sleep(0.001)
+        with pytest.raises(QueryTimeout, match="during inference"):
+            ctx.check("inference")
+
+    def test_remaining_counts_down(self):
+        ctx = QueryContext(deadline=60.0)
+        remaining = ctx.remaining()
+        assert 0 < remaining <= 60.0
+
+    def test_tick_observes_deadline_at_interval(self):
+        ctx = QueryContext(deadline=0.0, check_interval=8)
+        time.sleep(0.001)
+        # fewer ticks than the interval: the clock is not consulted
+        for _ in range(7):
+            ctx.tick()
+        with pytest.raises(QueryTimeout):
+            ctx.tick()
+
+
+class TestCancellation:
+    def test_cancel_raises_on_next_check(self):
+        ctx = QueryContext()
+        ctx.cancel()
+        assert ctx.cancelled
+        with pytest.raises(QueryCancelled):
+            ctx.check()
+
+    def test_cancel_observed_by_tick(self):
+        ctx = QueryContext(check_interval=4)
+        ctx.cancel()
+        with pytest.raises(QueryCancelled):
+            for _ in range(4):
+                ctx.tick()
+
+    def test_zero_row_ticks_count_as_work(self):
+        # pure search loops tick(0); they must still observe cancellation
+        ctx = QueryContext(check_interval=4)
+        ctx.cancel()
+        with pytest.raises(QueryCancelled):
+            for _ in range(4):
+                ctx.tick(0)
+
+
+class TestBudgets:
+    def test_row_budget_enforced_immediately(self):
+        ctx = QueryContext(row_budget=100)
+        ctx.tick(rows=100)
+        with pytest.raises(ResourceBudgetExceeded, match="row budget"):
+            ctx.tick(rows=1)
+
+    def test_memory_budget_enforced(self):
+        ctx = QueryContext(memory_budget=10 * BYTES_PER_CELL)
+        ctx.tick(rows=1, cells=10)
+        with pytest.raises(ResourceBudgetExceeded, match="memory budget"):
+            ctx.tick(rows=1, cells=1)
+
+    def test_no_budget_charges_freely(self):
+        ctx = QueryContext()
+        ctx.tick(rows=10**6, cells=10**6)
+        assert ctx.rows_charged == 10**6
+        assert ctx.bytes_charged == 10**6 * BYTES_PER_CELL
+
+    def test_stats_snapshot(self):
+        ctx = QueryContext(check_interval=2)
+        ctx.tick(rows=3)
+        stats = ctx.stats()
+        assert stats["rows_charged"] == 3
+        assert stats["checks_performed"] >= 1
+        assert stats["cancelled"] is False
+
+
+class TestAmortization:
+    def test_clock_consulted_once_per_interval(self):
+        ctx = QueryContext(deadline=60.0, check_interval=512)
+        for _ in range(512 * 3):
+            ctx.tick()
+        assert ctx.checks_performed == 3
