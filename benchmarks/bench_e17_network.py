@@ -1,0 +1,226 @@
+"""E17 — network front end under open-loop load: graceful shedding.
+
+Closed-loop load tests slow their own offered load down when the server
+slows down, so they cannot show what happens *past* saturation.  E17
+drives the wire protocol with an **open-loop** (arrival-rate-driven)
+generator instead: arrivals fire on a fixed schedule whether or not
+earlier requests have returned.  The sweep measures the service's
+baseline capacity, then offers multiples of it (0.5x → 4x) and gates
+on the resilience contract end to end over TCP:
+
+* every arrival is accounted to exactly one terminal outcome —
+  **0 hangs** at every offered rate, including far past saturation;
+* excess arrivals are shed by admission control as typed
+  ``ServiceOverloaded`` errors (**shedding, not collapse**): past
+  saturation the shed count must be substantial while admitted
+  requests keep flowing;
+* the p99 latency of *admitted* requests stays bounded by the request
+  deadline mechanics rather than growing with offered load;
+* the policy holds under pressure: queries the checker must reject
+  never come back with rows — **0 unauthorized answers** — and valid
+  queries are never silently truncated (**0 partial results**; row
+  counts are exact).
+"""
+
+import time
+
+from repro.db import Database
+from repro.net import LoadQuery, NetworkService, ReproClient, run_open_loop
+from repro.service import EnforcementGateway
+from repro.bench import Experiment
+
+from benchmarks.conftest import register_experiment
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+EXPERIMENT = register_experiment(
+    Experiment(
+        id="E17",
+        title="network service under open-loop load (arrival-rate sweep)",
+        claim=(
+            "past saturation the gateway sheds arrivals with typed "
+            "overload errors while admitted requests keep bounded p99 — "
+            "0 hangs, 0 partial results, 0 unauthorized answers"
+        ),
+    )
+)
+
+WORK_ROWS = 4000
+DEADLINE_S = 2.0
+DURATION_S = 1.5
+MULTIPLES = (0.5, 1.0, 2.0, 4.0)
+
+#: the workload mix: mostly the heavy scan (sets the service rate),
+#: plus the policy pair — a valid per-student query and a query the
+#: Non-Truman checker must reject no matter how overloaded it is
+HEAVY_SQL = f"select count(*) from Work where v < {WORK_ROWS // 2}"
+MIX = [
+    LoadQuery(HEAVY_SQL, mode="open"),
+    LoadQuery(HEAVY_SQL, mode="open"),
+    LoadQuery("select grade from Grades where student_id = '11'"),
+    LoadQuery("select * from Grades", expect="rejected"),
+]
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    db.execute_script(UNIVERSITY_DATA)
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant_public("MyGrades")
+    db.execute("create table Work(v int primary key)")
+    table = db.table("Work")
+    for i in range(WORK_ROWS):
+        table.insert((i,))
+    return db
+
+
+def measure_capacity(host: str, port: int, workers: int) -> tuple[float, float]:
+    """Closed-loop baseline: mean service time of the heavy query and
+    the implied capacity (requests/s) of the worker pool."""
+    with ReproClient(host, port, mode="open") as client:
+        client.query(HEAVY_SQL)  # warm caches / code paths
+        start = time.perf_counter()
+        n = 15
+        for _ in range(n):
+            client.query(HEAVY_SQL)
+        mean_s = (time.perf_counter() - start) / n
+    return mean_s, workers / mean_s
+
+
+def test_open_loop_sweep_gate():
+    workers = 2
+    db = build_db()
+    gateway = EnforcementGateway(
+        db, workers=workers, queue_size=16, default_deadline=30.0,
+        audit_capacity=65536, name="e17",
+    )
+    network = NetworkService(gateway)
+    host, port = network.start()
+    try:
+        mean_s, capacity = measure_capacity(host, port, workers)
+        EXPERIMENT.add(
+            "closed-loop baseline (heavy scan)",
+            offered=f"1 in flight",
+            ok="-",
+            shed="-",
+            violations="-",
+            hangs="-",
+            achieved_rps=f"{1.0 / mean_s:.0f}",
+            p50_ms=f"{mean_s * 1000:.2f}",
+            p99_ms="-",
+        )
+
+        saturated = []
+        for multiple in MULTIPLES:
+            rate = max(10.0, capacity * multiple)
+            report = run_open_loop(
+                host, port,
+                rate=rate, duration_s=DURATION_S, queries=MIX,
+                user="11", mode="non-truman",
+                connections=8, deadline=DEADLINE_S, seed=17,
+            )
+            EXPERIMENT.add(
+                f"open loop {multiple:.1f}x capacity",
+                offered=f"{rate:.0f}/s",
+                ok=report.ok,
+                shed=report.shed,
+                violations=report.violations,
+                hangs=report.unresolved,
+                achieved_rps=f"{report.achieved_rps:.0f}",
+                p50_ms=f"{report.p50_ms:.1f}",
+                p99_ms=f"{report.p99_ms:.1f}",
+            )
+
+            # -- gates, at every offered rate --------------------------
+            # 0 hangs: every arrival reached exactly one terminal state
+            assert report.unresolved == 0, f"hangs at {multiple}x"
+            assert report.terminal == report.arrivals
+            # 0 unauthorized answers, 0 rows for must-reject queries
+            assert report.violations == 0, f"policy violated at {multiple}x"
+            # bounded p99 for admitted requests: deadline mechanics cap
+            # time-in-system; latency must not grow with offered load
+            assert report.p99_ms <= DEADLINE_S * 1000 * 2, (
+                f"unbounded admitted latency at {multiple}x: "
+                f"p99={report.p99_ms:.0f}ms"
+            )
+            # progress is never starved: some valid work completes
+            assert report.ok > 0
+            if multiple > 1.0:
+                saturated.append(report)
+
+        # past saturation the load MUST be shed (typed overload), in
+        # growing proportion — backpressure, not collapse
+        assert saturated, "sweep never exceeded capacity"
+        total_shed = sum(r.shed for r in saturated)
+        assert total_shed > 0, (
+            "offered load past saturation was never shed — admission "
+            "control is not exerting backpressure over the wire"
+        )
+        top = saturated[-1]
+        shed_like = top.shed + top.timeouts + top.cancelled
+        assert shed_like >= top.arrivals * 0.2, (
+            f"at {MULTIPLES[-1]}x capacity only "
+            f"{shed_like}/{top.arrivals} arrivals were shed or expired"
+        )
+    finally:
+        network.stop()
+        gateway.shutdown(drain=False)
+
+
+def test_partial_result_guard_under_load():
+    """Valid answers under concurrent load are complete: every OK
+    response to the per-student query carries exactly its 2 rows (the
+    streaming path must never silently truncate under pressure)."""
+    db = build_db()
+    gateway = EnforcementGateway(db, workers=2, queue_size=16, name="e17b")
+    network = NetworkService(gateway)
+    host, port = network.start()
+    try:
+        import asyncio
+
+        from repro.errors import ServiceOverloaded
+        from repro.net import AsyncReproClient
+
+        async def scenario():
+            client = await AsyncReproClient.connect(host, port, user="11")
+            try:
+                futures = [
+                    (await client.submit(
+                        "select grade from Grades where student_id = '11'"
+                    ))[1]
+                    for _ in range(200)
+                ]
+                return await asyncio.gather(*futures, return_exceptions=True)
+            finally:
+                await client.close()
+
+        outcomes = asyncio.run(scenario())
+        complete = short = shed = 0
+        for outcome in outcomes:
+            if isinstance(outcome, ServiceOverloaded):
+                shed += 1
+            elif isinstance(outcome, Exception):
+                raise outcome
+            elif len(outcome.rows) == 2:
+                complete += 1
+            else:
+                short += 1
+        EXPERIMENT.add(
+            "200 pipelined valid queries (partial-result guard)",
+            offered="burst",
+            ok=complete,
+            shed=shed,
+            violations=short,
+            hangs=0,
+            achieved_rps="-",
+            p50_ms="-",
+            p99_ms="-",
+        )
+        assert short == 0, f"{short} truncated results under load"
+        assert complete > 0
+    finally:
+        network.stop()
+        gateway.shutdown(drain=False)

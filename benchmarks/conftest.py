@@ -4,10 +4,17 @@ Each ``bench_e*.py`` module registers one :class:`repro.bench.Experiment`
 here; rows are added while the benchmark tests run and the assembled
 tables — the reproduction's counterpart of the paper's figures/claims —
 are printed in the terminal summary after pytest-benchmark's own table.
+
+Every experiment that recorded rows is additionally written out as
+machine-readable ``BENCH_<id>.json`` (E13–E17 alike), so the perf
+trajectory is diffable across PRs instead of living only in the
+EXPERIMENTS.md prose.  ``REPRO_BENCH_JSON_DIR`` overrides the output
+directory (default: the repository root).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -36,3 +43,18 @@ def pytest_terminal_summary(terminalreporter):
         for line in experiment.report().splitlines():
             terminalreporter.write_line(line)
     terminalreporter.write_line("")
+    out_dir = Path(
+        os.environ.get(
+            "REPRO_BENCH_JSON_DIR", Path(__file__).resolve().parent.parent
+        )
+    )
+    for experiment in _EXPERIMENTS:
+        if not experiment.rows:
+            continue
+        path = out_dir / f"BENCH_{experiment.id}.json"
+        try:
+            experiment.write_json(path)
+        except OSError as exc:
+            terminalreporter.write_line(f"could not write {path}: {exc}")
+        else:
+            terminalreporter.write_line(f"wrote {path}")

@@ -10,6 +10,7 @@ acceptance rates) that timing alone does not capture.
 
 from __future__ import annotations
 
+import json
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -44,6 +45,34 @@ class Experiment:
             for key in row.values:
                 seen.setdefault(key)
         return list(seen)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form of the experiment table.
+
+        The shape is stable and diffable across PRs (``BENCH_<id>.json``):
+        column order is the first-seen order, every row carries its
+        label under ``"case"``, and values stay whatever JSON scalar the
+        benchmark recorded (numbers are not re-rounded here).
+        """
+        return {
+            "id": self.id,
+            "title": self.title,
+            "claim": self.claim,
+            "columns": ["case"] + self.columns(),
+            "rows": [
+                {"case": row.label, **row.values} for row in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            self.to_json_dict(), indent=indent, default=str, sort_keys=False
+        ) + "\n"
+
+    def write_json(self, path) -> None:
+        """Write ``BENCH_<id>.json``-style output to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
 
     def report(self) -> str:
         from repro.bench.reporting import format_table

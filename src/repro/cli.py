@@ -2,6 +2,9 @@
 
 Run with ``python -m repro`` (optionally ``--workload university`` or
 ``--workload bank``, and ``--script file.sql`` to preload a schema).
+``python -m repro serve`` starts the network front end instead
+(:mod:`repro.net`), and ``python -m repro --connect HOST:PORT`` runs
+the shell as a remote client of such a server.
 
 Statements ending in ``;`` are executed as SQL under the current
 session and access-control mode.  SELECT statements are served through
@@ -363,19 +366,166 @@ class Shell:
             self.write(f"error: {response.error}")
 
     def _print_result(self, result) -> None:
-        from repro.bench.reporting import format_table
+        print_result(self.write, result)
 
-        if result.columns:
-            limited = result.rows[:50]
-            self.write(format_table(list(result.columns), [list(r) for r in limited]))
-            if len(result.rows) > len(limited):
-                self.write(f"... ({len(result.rows)} rows total)")
+
+def print_result(write, result) -> None:
+    """Render a result (library Result or wire ClientResult) to ``write``."""
+    from repro.bench.reporting import format_table
+
+    if result.columns:
+        limited = result.rows[:50]
+        write(format_table(list(result.columns), [list(r) for r in limited]))
+        if len(result.rows) > len(limited):
+            write(f"... ({len(result.rows)} rows total)")
+        else:
+            write(f"({len(result.rows)} row(s))")
+    annotations = getattr(result, "annotations", None)
+    if annotations:
+        for note in annotations:
+            write(f"  note: {note}")
+
+
+REMOTE_BANNER = """repro — remote shell over the wire protocol (repro.net)
+Type SQL terminated by ';'.  Meta-commands: \\user ID, \\mode M,
+\\stats, \\reset, \\help, \\quit."""
+
+
+class RemoteShell:
+    """The shell's remote mode: a thin REPL over one ReproClient.
+
+    SQL goes over the framed protocol to a ``repro serve`` process and
+    comes back as streamed row batches; typed errors (timeout,
+    overload, access denied, degraded) print exactly like their
+    in-process counterparts.  ``\\stats`` fetches the *server's*
+    merged gateway/network snapshot.
+    """
+
+    def __init__(self, client, out: TextIO = sys.stdout):
+        self.client = client
+        self.out = out
+        self.user = client.user
+        self.mode = client.mode or "non-truman"
+        self._buffer: list[str] = []
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def run(self, lines) -> None:
+        info = self.client.server_info
+        self.write(REMOTE_BANNER)
+        self.write(
+            f"connected to {info.get('server')!r} "
+            f"(protocol {info.get('protocol')}, session {info.get('session')})"
+        )
+        self._prompt()
+        try:
+            for raw in lines:
+                if not self._feed(raw.rstrip("\n")):
+                    break
+                self._prompt()
+        finally:
+            self.client.close()
+
+    def _prompt(self) -> None:
+        user = self.user or "<anonymous>"
+        self.out.write(f"{user}@{self.mode}/remote> ")
+        self.out.flush()
+
+    def _feed(self, line: str) -> bool:
+        stripped = line.strip()
+        if not stripped and not self._buffer:
+            return True
+        if stripped.startswith("\\"):
+            if self._buffer and stripped.split(None, 1)[0].lower() != "\\reset":
+                self.write(
+                    "error: finish the buffered statement with ';' or "
+                    "discard it with \\reset"
+                )
+                return True
+            return self._meta(stripped)
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            self._execute_sql(statement.rstrip("; \t\n"))
+        return True
+
+    def _meta(self, command: str) -> bool:
+        from repro.db import MODES
+        from repro.errors import NetworkError, ReproError
+
+        parts = command.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if head in ("\\q", "\\quit", "\\exit"):
+            self.write("bye")
+            return False
+        if head == "\\help":
+            self.write(REMOTE_BANNER)
+        elif head == "\\user":
+            self.user = rest.strip() or None
+            self._rehello()
+        elif head == "\\mode":
+            mode = rest.strip().lower()
+            if mode not in MODES:
+                self.write(
+                    f"error: unknown mode {mode!r} "
+                    f"(modes: {' | '.join(MODES)}); staying in {self.mode!r}"
+                )
             else:
-                self.write(f"({len(result.rows)} row(s))")
-        annotations = getattr(result, "annotations", None)
-        if annotations:
-            for note in annotations:
-                self.write(f"  note: {note}")
+                self.mode = mode
+                self._rehello()
+        elif head == "\\stats":
+            try:
+                stats = self.client.stats()
+            except (NetworkError, ReproError) as exc:
+                self.write(f"error: {exc}")
+                return True
+            width = max(len(name) for name in stats) if stats else 0
+            self.write("-- remote gateway --")
+            for name, value in stats.items():
+                if isinstance(value, float):
+                    self.write(f"  {name:<{width}}  {value:.4f}")
+                else:
+                    self.write(f"  {name:<{width}}  {value}")
+        elif head == "\\reset":
+            discarded = len(self._buffer)
+            self._buffer = []
+            self.write(f"input buffer cleared ({discarded} line(s) discarded)")
+        else:
+            self.write(
+                f"meta-command {head!r} is not available in remote mode; "
+                "try \\help"
+            )
+        return True
+
+    def _rehello(self) -> None:
+        from repro.errors import NetworkError, ReproError
+
+        try:
+            self.client.hello(user=self.user, mode=self.mode)
+            self.write(f"connected as {self.user!r} in mode {self.mode!r}")
+        except (NetworkError, ReproError) as exc:
+            self.write(f"error: {exc}")
+
+    def _execute_sql(self, sql: str) -> None:
+        from repro.errors import NetworkError, ReproError
+
+        if not sql.strip():
+            return
+        try:
+            result = self.client.query(sql)
+        except (NetworkError, ReproError) as exc:
+            self.write(f"error: {exc}")
+            return
+        if result.rowcount is not None:
+            self.write(f"{result.rowcount} row(s) affected")
+            return
+        if not result.columns:
+            self.write("ok")
+            return
+        print_result(self.write, result)
 
 
 def build_database(
@@ -409,7 +559,119 @@ def build_database(
     return db
 
 
+def serve_main(argv: Optional[list[str]] = None) -> int:
+    """``repro serve``: run the asyncio network front end."""
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve the enforcement gateway over the wire protocol",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=5433,
+        help="TCP port to listen on (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workload", choices=["university", "bank"], default=None,
+        help="preload a generated demo workload",
+    )
+    parser.add_argument(
+        "--script", default=None, help="SQL script to execute at startup"
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="durable data directory (opened if it holds state)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="gateway worker threads"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded admission queue; beyond it requests are shed "
+             "with a typed 'overloaded' error",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query deadline in seconds (0 disables it)",
+    )
+    parser.add_argument(
+        "--max-frame-size", type=int, default=None,
+        help="maximum wire frame size in bytes (default 1 MiB); "
+             "larger results are streamed as multiple row_batch frames",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.net.protocol import DEFAULT_MAX_FRAME
+    from repro.net.server import ReproServer
+    from repro.service import EnforcementGateway
+
+    db = build_database(args.workload, args.script, args.data_dir)
+    gateway = EnforcementGateway(
+        db,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_deadline=args.timeout if args.timeout > 0 else None,
+        name="repro-serve",
+    )
+    server = ReproServer(
+        gateway,
+        host=args.host,
+        port=args.port,
+        max_frame_size=args.max_frame_size or DEFAULT_MAX_FRAME,
+    )
+
+    async def amain() -> None:
+        host, port = await server.start()
+        print(f"repro-serve listening on {host}:{port} "
+              f"(workers={args.workers}, queue={args.queue_size})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        gateway.shutdown(drain=True)
+        db.close()
+    return 0
+
+
+def connect_main(target: str, args) -> int:
+    """``repro --connect HOST:PORT``: the shell as a network client."""
+    from repro.errors import NetworkError
+    from repro.net.client import ReproClient
+
+    host, _, port_text = target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --connect expects HOST:PORT, got {target!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        client = ReproClient(
+            host or "127.0.0.1", port, user=args.user, mode=args.mode
+        )
+    except (NetworkError, OSError) as exc:
+        print(f"error: cannot connect to {target}: {exc}", file=sys.stderr)
+        return 1
+    shell = RemoteShell(client)
+    try:
+        shell.run(sys.stdin)
+    except KeyboardInterrupt:
+        shell.write("\nbye")
+        client.close()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="fine-grained access control shell"
     )
@@ -443,7 +705,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="durable data directory (opened if it holds state, "
              "initialized from --workload/--script otherwise)",
     )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="run as a remote client of a 'repro serve' process "
+             "instead of embedding a database",
+    )
     args = parser.parse_args(argv)
+
+    if args.connect:
+        return connect_main(args.connect, args)
 
     db = build_database(args.workload, args.script, args.data_dir)
     shell = Shell(

@@ -180,6 +180,39 @@ class ServiceShutdown(ServiceError):
     down (or already stopped) and no longer accepts new work."""
 
 
+class NetworkError(ReproError):
+    """Base class for wire-protocol / connection failures (``repro.net``)."""
+
+
+class ProtocolError(NetworkError):
+    """A malformed, unexpected, or out-of-order protocol message.
+
+    Covers frames that are not valid JSON objects, messages of unknown
+    type, queries sent before the ``hello`` handshake, and responses
+    the client cannot correlate with an outstanding request.
+    """
+
+
+class FrameTooLarge(ProtocolError):
+    """An encoded frame exceeds the negotiated maximum frame size.
+
+    The server never produces such frames — large results are chunked
+    into multiple ``row_batch`` frames — so on the receive path this
+    always indicates a misbehaving or misconfigured peer, and the
+    connection is closed rather than buffering an unbounded payload.
+    """
+
+
+class ConnectionDropped(NetworkError, ConnectionError):
+    """The peer vanished mid-conversation (EOF or reset).
+
+    On the server this triggers cancellation-on-disconnect: every
+    request still in flight for the dropped session has its
+    :class:`~repro.service.context.QueryContext` cancelled, so no work
+    keeps running for an answer nobody can receive.
+    """
+
+
 class DurabilityError(ReproError):
     """Raised by the durable-storage layer (``repro.durability``).
 

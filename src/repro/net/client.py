@@ -1,0 +1,508 @@
+"""Thin clients for the network front end.
+
+Two flavours over the same framed protocol:
+
+* :class:`ReproClient` — blocking, one socket, one outstanding query
+  at a time.  The natural client for scripts, the remote CLI shell,
+  and tests;
+* :class:`AsyncReproClient` — asyncio, multiplexes any number of
+  in-flight queries over one connection (responses are correlated by
+  request id).  The building block of the open-loop load generator.
+
+Both raise the *same typed exceptions* as the in-process gateway:
+``QueryTimeout``, ``QueryCancelled``, ``ServiceOverloaded``,
+``QueryRejectedError`` (access denied), ``ServiceDegraded`` — decoded
+from the error frame's code (:func:`~repro.net.protocol.error_for_code`).
+Moving an application from the library to the wire changes its
+transport, not its error handling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConnectionDropped, ProtocolError
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_for_code,
+    rows_to_tuples,
+)
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one accepted query, reassembled from the wire.
+
+    Mirrors the in-process :class:`~repro.db.Result` surface
+    (``columns`` / ``rows``) plus the response metadata the gateway
+    reports (decision, cache hit, timing, retries).
+    """
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    rowcount: Optional[int] = None
+    decision: Optional[dict] = None
+    cache_hit: bool = False
+    retries: int = 0
+    timing: dict = field(default_factory=dict)
+    #: number of row_batch frames the result arrived in
+    row_frames: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def _query_message(
+    request_id: int,
+    sql: str,
+    *,
+    mode: Optional[str] = None,
+    deadline: Optional[float] = None,
+    engine: Optional[str] = None,
+    tag: Optional[str] = None,
+    row_budget: Optional[int] = None,
+    memory_budget: Optional[int] = None,
+) -> dict:
+    message: dict = {"type": "query", "id": request_id, "sql": sql}
+    if mode is not None:
+        message["mode"] = mode
+    if deadline is not None:
+        message["deadline"] = deadline
+    if engine is not None:
+        message["engine"] = engine
+    if tag is not None:
+        message["tag"] = tag
+    if row_budget is not None:
+        message["row_budget"] = row_budget
+    if memory_budget is not None:
+        message["memory_budget"] = memory_budget
+    return message
+
+
+class _ResultAssembler:
+    """Accumulates row_batch frames until the terminal frame arrives."""
+
+    def __init__(self):
+        self.rows: list[tuple] = []
+        self.frames = 0
+
+    def feed_batch(self, message: dict) -> None:
+        self.rows.extend(rows_to_tuples(message.get("rows", ())))
+        self.frames += 1
+
+    def finish(self, message: dict) -> ClientResult:
+        return ClientResult(
+            columns=tuple(message.get("columns", ())),
+            rows=self.rows,
+            rowcount=message.get("rowcount"),
+            decision=message.get("decision"),
+            cache_hit=bool(message.get("cache_hit")),
+            retries=int(message.get("retries", 0)),
+            timing=message.get("timing") or {},
+            row_frames=self.frames,
+        )
+
+
+def _raise_wire_error(message: dict) -> None:
+    raise error_for_code(
+        message.get("code", "error"),
+        message.get("message", "unspecified server error"),
+        decision=message.get("decision"),
+    )
+
+
+# -- blocking client -------------------------------------------------------
+
+
+class ReproClient:
+    """Blocking protocol client: connect, hello, query, close.
+
+    One outstanding query at a time; server frames for that query are
+    consumed in order.  Use :class:`AsyncReproClient` for pipelining.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        user: Optional[str] = None,
+        mode: str = "non-truman",
+        params: Optional[dict] = None,
+        connect_timeout: Optional[float] = 10.0,
+        max_frame_size: int = DEFAULT_MAX_FRAME,
+    ):
+        self._sock = socket.create_connection((host, port), connect_timeout)
+        # frame-level timeouts are the server's job (deadlines); the
+        # socket itself blocks until the server answers or drops
+        self._sock.settimeout(None)
+        self._decoder = FrameDecoder(max_frame_size)
+        self._inbox: list[dict] = []
+        self._ids = itertools.count(1)
+        self.max_frame_size = max_frame_size
+        self.server_info: dict = {}
+        self.hello(user=user, mode=mode, params=params)
+
+    # -- transport --------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        try:
+            self._sock.sendall(encode_frame(message, self.max_frame_size))
+        except OSError as exc:
+            raise ConnectionDropped(f"connection lost while sending: {exc}") from None
+
+    def _next_message(self) -> dict:
+        while not self._inbox:
+            try:
+                data = self._sock.recv(65536)
+            except OSError as exc:
+                raise ConnectionDropped(
+                    f"connection lost while receiving: {exc}"
+                ) from None
+            if not data:
+                raise ConnectionDropped("server closed the connection")
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.pop(0)
+
+    # -- session ----------------------------------------------------------
+
+    def hello(
+        self,
+        user: Optional[str] = None,
+        mode: str = "non-truman",
+        params: Optional[dict] = None,
+    ) -> dict:
+        """(Re-)authenticate this connection; returns the welcome frame."""
+        self._send(
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "user": user,
+                "mode": mode,
+                "params": params or {},
+            }
+        )
+        message = self._next_message()
+        if message.get("type") == "error":
+            _raise_wire_error(message)
+        if message.get("type") != "welcome":
+            raise ProtocolError(
+                f"expected welcome frame, got {message.get('type')!r}"
+            )
+        self.server_info = message
+        self.user = message.get("user")
+        self.mode = message.get("mode")
+        return message
+
+    # -- queries ----------------------------------------------------------
+
+    def start_query(self, sql: str, **options) -> int:
+        """Send a query frame without waiting; returns its request id.
+
+        Mainly for tests that need to drop the connection mid-query;
+        normal callers use :meth:`query`.
+        """
+        request_id = next(self._ids)
+        self._send(_query_message(request_id, sql, **options))
+        return request_id
+
+    def finish_query(self, request_id: int) -> ClientResult:
+        """Collect frames until ``request_id`` reaches a terminal frame."""
+        assembler = _ResultAssembler()
+        while True:
+            message = self._next_message()
+            kind = message.get("type")
+            if message.get("id") != request_id:
+                # single-outstanding discipline: any other id is a bug
+                raise ProtocolError(
+                    f"response for unexpected request id {message.get('id')!r}"
+                )
+            if kind == "row_batch":
+                assembler.feed_batch(message)
+            elif kind == "result":
+                return assembler.finish(message)
+            elif kind == "error":
+                _raise_wire_error(message)
+            else:
+                raise ProtocolError(f"unexpected frame type {kind!r}")
+
+    def query(self, sql: str, **options) -> ClientResult:
+        """Run one query; raises the typed error on non-OK outcomes.
+
+        Options: ``mode``, ``deadline``, ``engine``, ``tag``,
+        ``row_budget``, ``memory_budget`` — the same knobs as
+        :class:`~repro.service.request.QueryRequest`.
+        """
+        return self.finish_query(self.start_query(sql, **options))
+
+    def cancel(self, request_id: int) -> None:
+        """Ask the server to cancel an in-flight request."""
+        self._send({"type": "cancel", "id": request_id})
+
+    def stats(self) -> dict:
+        """The gateway's merged stats snapshot, fetched over the wire."""
+        request_id = next(self._ids)
+        self._send({"type": "stats", "id": request_id})
+        message = self._next_message()
+        if message.get("type") == "error":
+            _raise_wire_error(message)
+        if message.get("type") != "stats":
+            raise ProtocolError(
+                f"expected stats frame, got {message.get('type')!r}"
+            )
+        return message.get("stats", {})
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, goodbye: bool = True) -> None:
+        """Close the connection (politely by default)."""
+        try:
+            if goodbye:
+                self._send({"type": "goodbye"})
+                # wait for the goodbye ack so in-order delivery is done
+                while True:
+                    if self._next_message().get("type") == "goodbye":
+                        break
+        except (ConnectionDropped, ProtocolError, OSError):
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def drop(self) -> None:
+        """Abruptly close the socket — no goodbye; the server must
+        cancel whatever this session had in flight."""
+        self.close(goodbye=False)
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- async client ----------------------------------------------------------
+
+
+class AsyncReproClient:
+    """Asyncio client multiplexing many in-flight queries per connection.
+
+    A background reader task routes incoming frames to per-request
+    futures by id, so ``query()`` can be awaited concurrently from any
+    number of tasks over one socket — the transport shape the open-loop
+    load generator needs.
+    """
+
+    def __init__(self):
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._decoder: Optional[FrameDecoder] = None
+        self._ids = itertools.count(1)
+        self._pending: dict[int, tuple[_ResultAssembler, asyncio.Future]] = {}
+        self._welcome: Optional[asyncio.Future] = None
+        self._stats_waiters: dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self.max_frame_size = DEFAULT_MAX_FRAME
+        self.server_info: dict = {}
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        user: Optional[str] = None,
+        mode: str = "non-truman",
+        params: Optional[dict] = None,
+        max_frame_size: int = DEFAULT_MAX_FRAME,
+    ) -> "AsyncReproClient":
+        client = cls()
+        client.max_frame_size = max_frame_size
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        client._decoder = FrameDecoder(max_frame_size)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        await client.hello(user=user, mode=mode, params=params)
+        return client
+
+    # -- transport --------------------------------------------------------
+
+    async def _send(self, message: dict) -> None:
+        if self._closed or self._writer is None:
+            raise ConnectionDropped("client is closed")
+        data = encode_frame(message, self.max_frame_size)
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None and self._decoder is not None
+        error: BaseException = ConnectionDropped("server closed the connection")
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for message in self._decoder.feed(data):
+                    self._route(message)
+        except (ConnectionError, OSError) as exc:
+            error = ConnectionDropped(f"connection lost: {exc}")
+        except ProtocolError as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionDropped("client closed")
+        # fail every outstanding waiter with the terminal error
+        for assembler_future in list(self._pending.values()):
+            _, future = assembler_future
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        for future in list(self._stats_waiters.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._stats_waiters.clear()
+        if self._welcome is not None and not self._welcome.done():
+            self._welcome.set_exception(error)
+
+    def _route(self, message: dict) -> None:
+        kind = message.get("type")
+        if kind in ("welcome",):
+            if self._welcome is not None and not self._welcome.done():
+                self._welcome.set_result(message)
+            return
+        if kind == "goodbye":
+            return
+        if kind == "stats":
+            future = self._stats_waiters.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(message.get("stats", {}))
+            return
+        request_id = message.get("id")
+        entry = self._pending.get(request_id)
+        if entry is None:
+            if kind == "error" and request_id is None:
+                # connection-level error (bad hello, protocol breach)
+                if self._welcome is not None and not self._welcome.done():
+                    self._welcome.set_exception(
+                        error_for_code(
+                            message.get("code", "error"),
+                            message.get("message", "server error"),
+                        )
+                    )
+            return
+        assembler, future = entry
+        if kind == "row_batch":
+            assembler.feed_batch(message)
+        elif kind == "result":
+            self._pending.pop(request_id, None)
+            if not future.done():
+                future.set_result(assembler.finish(message))
+        elif kind == "error":
+            self._pending.pop(request_id, None)
+            if not future.done():
+                future.set_exception(
+                    error_for_code(
+                        message.get("code", "error"),
+                        message.get("message", "server error"),
+                        decision=message.get("decision"),
+                    )
+                )
+
+    # -- session ----------------------------------------------------------
+
+    async def hello(
+        self,
+        user: Optional[str] = None,
+        mode: str = "non-truman",
+        params: Optional[dict] = None,
+    ) -> dict:
+        self._welcome = asyncio.get_running_loop().create_future()
+        await self._send(
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "user": user,
+                "mode": mode,
+                "params": params or {},
+            }
+        )
+        self.server_info = await self._welcome
+        return self.server_info
+
+    # -- queries ----------------------------------------------------------
+
+    async def submit(self, sql: str, **options) -> tuple[int, asyncio.Future]:
+        """Send a query; returns (request id, future of ClientResult)."""
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = (_ResultAssembler(), future)
+        try:
+            await self._send(_query_message(request_id, sql, **options))
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return request_id, future
+
+    async def query(self, sql: str, **options) -> ClientResult:
+        """Run one query; concurrent callers multiplex over the socket."""
+        _, future = await self.submit(sql, **options)
+        return await future
+
+    async def cancel(self, request_id: int) -> None:
+        await self._send({"type": "cancel", "id": request_id})
+
+    async def stats(self) -> dict:
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._stats_waiters[request_id] = future
+        await self._send({"type": "stats", "id": request_id})
+        return await future
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._writer is not None:
+                async with self._write_lock:
+                    self._writer.write(
+                        encode_frame({"type": "goodbye"}, self.max_frame_size)
+                    )
+                    await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,225 @@
+"""Open-loop (arrival-rate-driven) load generation over the wire.
+
+Closed-loop load tests — N workers each waiting for a response before
+sending the next request — *cannot* see queueing collapse: when the
+server slows down, a closed loop slows its own offered load down with
+it, flattering the p99.  The open-loop harness instead fires requests
+on a fixed arrival schedule derived only from the offered rate (and,
+optionally, Poisson jitter), whether or not earlier requests have come
+back.  Past the saturation point the difference is stark: offered load
+keeps arriving, the admission queue fills, and the gateway must either
+shed excess arrivals with a typed
+:class:`~repro.errors.ServiceOverloaded` (what benchmark E17 gates on)
+or let latency grow without bound.
+
+The generator multiplexes arrivals over a small pool of
+:class:`~repro.net.client.AsyncReproClient` connections (per-query
+pipelining keeps connection count decoupled from concurrency), tracks
+every arrival to a terminal outcome, and reports throughput, latency
+percentiles of *admitted* requests, and shed/error counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import (
+    ConnectionDropped,
+    QueryCancelled,
+    QueryRejectedError,
+    QueryTimeout,
+    ReproError,
+    ServiceOverloaded,
+)
+from repro.net.client import AsyncReproClient
+
+
+@dataclass(frozen=True)
+class LoadQuery:
+    """One query template in the workload mix.
+
+    ``expect`` names the outcome an honest server must produce:
+    ``"ok"`` (valid query → rows) or ``"rejected"`` (invalid under the
+    policy → typed access-denied, never rows).  Anything else observed
+    for that arrival — other than overload shedding or a deadline
+    timeout — counts as a *violation* in the report.
+    """
+
+    sql: str
+    expect: str = "ok"
+    mode: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """Everything one open-loop run observed, with derived figures."""
+
+    offered_rate: float
+    duration_s: float
+    arrivals: int = 0
+    ok: int = 0
+    #: arrivals shed by admission control (ServiceOverloaded)
+    shed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    #: policy violations: an expect="rejected" query that returned rows,
+    #: or an expect="ok" query rejected by the policy
+    violations: int = 0
+    #: arrivals with no terminal outcome inside the grace window (hangs)
+    unresolved: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> int:
+        return (
+            self.ok
+            + self.shed
+            + self.rejected
+            + self.timeouts
+            + self.cancelled
+            + self.errors
+        )
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.ok / self.duration_s if self.duration_s else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(1, int(round(p / 100.0 * len(ordered) + 0.5)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(99)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "offered_rate": self.offered_rate,
+            "duration_s": self.duration_s,
+            "arrivals": self.arrivals,
+            "ok": self.ok,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "violations": self.violations,
+            "unresolved": self.unresolved,
+            "achieved_rps": round(self.achieved_rps, 1),
+            "p50_ms": round(self.p50_ms, 2),
+            "p99_ms": round(self.p99_ms, 2),
+        }
+
+
+async def run_open_loop_async(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    duration_s: float,
+    queries: Sequence[LoadQuery],
+    user: Optional[str] = None,
+    mode: str = "non-truman",
+    params: Optional[dict] = None,
+    connections: int = 8,
+    deadline: Optional[float] = 5.0,
+    poisson: bool = False,
+    seed: int = 0,
+    grace_s: float = 30.0,
+) -> LoadReport:
+    """Drive one offered-load level and account for every arrival.
+
+    Arrival times are precomputed from ``rate`` (uniform spacing, or
+    exponential gaps when ``poisson``); each arrival is dispatched at
+    its scheduled instant regardless of outstanding work — if the
+    schedule slips (the loop itself saturates), the arrival fires as
+    soon as possible afterwards, which only *under*-states the stress.
+    """
+    if not queries:
+        raise ValueError("queries must not be empty")
+    rng = random.Random(seed)
+    gaps = []
+    t = 0.0
+    while True:
+        gap = rng.expovariate(rate) if poisson else 1.0 / rate
+        if t + gap > duration_s:
+            break
+        t += gap
+        gaps.append(t)
+    report = LoadReport(offered_rate=rate, duration_s=duration_s)
+    clients = [
+        await AsyncReproClient.connect(
+            host, port, user=user, mode=mode, params=params
+        )
+        for _ in range(connections)
+    ]
+    tasks: list[asyncio.Task] = []
+
+    async def one_arrival(client: AsyncReproClient, spec: LoadQuery) -> None:
+        start = time.perf_counter()
+        try:
+            await client.query(spec.sql, mode=spec.mode, deadline=deadline)
+        except ServiceOverloaded:
+            report.shed += 1
+            return
+        except QueryTimeout:
+            report.timeouts += 1
+            return
+        except QueryCancelled:
+            report.cancelled += 1
+            return
+        except QueryRejectedError:
+            report.rejected += 1
+            if spec.expect != "rejected":
+                report.violations += 1
+            return
+        except (ConnectionDropped, ReproError):
+            report.errors += 1
+            return
+        report.ok += 1
+        report.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+        if spec.expect == "rejected":
+            # an invalid query came back with an answer: policy breach
+            report.violations += 1
+
+    try:
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+        for index, at in enumerate(gaps):
+            delay = epoch + at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            spec = queries[index % len(queries)]
+            client = clients[index % len(clients)]
+            report.arrivals += 1
+            tasks.append(asyncio.ensure_future(one_arrival(client, spec)))
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=grace_s)
+            report.unresolved = len(pending)
+            for task in pending:
+                task.cancel()
+    finally:
+        for client in clients:
+            try:
+                await client.close()
+            except (ConnectionDropped, OSError):
+                pass
+    return report
+
+
+def run_open_loop(host: str, port: int, **kwargs) -> LoadReport:
+    """Synchronous wrapper; runs the sweep on a private event loop."""
+    return asyncio.run(run_open_loop_async(host, port, **kwargs))

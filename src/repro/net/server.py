@@ -1,0 +1,537 @@
+"""Asyncio TCP front end over the enforcement gateway.
+
+:class:`ReproServer` turns the in-process
+:class:`~repro.service.gateway.EnforcementGateway` into a networked
+service: each TCP connection is one client *session* (authenticated by
+the ``hello`` handshake, mapped to a gateway user), each ``query``
+frame becomes one :class:`~repro.service.request.QueryRequest`, and
+every outcome — rows, rejection, timeout, overload — travels back as
+typed frames (:mod:`repro.net.protocol`).
+
+Design points:
+
+* **one event loop, many sessions** — the asyncio loop only parses
+  frames and submits work; the gateway's worker pool does the actual
+  checking/execution on its own threads.  Completion is bridged back
+  with :meth:`PendingQuery.add_done_callback` +
+  ``loop.call_soon_threadsafe`` — no thread, poller, or executor slot
+  is held per in-flight request, so thousands of concurrent sessions
+  cost one socket and a little state each;
+* **deadline propagation** — a ``deadline`` on the query frame flows
+  into the request's :class:`~repro.service.context.QueryContext`, so
+  the wire deadline is the same cooperative deadline that kills
+  runaway scans and inference loops in-process;
+* **cancellation on disconnect** — when a connection drops (EOF,
+  reset, or an injected ``net.*`` chaos fault), every request still in
+  flight for that session is cancelled through its context: no work
+  keeps running for an answer nobody can receive, and the gateway
+  audits the cancelled request exactly once like any other;
+* **backpressure, not collapse** — admission control stays in the
+  gateway: when its bounded queue is full, ``submit`` raises
+  :class:`~repro.errors.ServiceOverloaded` and the server answers an
+  ``overloaded`` error frame immediately.  An open-loop load sweep
+  past saturation therefore sheds excess arrivals with a typed error
+  while admitted requests keep bounded latency (benchmark E17);
+* **bounded frames** — results are streamed as multiple ``row_batch``
+  frames, each guaranteed to encode within ``max_frame_size``
+  (:func:`~repro.net.protocol.iter_result_frames`); incoming frames
+  beyond the limit close the connection before buffering the payload.
+
+Per-query pipelining is supported: a client may have any number of
+queries outstanding on one connection; responses carry the client's
+request id and may interleave between queries (frames of one response
+never interleave with each other — writes are serialized per
+connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Optional
+
+from repro.db import MODES
+from repro.errors import (
+    ConnectionDropped,
+    FrameTooLarge,
+    ProtocolError,
+    ServiceOverloaded,
+    ServiceShutdown,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    DEFAULT_ROWS_PER_FRAME,
+    HEADER,
+    PROTOCOL_VERSION,
+    code_for_status,
+    decision_to_wire,
+    decode_payload,
+    encode_frame,
+    iter_result_frames,
+    sanitize_stats,
+)
+from repro.service.gateway import EnforcementGateway, PendingQuery
+from repro.service.request import QueryRequest, QueryResponse, RequestStatus
+
+#: network instruments, pre-created so ``\stats`` shows them at zero
+NET_COUNTERS = (
+    "sessions_authenticated",
+    "frames_sent",
+    "frames_received",
+    "disconnect_cancels",
+    "net_queries",
+    "net_rows_streamed",
+    "net_protocol_errors",
+)
+
+
+class _Session:
+    """Per-connection state: identity, in-flight requests, write lock."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.id = next(self._ids)
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.authenticated = False
+        self.user: Optional[str] = None
+        self.mode: str = "non-truman"
+        self.params: dict = {}
+        #: request id → PendingQuery, while in flight
+        self.inflight: dict[int, PendingQuery] = {}
+        self.closing = False
+
+    def cancel_inflight(self) -> int:
+        """Cancel every request still in flight; returns how many."""
+        cancelled = 0
+        for pending in list(self.inflight.values()):
+            if pending.cancel():
+                cancelled += 1
+        return cancelled
+
+
+class ReproServer:
+    """Asyncio TCP server speaking the framed protocol over one gateway."""
+
+    def __init__(
+        self,
+        gateway: EnforcementGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_size: int = DEFAULT_MAX_FRAME,
+        rows_per_frame: int = DEFAULT_ROWS_PER_FRAME,
+        chaos=None,
+        name: str = "repro-net",
+    ):
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.max_frame_size = max_frame_size
+        self.rows_per_frame = rows_per_frame
+        self.chaos = chaos
+        self.name = name
+        #: network metrics live in the gateway registry so ``\stats``
+        #: and ``gateway.stats()`` report wire and worker state together
+        self.metrics = gateway.metrics
+        self.metrics.gauge("connections_open")
+        for counter in NET_COUNTERS:
+            self.metrics.counter(counter)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sessions: set[_Session] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self.address: Optional[tuple[str, int]] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) bound."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drop every session, and reap delivery tasks."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions):
+            session.closing = True
+            session.cancel_inflight()
+            session.writer.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- chaos ------------------------------------------------------------
+
+    def _fire_chaos(self, point: str) -> None:
+        if self.chaos is not None:
+            self.chaos.fire(point)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(writer)
+        self._sessions.add(session)
+        self.metrics.gauge("connections_open").inc()
+        try:
+            self._fire_chaos("net.accept")
+            await self._read_loop(session, reader)
+        except FrameTooLarge as exc:
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(session, None, "protocol", str(exc))
+        except ProtocolError as exc:
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(session, None, "protocol", str(exc))
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionDropped,
+            ConnectionError,
+            OSError,
+        ):
+            pass  # peer vanished; cleanup below cancels its work
+        finally:
+            session.closing = True
+            dropped = session.cancel_inflight()
+            if dropped:
+                self.metrics.counter("disconnect_cancels").inc(dropped)
+            self._sessions.discard(session)
+            self.metrics.gauge("connections_open").dec()
+            writer.close()
+
+    async def _read_loop(
+        self, session: _Session, reader: asyncio.StreamReader
+    ) -> None:
+        while True:
+            header = await reader.readexactly(HEADER.size)
+            (length,) = HEADER.unpack(header)
+            if length > self.max_frame_size:
+                raise FrameTooLarge(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{self.max_frame_size}-byte limit"
+                )
+            payload = await reader.readexactly(length)
+            self.metrics.counter("frames_received").inc()
+            message = decode_payload(payload)
+            if not await self._dispatch(session, message):
+                return
+
+    async def _dispatch(self, session: _Session, message: dict) -> bool:
+        """Handle one message; False ends the connection cleanly."""
+        kind = message.get("type")
+        if kind == "hello":
+            await self._handle_hello(session, message)
+            return True
+        if kind == "goodbye":
+            await self._send(session, {"type": "goodbye"})
+            return False
+        if kind == "cancel":
+            pending = session.inflight.get(message.get("id"))
+            if pending is not None:
+                pending.cancel()
+            return True
+        if kind == "stats":
+            await self._send(
+                session,
+                {
+                    "type": "stats",
+                    "id": message.get("id"),
+                    "stats": sanitize_stats(self.gateway.stats()),
+                },
+            )
+            return True
+        if kind == "query":
+            await self._handle_query(session, message)
+            return True
+        self.metrics.counter("net_protocol_errors").inc()
+        await self._try_send_error(
+            session,
+            message.get("id"),
+            "protocol",
+            f"unknown message type {kind!r}",
+        )
+        return True
+
+    async def _handle_hello(self, session: _Session, message: dict) -> None:
+        mode = message.get("mode", "non-truman")
+        if mode not in MODES:
+            await self._try_send_error(
+                session,
+                None,
+                "protocol",
+                f"unknown access-control mode {mode!r} "
+                f"(modes: {' | '.join(MODES)})",
+            )
+            return
+        user = message.get("user")
+        session.user = None if user is None else str(user)
+        session.mode = mode
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            await self._try_send_error(
+                session, None, "protocol", "hello params must be an object"
+            )
+            return
+        session.params = params
+        first_auth = not session.authenticated
+        session.authenticated = True
+        if first_auth:
+            self.metrics.counter("sessions_authenticated").inc()
+        self._fire_chaos("net.after_hello")
+        await self._send(
+            session,
+            {
+                "type": "welcome",
+                "protocol": PROTOCOL_VERSION,
+                "server": self.name,
+                "session": session.id,
+                "user": session.user,
+                "mode": session.mode,
+            },
+        )
+
+    async def _handle_query(self, session: _Session, message: dict) -> None:
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, None, "protocol", "query frame needs an integer id"
+            )
+            return
+        if not session.authenticated:
+            await self._try_send_error(
+                session,
+                request_id,
+                "auth",
+                "session is not authenticated; send a hello frame first",
+            )
+            return
+        sql = message.get("sql")
+        if not isinstance(sql, str):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, request_id, "protocol", "query frame needs a sql string"
+            )
+            return
+        mode = message.get("mode") or session.mode
+        if mode not in MODES:
+            await self._try_send_error(
+                session,
+                request_id,
+                "protocol",
+                f"unknown access-control mode {mode!r}",
+            )
+            return
+        request = QueryRequest(
+            user=session.user,
+            sql=sql,
+            params=session.params,
+            mode=mode,
+            deadline=message.get("deadline"),
+            tag=message.get("tag"),
+            engine=message.get("engine"),
+            row_budget=message.get("row_budget"),
+            memory_budget=message.get("memory_budget"),
+        )
+        try:
+            pending = self.gateway.submit(request)
+        except ServiceOverloaded as exc:
+            await self._try_send_error(
+                session, request_id, "overloaded", str(exc)
+            )
+            return
+        except ServiceShutdown as exc:
+            await self._try_send_error(session, request_id, "shutdown", str(exc))
+            return
+        self.metrics.counter("net_queries").inc()
+        session.inflight[request_id] = pending
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def _resolved(response: QueryResponse) -> None:
+            loop.call_soon_threadsafe(_complete, response)
+
+        def _complete(response: QueryResponse) -> None:
+            if not future.done():
+                future.set_result(response)
+
+        pending.add_done_callback(_resolved)
+        task = asyncio.ensure_future(
+            self._deliver(session, request_id, future)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _deliver(
+        self, session: _Session, request_id: int, future: asyncio.Future
+    ) -> None:
+        """Wait for the gateway's terminal response and stream it out."""
+        response: QueryResponse = await future
+        session.inflight.pop(request_id, None)
+        if session.closing:
+            return  # nobody to answer; the request was cancelled on drop
+        try:
+            await self._send_response(session, request_id, response)
+        except (ConnectionDropped, ConnectionError, OSError):
+            # the client vanished between resolve and write; the read
+            # loop's cleanup handles cancellation of anything else
+            pass
+
+    async def _send_response(
+        self, session: _Session, request_id: int, response: QueryResponse
+    ) -> None:
+        if response.status is RequestStatus.OK:
+            columns: list[str] = []
+            frames = 0
+            if response.result is not None:
+                columns = list(response.result.columns)
+                for frame in iter_result_frames(
+                    request_id,
+                    response.result.rows,
+                    max_frame_size=self.max_frame_size,
+                    rows_per_frame=self.rows_per_frame,
+                ):
+                    await self._send(session, frame)
+                    frames += 1
+                    self.metrics.counter("net_rows_streamed").inc(
+                        len(frame["rows"])
+                    )
+            await self._send(
+                session,
+                {
+                    "type": "result",
+                    "id": request_id,
+                    "status": "ok",
+                    "columns": columns,
+                    "row_frames": frames,
+                    "rowcount": response.rowcount,
+                    "cache_hit": response.cache_hit,
+                    "retries": response.retries,
+                    "timing": response.timing.as_dict(),
+                    "decision": decision_to_wire(response.decision),
+                },
+            )
+            return
+        await self._send(
+            session,
+            {
+                "type": "error",
+                "id": request_id,
+                "code": code_for_status(response.status.value),
+                "message": response.error or response.status.value,
+                "retries": response.retries,
+                "timing": response.timing.as_dict(),
+                "decision": decision_to_wire(response.decision),
+            },
+        )
+
+    # -- frame writing -----------------------------------------------------
+
+    async def _send(self, session: _Session, message: dict) -> None:
+        data = encode_frame(message, self.max_frame_size)
+        async with session.write_lock:
+            try:
+                self._fire_chaos("net.before_send")
+            except ConnectionDropped:
+                # simulate the peer vanishing mid-write: tear the
+                # connection down; the read loop unwinds and cancels
+                session.closing = True
+                session.writer.close()
+                raise
+            session.writer.write(data)
+            await session.writer.drain()
+            self.metrics.counter("frames_sent").inc()
+
+    async def _try_send_error(
+        self,
+        session: _Session,
+        request_id: Optional[int],
+        code: str,
+        message: str,
+    ) -> None:
+        try:
+            await self._send(
+                session,
+                {
+                    "type": "error",
+                    "id": request_id,
+                    "code": code,
+                    "message": message,
+                },
+            )
+        except (ConnectionDropped, ConnectionError, OSError):
+            pass
+
+
+class NetworkService:
+    """Thread wrapper: run a :class:`ReproServer` on a background event
+    loop so synchronous code (tests, the CLI shell, benchmarks) can
+    start/stop a live server without owning an asyncio loop."""
+
+    def __init__(self, gateway: EnforcementGateway, **server_kwargs):
+        self.gateway = gateway
+        self.server = ReproServer(gateway, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.address: Optional[tuple[str, int]] = None
+
+    def start(self) -> tuple[str, int]:
+        """Start serving on a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._run, name=f"{self.server.name}-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self.address = await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "NetworkService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

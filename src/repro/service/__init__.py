@@ -21,7 +21,12 @@ Quickstart::
 from repro.service.audit import AuditLog, AuditRecord
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import SharedValidityCache
-from repro.service.chaos import ChaosInjector, FaultSpec, GATEWAY_FAULT_POINTS
+from repro.service.chaos import (
+    ChaosInjector,
+    FaultSpec,
+    GATEWAY_FAULT_POINTS,
+    NET_FAULT_POINTS,
+)
 from repro.service.context import QueryContext
 from repro.service.gateway import EnforcementGateway, PendingQuery
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry, State
@@ -41,6 +46,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NET_FAULT_POINTS",
     "PendingQuery",
     "QueryContext",
     "QueryRequest",

@@ -13,6 +13,9 @@ points the gateway fires while serving:
 ``gateway.before_execute``        before query execution
 ``gateway.before_commit``         before the durable group commit
 ``wal.before_fsync`` (via WAL)    inside the group-commit fsync path
+``net.accept``                    a TCP connection was accepted
+``net.after_hello``               a session finished authenticating
+``net.before_send``               before a frame is written to a client
 ================================  =====================================
 
 Fault kinds:
@@ -23,7 +26,10 @@ Fault kinds:
 * ``"io-error"`` — raise ``OSError`` (disk failure; on the commit path
   this feeds the gateway's WAL circuit breaker);
 * ``"worker-crash"`` — raise ``RuntimeError`` (a bug in worker code;
-  the worker loop must answer a typed error and survive).
+  the worker loop must answer a typed error and survive);
+* ``"disconnect"`` — raise :class:`~repro.errors.ConnectionDropped`
+  (the peer vanished; the server must cancel that session's in-flight
+  work and keep serving every other connection).
 
 Each injected fault point carries a probability, an optional maximum
 number of firings, and a seeded RNG, so chaos sweeps are reproducible.
@@ -48,7 +54,14 @@ GATEWAY_FAULT_POINTS = (
     "gateway.before_commit",
 )
 
-FAULT_KINDS = ("delay", "transient", "io-error", "worker-crash")
+#: fault points the network front end (repro.net.server) fires
+NET_FAULT_POINTS = (
+    "net.accept",
+    "net.after_hello",
+    "net.before_send",
+)
+
+FAULT_KINDS = ("delay", "transient", "io-error", "worker-crash", "disconnect")
 
 
 @dataclass
@@ -133,6 +146,12 @@ class ChaosInjector(FaultInjector):
             raise OSError(f"chaos: injected IO error at {point!r}")
         if kind == "worker-crash":
             raise RuntimeError(f"chaos: injected worker crash at {point!r}")
+        if kind == "disconnect":
+            from repro.errors import ConnectionDropped
+
+            raise ConnectionDropped(
+                f"chaos: injected connection drop at {point!r}"
+            )
 
     def stats(self) -> dict[str, int]:
         """Count of injected faults per ``point:kind``."""

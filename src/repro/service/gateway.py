@@ -132,10 +132,33 @@ class PendingQuery:
         self.ctx = ctx if ctx is not None else QueryContext()
         self._done = threading.Event()
         self._response: Optional[QueryResponse] = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def _resolve(self, response: QueryResponse) -> None:
         self._response = response
         self._done.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(response)
+            except Exception:  # a bad observer must not kill the worker
+                pass
+
+    def add_done_callback(self, fn) -> None:
+        """Invoke ``fn(response)`` when the request reaches a terminal
+        response; immediately if it already has one.
+
+        The callback runs on the resolving thread (a gateway worker) —
+        event-loop front ends should only post a wake-up from it
+        (``loop.call_soon_threadsafe``), never do blocking work.
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self._response)
 
     def done(self) -> bool:
         return self._done.is_set()

@@ -771,3 +771,155 @@ class TestResilienceMetrics:
             assert "requests_cancelled_inflight" in rendered
         finally:
             gateway.shutdown(drain=False)
+
+
+class TestNetworkChaos:
+    """Connection-drop fire points in the network front end: the server
+    must survive injected drops at any ``net.*`` point, cancel the
+    affected session's work, and keep serving everyone else."""
+
+    def make_service(self, chaos=None, workers=1):
+        from repro.net import NetworkService
+
+        db = Database()
+        install_university(db)
+        gateway = EnforcementGateway(db, workers=workers, name="net-chaos")
+        network = NetworkService(gateway, chaos=chaos)
+        host, port = network.start()
+        return gateway, network, host, port
+
+    def test_disconnect_at_accept(self):
+        from repro.errors import ConnectionDropped
+        from repro.net import ReproClient
+        from repro.service import ChaosInjector
+
+        chaos = ChaosInjector(seed=7)
+        chaos.inject("net.accept", "disconnect", times=1)
+        gateway, network, host, port = self.make_service(chaos)
+        try:
+            with pytest.raises(ConnectionDropped):
+                ReproClient(host, port, user="11")
+            # the very next connection is served normally
+            with ReproClient(host, port, user="11") as client:
+                result = client.query(
+                    "select * from Grades where student_id = '11'"
+                )
+                assert len(result.rows) == 2
+            assert chaos.injected == [("net.accept", "disconnect")]
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)
+
+    def test_disconnect_before_send_drops_only_that_session(self):
+        from repro.errors import ConnectionDropped
+        from repro.net import ReproClient
+        from repro.service import ChaosInjector
+
+        chaos = ChaosInjector(seed=7)
+        gateway, network, host, port = self.make_service(chaos)
+        try:
+            victim = ReproClient(host, port, user="11")
+            bystander = ReproClient(host, port, user="12")
+            # armed only now, so both hellos went through; the victim's
+            # next response frame hits the drop
+            chaos.inject("net.before_send", "disconnect", times=1)
+            with pytest.raises(ConnectionDropped):
+                victim.query("select * from Grades where student_id = '11'")
+            victim.drop()
+            # the bystander's session is untouched
+            result = bystander.query(
+                "select * from Grades where student_id = '12'"
+            )
+            assert result.rows == [("12", "CS101", 2.5)]
+            bystander.close()
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)
+
+    def test_delay_before_send_answers_are_still_correct(self):
+        from repro.net import ReproClient
+        from repro.service import ChaosInjector
+
+        chaos = ChaosInjector(seed=7)
+        chaos.inject("net.before_send", "delay", delay_s=0.02)
+        gateway, network, host, port = self.make_service(chaos)
+        try:
+            with ReproClient(host, port, user="11") as client:
+                result = client.query(
+                    "select * from Grades where student_id = '11'"
+                )
+            assert sorted(result.rows) == [
+                ("11", "CS101", 3.5), ("11", "CS102", 4.0),
+            ]
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)
+
+    def test_transient_fault_retries_travel_over_wire(self):
+        from repro.net import ReproClient
+        from repro.service import ChaosInjector
+
+        chaos = ChaosInjector(seed=7)
+        chaos.inject("gateway.before_execute", "transient", times=1)
+        db = Database()
+        install_university(db)
+        gateway = EnforcementGateway(db, workers=1, chaos=chaos)
+        from repro.net import NetworkService
+
+        network = NetworkService(gateway)
+        host, port = network.start()
+        try:
+            with ReproClient(host, port, user="11") as client:
+                result = client.query(
+                    "select * from Grades where student_id = '11'"
+                )
+            assert len(result.rows) == 2
+            assert result.retries >= 1  # the retry count is reported
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)
+
+    def test_probabilistic_disconnect_sweep(self):
+        """Mini-sweep: with a 30% drop chance on every outgoing frame,
+        every query either answers correctly or fails with a clean
+        ``ConnectionDropped`` — and the server ends with no connection
+        or in-flight request leaked."""
+        from repro.errors import ConnectionDropped
+        from repro.net import ReproClient
+        from repro.service import ChaosInjector
+
+        chaos = ChaosInjector(seed=1234)
+        gateway, network, host, port = self.make_service(chaos, workers=2)
+        sql = "select * from Grades where student_id = '11'"
+        expected = [("11", "CS101", 3.5), ("11", "CS102", 4.0)]
+        served = dropped = 0
+        try:
+            chaos.inject("net.before_send", "disconnect", probability=0.3)
+            for _ in range(40):
+                try:
+                    client = ReproClient(host, port, user="11")
+                except ConnectionDropped:
+                    dropped += 1  # welcome frame hit the drop
+                    continue
+                try:
+                    result = client.query(sql)
+                    assert sorted(result.rows) == expected
+                    served += 1
+                except ConnectionDropped:
+                    dropped += 1
+                finally:
+                    client.drop()
+            assert served and dropped, (served, dropped)
+            chaos.clear()
+            # quiesce: sessions unwind, nothing is left open or in flight
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if gateway.metrics.gauge("connections_open").value == 0:
+                    break
+                time.sleep(0.02)
+            assert gateway.metrics.gauge("connections_open").value == 0
+            with ReproClient(host, port, user="11") as client:
+                assert sorted(client.query(sql).rows) == expected
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)

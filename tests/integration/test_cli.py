@@ -275,3 +275,93 @@ class TestDataDirFlag:
     def test_build_database_without_data_dir_is_in_memory(self):
         db = build_database(None, None)
         assert db.durability is None
+
+
+class TestRemoteShell:
+    """The shell's remote mode: a REPL over a live network service."""
+
+    def run_remote(self, db, script: str) -> str:
+        from repro.cli import RemoteShell
+        from repro.net import NetworkService, ReproClient
+        from repro.service import EnforcementGateway
+
+        gateway = EnforcementGateway(db, workers=2, name="cli-remote")
+        out = io.StringIO()
+        try:
+            with NetworkService(gateway, name="cli-remote") as network:
+                host, port = network.address
+                client = ReproClient(host, port)
+                RemoteShell(client, out=out).run(io.StringIO(script))
+        finally:
+            gateway.shutdown(drain=False)
+        return out.getvalue()
+
+    def test_connect_banner_and_prompt(self, db):
+        output = self.run_remote(db, "\\quit\n")
+        assert "connected to 'cli-remote'" in output
+        assert "remote>" in output
+        assert "bye" in output
+
+    def test_user_switch_and_query(self, db):
+        output = self.run_remote(
+            db,
+            "\\user 11\n"
+            "select grade from Grades where student_id = '11';\n",
+        )
+        assert "connected as '11'" in output
+        assert "3.5" in output and "4" in output
+        assert "2 row(s)" in output
+
+    def test_access_denied_prints_like_in_process(self, db):
+        output = self.run_remote(
+            db,
+            "\\user 11\nselect * from Grades;\n",
+        )
+        assert "error:" in output
+        assert "rejected" in output
+
+    def test_mode_switch(self, db):
+        output = self.run_remote(
+            db,
+            "\\mode open\nselect count(*) from Grades;\n",
+        )
+        assert "connected as None in mode 'open'" in output
+        assert "4" in output
+
+    def test_bad_mode_keeps_session(self, db):
+        output = self.run_remote(db, "\\mode sideways\n\\quit\n")
+        assert "unknown mode 'sideways'" in output
+        assert "bye" in output
+
+    def test_stats_fetches_remote_snapshot(self, db):
+        output = self.run_remote(
+            db,
+            "\\user 11\n"
+            "select grade from Grades where student_id = '11';\n"
+            "\\stats\n",
+        )
+        assert "-- remote gateway --" in output
+        assert "net_queries" in output
+        assert "connections_open" in output
+        assert "requests_ok" in output
+
+    def test_dml_rowcount(self, db):
+        output = self.run_remote(
+            db,
+            "\\mode open\n"
+            "insert into Students values ('77','Pat','PartTime');\n",
+        )
+        assert "1 row(s) affected" in output
+
+    def test_local_only_meta_command_rejected(self, db):
+        output = self.run_remote(db, "\\views\n\\quit\n")
+        assert "not available in remote mode" in output
+
+    def test_reset_discards_buffer(self, db):
+        output = self.run_remote(
+            db,
+            "\\mode open\nselect grade\n\\reset\n"
+            "select count(*) from Students;\n",
+        )
+        assert "input buffer cleared (1 line(s) discarded)" in output
+        assert "4" in output

@@ -1,0 +1,300 @@
+"""Differential test: the wire protocol against the in-process gateway.
+
+For the paper's worked examples (Sections 1–6 of the reproduction's
+test suite), a query submitted over TCP must come back *byte-identical*
+to the same request executed through ``gateway.execute`` in-process:
+same status, same rows in the same order, same decision (validity,
+reason, rules fired, views used), same rejection message.  The network
+layer is a transport — it must never change an answer.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryRejectedError, ReproError
+from repro.net import NetworkService, ReproClient
+from repro.net.protocol import decision_to_wire
+from repro.service import EnforcementGateway, QueryRequest, RequestStatus
+
+from tests.conftest import UNIVERSITY_DATA, UNIVERSITY_SCHEMA
+
+
+def base_db() -> Database:
+    db = Database()
+    db.execute_script(UNIVERSITY_SCHEMA)
+    db.execute_script(UNIVERSITY_DATA)
+    return db
+
+
+def mygrades_db() -> Database:
+    """Section 1's MyGrades policy."""
+    db = base_db()
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant_public("MyGrades")
+    return db
+
+
+def avggrades_db() -> Database:
+    """Example 4.1: MyGrades + the AvgGrades aggregate view."""
+    db = mygrades_db()
+    db.execute(
+        "create authorization view AvgGrades as "
+        "select course_id, avg(grade) as avg_grade "
+        "from Grades group by course_id"
+    )
+    db.grant_public("AvgGrades")
+    return db
+
+
+def truman_db() -> Database:
+    """Section 3's Truman policy: Grades silently becomes MyGrades."""
+    db = mygrades_db()
+    db.set_truman_view("Grades", "MyGrades")
+    return db
+
+
+def costudent_db() -> Database:
+    """Examples 4.4/5.5: CoStudentGrades + MyRegistrations."""
+    db = base_db()
+    db.execute_script(
+        """
+        create authorization view CoStudentGrades as
+            select Grades.student_id, Grades.course_id, Grades.grade
+            from Grades, Registered
+            where Registered.student_id = $user_id
+              and Grades.course_id = Registered.course_id;
+        create authorization view MyRegistrations as
+            select * from Registered where student_id = $user_id;
+        """
+    )
+    db.grant_public("CoStudentGrades")
+    db.grant_public("MyRegistrations")
+    return db
+
+
+def singlegrade_db() -> Database:
+    """Section 6: the $$-parameterized SingleGrade access pattern."""
+    db = base_db()
+    db.execute_script(
+        """
+        create authorization view SingleGrade as
+            select * from Grades where student_id = $$1;
+        create authorization view AllStudents as
+            select * from Students;
+        """
+    )
+    db.grant_public("SingleGrade")
+    db.grant_public("AllStudents")
+    return db
+
+
+#: (case id, db builder, user, mode, sql, expected terminal status)
+CASES = [
+    (
+        "s1-own-rows-valid",
+        mygrades_db, "11", "non-truman",
+        "select * from Grades where student_id = '11'",
+        RequestStatus.OK,
+    ),
+    (
+        "s52-projection-valid",
+        mygrades_db, "11", "non-truman",
+        "select grade from Grades where student_id = '11'",
+        RequestStatus.OK,
+    ),
+    (
+        "s52-selection-projection-valid",
+        mygrades_db, "11", "non-truman",
+        "select course_id from Grades "
+        "where student_id = '11' and grade >= 3.9",
+        RequestStatus.OK,
+    ),
+    (
+        "s1-other-student-rejected",
+        mygrades_db, "11", "non-truman",
+        "select * from Grades where student_id = '12'",
+        RequestStatus.REJECTED,
+    ),
+    (
+        "s1-all-grades-rejected",
+        mygrades_db, "11", "non-truman",
+        "select * from Grades",
+        RequestStatus.REJECTED,
+    ),
+    (
+        "e41-own-average-valid",
+        avggrades_db, "11", "non-truman",
+        "select avg(grade) from Grades where student_id = '11'",
+        RequestStatus.OK,
+    ),
+    (
+        "e41-course-average-valid",
+        avggrades_db, "11", "non-truman",
+        "select avg(grade) from Grades where course_id = 'CS101'",
+        RequestStatus.OK,
+    ),
+    (
+        "e41-exact-grouping-valid",
+        avggrades_db, "11", "non-truman",
+        "select course_id, avg(grade) from Grades group by course_id",
+        RequestStatus.OK,
+    ),
+    (
+        "e44-registered-course-conditional",
+        costudent_db, "11", "non-truman",
+        "select * from Grades where course_id = 'CS101'",
+        RequestStatus.OK,
+    ),
+    (
+        "e44-unregistered-course-rejected",
+        costudent_db, "11", "non-truman",
+        "select * from Grades where course_id = 'CS103'",
+        RequestStatus.REJECTED,
+    ),
+    (
+        "s6-pinned-student-valid",
+        singlegrade_db, "secretary", "non-truman",
+        "select grade from Grades where student_id = '12'",
+        RequestStatus.OK,
+    ),
+    (
+        "s6-unbounded-scan-rejected",
+        singlegrade_db, "secretary", "non-truman",
+        "select grade from Grades",
+        RequestStatus.REJECTED,
+    ),
+    (
+        "truman-own-grades-filtered",
+        truman_db, "11", "truman",
+        "select * from Grades",
+        RequestStatus.OK,
+    ),
+    (
+        "truman-other-student-empty",
+        truman_db, "12", "truman",
+        "select grade from Grades where student_id = '11'",
+        RequestStatus.OK,
+    ),
+    (
+        "open-mode-unrestricted",
+        mygrades_db, "11", "open",
+        "select count(*) from Grades",
+        RequestStatus.OK,
+    ),
+]
+
+
+def run_differential(builder, user, mode, sql, expected_status):
+    # two gateways over *identical* databases (deterministic builders),
+    # both cold: one answers in-process, one over the wire.  Sharing a
+    # gateway would let the second path hit the decision cache, whose
+    # entries legitimately drop the rule trace — that is cache
+    # behaviour, not transport behaviour, and is tested separately.
+    reference_gateway = EnforcementGateway(builder(), workers=1, name="ref")
+    wire_gateway = EnforcementGateway(builder(), workers=1, name="wire")
+    network = NetworkService(wire_gateway)
+    host, port = network.start()
+    try:
+        reference = reference_gateway.execute(
+            QueryRequest(user=user, sql=sql, mode=mode)
+        )
+        assert reference.status is expected_status, (
+            f"in-process baseline disagrees with the test's expectation: "
+            f"{reference.status} (error: {reference.error})"
+        )
+        with ReproClient(host, port, user=user, mode=mode) as client:
+            if expected_status is RequestStatus.OK:
+                wire = client.query(sql)
+                compare_ok(reference, wire)
+            else:
+                with pytest.raises(ReproError) as info:
+                    client.query(sql)
+                compare_rejection(reference, info.value)
+    finally:
+        network.stop()
+        wire_gateway.shutdown(drain=False)
+        reference_gateway.shutdown(drain=False)
+
+
+def compare_ok(reference, wire) -> None:
+    assert reference.result is not None
+    # byte-identical rows: same values, same types, same order
+    assert list(map(repr, wire.rows)) == list(map(repr, reference.result.rows))
+    assert wire.columns == tuple(reference.result.columns)
+    # the decision travels unchanged (modulo cache provenance)
+    expected_decision = decision_to_wire(reference.decision)
+    if expected_decision is None:
+        assert wire.decision is None
+    else:
+        for key in ("validity", "reason", "rules", "views_used"):
+            assert wire.decision[key] == expected_decision[key], (
+                f"decision field {key!r} diverges over the wire"
+            )
+
+
+def compare_rejection(reference, exc) -> None:
+    assert isinstance(exc, QueryRejectedError)
+    assert str(exc) == reference.error, "rejection message diverges"
+    expected_decision = decision_to_wire(reference.decision)
+    if expected_decision is not None:
+        assert exc.decision["validity"] == expected_decision["validity"]
+        assert exc.decision["reason"] == expected_decision["reason"]
+
+
+@pytest.mark.parametrize(
+    "builder,user,mode,sql,expected_status",
+    [case[1:] for case in CASES],
+    ids=[case[0] for case in CASES],
+)
+def test_wire_matches_in_process(builder, user, mode, sql, expected_status):
+    run_differential(builder, user, mode, sql, expected_status)
+
+
+class TestTrumanRowsFiltered:
+    """Sanity on the truman cases: the wire answer is the *filtered*
+    table, exactly as in-process — not the unrestricted one."""
+
+    def test_truman_filters_to_own_rows_over_wire(self):
+        db = mygrades_db()
+        db.set_truman_view("Grades", "MyGrades")
+        gateway = EnforcementGateway(db, workers=1)
+        network = NetworkService(gateway)
+        host, port = network.start()
+        try:
+            with ReproClient(host, port, user="11", mode="truman") as client:
+                result = client.query("select * from Grades")
+            assert sorted(result.rows) == [
+                ("11", "CS101", 3.5), ("11", "CS102", 4.0),
+            ]
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)
+
+
+class TestDecisionCacheTransparency:
+    """A cached decision must produce the same wire answer as a fresh
+    one — caching is invisible to the client beyond the flag."""
+
+    def test_cached_and_fresh_answers_identical(self):
+        db = mygrades_db()
+        gateway = EnforcementGateway(db, workers=1)
+        network = NetworkService(gateway)
+        host, port = network.start()
+        sql = "select * from Grades where student_id = '11'"
+        try:
+            with ReproClient(host, port, user="11") as client:
+                fresh = client.query(sql)
+                cached = client.query(sql)
+            assert cached.cache_hit and not fresh.cache_hit
+            assert cached.rows == fresh.rows
+            assert cached.columns == fresh.columns
+            # cache entries keep (validity, reason); the rule trace is
+            # recomputation detail and is legitimately absent on a hit
+            assert cached.decision["validity"] == fresh.decision["validity"]
+            assert cached.decision["from_cache"] is True
+        finally:
+            network.stop()
+            gateway.shutdown(drain=False)

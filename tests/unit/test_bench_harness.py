@@ -1,5 +1,7 @@
 """Unit tests for the benchmark harness and table reporting."""
 
+import json
+
 from repro.bench import Experiment, Measurement, time_callable
 from repro.bench.reporting import format_table
 
@@ -26,6 +28,46 @@ class TestExperiment:
         experiment.add("b", y=2)
         report = experiment.report()
         assert "a" in report and "b" in report
+
+
+class TestExperimentJson:
+    """BENCH_<id>.json emission: stable, diffable, machine-readable."""
+
+    def make(self) -> Experiment:
+        experiment = Experiment("E99", "net sweep", "sheds past saturation")
+        experiment.add("rate=100", ok=100, shed=0, p99_ms=4.25)
+        experiment.add("rate=400", ok=210, shed=190, p99_ms=55.0)
+        return experiment
+
+    def test_to_json_dict_shape(self):
+        payload = self.make().to_json_dict()
+        assert payload["id"] == "E99"
+        assert payload["claim"] == "sheds past saturation"
+        assert payload["columns"] == ["case", "ok", "shed", "p99_ms"]
+        assert payload["rows"][0] == {
+            "case": "rate=100", "ok": 100, "shed": 0, "p99_ms": 4.25,
+        }
+        assert payload["rows"][1]["shed"] == 190
+
+    def test_to_json_round_trips(self):
+        text = self.make().to_json()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert parsed["rows"][1]["case"] == "rate=400"
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "BENCH_E99.json"
+        self.make().write_json(path)
+        parsed = json.loads(path.read_text())
+        assert [row["case"] for row in parsed["rows"]] == [
+            "rate=100", "rate=400",
+        ]
+
+    def test_non_scalar_values_stringified(self):
+        experiment = Experiment("EX", "t", "c")
+        experiment.add("a", status=Measurement("inner"))
+        parsed = json.loads(experiment.to_json())
+        assert isinstance(parsed["rows"][0]["status"], str)
 
 
 class TestFormatTable:

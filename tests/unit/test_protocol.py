@@ -1,0 +1,194 @@
+"""Unit tests for the wire protocol: framing, chunking, error codes."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    FrameTooLarge,
+    ProtocolError,
+    QueryCancelled,
+    QueryRejectedError,
+    QueryTimeout,
+    ReproError,
+    ServiceDegraded,
+    ServiceOverloaded,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    HEADER,
+    code_for_status,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    error_for_code,
+    iter_result_frames,
+    rows_to_tuples,
+    sanitize_stats,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "query", "id": 7, "sql": "select 1", "x": None}
+        frame = encode_frame(message)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size:]) == message
+
+    def test_unicode_survives(self):
+        message = {"type": "query", "sql": "select 'héllo — ünïcode'"}
+        frame = encode_frame(message)
+        assert decode_payload(frame[HEADER.size:]) == message
+
+    def test_oversized_frame_refused_on_encode(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"rows": "x" * 256}, max_frame_size=64)
+
+    def test_unserializable_message(self):
+        with pytest.raises(ProtocolError):
+            encode_payload({"bad": object()})
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        messages = list(decoder.feed(encode_frame({"type": "a"})))
+        assert messages == [{"type": "a"}]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        frame = encode_frame({"type": "slow", "n": 42})
+        seen = []
+        for index in range(len(frame)):
+            seen.extend(decoder.feed(frame[index : index + 1]))
+        assert seen == [{"type": "slow", "n": 42}]
+
+    def test_multiple_frames_one_chunk(self):
+        decoder = FrameDecoder()
+        chunk = encode_frame({"i": 1}) + encode_frame({"i": 2}) + encode_frame({"i": 3})
+        assert [m["i"] for m in decoder.feed(chunk)] == [1, 2, 3]
+
+    def test_partial_then_rest(self):
+        decoder = FrameDecoder()
+        frame = encode_frame({"type": "x"})
+        assert list(decoder.feed(frame[:3])) == []
+        assert decoder.pending_bytes == 3
+        assert list(decoder.feed(frame[3:])) == [{"type": "x"}]
+
+    def test_oversized_header_raises_before_body(self):
+        decoder = FrameDecoder(max_frame_size=128)
+        # announce a 1 GiB frame: must refuse on the header alone
+        with pytest.raises(FrameTooLarge):
+            list(decoder.feed(HEADER.pack(1 << 30)))
+
+
+class TestResultChunking:
+    def frames_for(self, rows, max_frame_size, **kwargs):
+        frames = list(
+            iter_result_frames(1, rows, max_frame_size=max_frame_size, **kwargs)
+        )
+        # every frame must actually encode under the limit: the guard
+        # is exact, not an estimate
+        for frame in frames:
+            assert len(encode_payload(frame)) <= max_frame_size
+        return frames
+
+    def test_empty_result_yields_no_frames(self):
+        assert self.frames_for([], 1024) == []
+
+    def test_small_result_single_frame(self):
+        rows = [(i, "name") for i in range(10)]
+        frames = self.frames_for(rows, 64 * 1024)
+        assert len(frames) == 1
+        assert frames[0]["seq"] == 0
+        assert rows_to_tuples(frames[0]["rows"]) == rows
+
+    def test_rows_split_by_byte_budget(self):
+        rows = [(i, "x" * 50) for i in range(100)]
+        frames = self.frames_for(rows, 1024)
+        assert len(frames) > 1
+        reassembled = [
+            row for frame in frames for row in rows_to_tuples(frame["rows"])
+        ]
+        assert reassembled == rows
+        assert [frame["seq"] for frame in frames] == list(range(len(frames)))
+
+    def test_rows_split_by_row_count(self):
+        rows = [(i,) for i in range(2500)]
+        frames = self.frames_for(rows, DEFAULT_MAX_FRAME, rows_per_frame=1000)
+        assert [len(f["rows"]) for f in frames] == [1000, 1000, 500]
+
+    def test_single_unframeable_row_raises(self):
+        rows = [("x" * 4096,)]
+        with pytest.raises(FrameTooLarge):
+            list(iter_result_frames(1, rows, max_frame_size=512))
+
+    def test_tiny_max_frame_rejected(self):
+        with pytest.raises(FrameTooLarge):
+            list(iter_result_frames(1, [(1,)], max_frame_size=16))
+
+    def test_order_preserved_with_mixed_row_sizes(self):
+        rows = [(i, "y" * (i % 97)) for i in range(500)]
+        frames = self.frames_for(rows, 2048)
+        reassembled = [
+            row for frame in frames for row in rows_to_tuples(frame["rows"])
+        ]
+        assert reassembled == rows
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize(
+        "code,cls",
+        [
+            ("timeout", QueryTimeout),
+            ("cancelled", QueryCancelled),
+            ("overloaded", ServiceOverloaded),
+            ("rejected", QueryRejectedError),
+            ("degraded", ServiceDegraded),
+            ("protocol", ProtocolError),
+            ("error", ReproError),
+            ("never-seen-code", ReproError),
+        ],
+    )
+    def test_error_for_code(self, code, cls):
+        exc = error_for_code(code, "boom")
+        assert isinstance(exc, cls)
+        assert "boom" in str(exc)
+
+    def test_rejected_carries_decision(self):
+        decision = {"validity": "invalid", "reason": "nope"}
+        exc = error_for_code("rejected", "denied", decision=decision)
+        assert isinstance(exc, QueryRejectedError)
+        assert exc.decision == decision
+
+    def test_code_for_status_mapping(self):
+        assert code_for_status("timeout") == "timeout"
+        assert code_for_status("cancelled") == "cancelled"
+        assert code_for_status("rejected") == "rejected"
+        assert code_for_status("degraded") == "degraded"
+        assert code_for_status("anything-else") == "error"
+
+
+class TestSanitizeStats:
+    def test_scalars_kept_objects_stringified(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        stats = sanitize_stats(
+            {"a": 1, "b": 2.5, "c": "x", "d": None, "e": True, "f": Weird()}
+        )
+        assert stats["a"] == 1 and stats["b"] == 2.5 and stats["e"] is True
+        assert stats["f"] == "weird"
+        json.dumps(stats)  # must be JSON-safe as a whole
