@@ -19,6 +19,9 @@ from repro.algebra import ops
 
 def push_selections(plan: ops.Operator) -> ops.Operator:
     """Push selection conjuncts down through inner/cross joins."""
+    from repro.instrument import COUNTERS
+
+    COUNTERS.bump("plan.push")
     return _push(plan, [])
 
 

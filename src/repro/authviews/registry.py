@@ -48,6 +48,11 @@ class GrantRegistry:
         self._records: list[GrantRecord] = []
         self._lock = threading.RLock()
         self._version = 0
+        #: per-grantee mutation counters for *exact* prepared-template
+        #: invalidation: a grant to user A must not evict user B's
+        #: templates, so templates are stamped with (user, PUBLIC)
+        #: counters rather than the global version
+        self._user_versions: dict[str, int] = {}
         #: durability hook (repro.durability): called as
         #: ``on_change("grant"|"revoke", info_dict)`` after every
         #: successful state change, so registry mutations reach the WAL
@@ -60,10 +65,33 @@ class GrantRegistry:
         with self._lock:
             return self._version
 
+    def _bump_user(self, grantee: str) -> None:
+        key = grantee.lower()
+        self._user_versions[key] = self._user_versions.get(key, 0) + 1
+
+    def user_version(self, user: Optional[str]) -> tuple[int, int]:
+        """Grant-change counters affecting ``user``: (direct, PUBLIC).
+
+        Any grant or revoke whose grantee is ``user`` bumps the first
+        component; any whose grantee is ``PUBLIC`` bumps the second.
+        A cached artifact stamped with this pair is stale iff a policy
+        change could have altered this user's available views."""
+        key = PUBLIC if user is None else user.lower()
+        with self._lock:
+            return (
+                self._user_versions.get(key, 0),
+                self._user_versions.get(PUBLIC, 0),
+            )
+
     def restore(self, records: Iterable[GrantRecord], version: int) -> None:
         """Replace the full state (snapshot load; no validation)."""
         with self._lock:
+            affected = {r.grantee for r in self._records}
             self._records = list(records)
+            affected.update(r.grantee for r in self._records)
+            affected.add(PUBLIC)
+            for grantee in affected:
+                self._bump_user(grantee)
             self._version = version
 
     def restore_version(self, version: int) -> None:
@@ -97,6 +125,7 @@ class GrantRegistry:
             if record not in self._records:
                 self._records.append(record)
                 self._version += 1
+                self._bump_user(who)
                 if self.on_change is not None:
                     self.on_change(
                         "grant",
@@ -140,6 +169,7 @@ class GrantRegistry:
                 raise GrantError(f"{grantee!r} holds no grant on {view_name!r}")
             for record in doomed:
                 self._records.remove(record)
+                self._bump_user(record.grantee)
             self._cascade(view)
             self._version += 1
             if self.on_change is not None:
@@ -165,6 +195,7 @@ class GrantRegistry:
                     continue
                 if not self.has_grant_option(view, record.grantor):
                     self._records.remove(record)
+                    self._bump_user(record.grantee)
                     changed = True
 
     # -- queries -----------------------------------------------------------------

@@ -55,10 +55,31 @@ class Catalog:
         #: bumped on every view-registry change; cached validity
         #: decisions (repro.service) are dropped when this moves
         self._views_version = 0
+        #: bumped on every DDL change (table or view); prepared
+        #: templates (repro.prepared) are stamped with this epoch
+        self._schema_version = 0
+        #: per-relation DDL counters for *exact* prepared-template
+        #: invalidation: a template depends only on the relations it
+        #: (transitively) references, so redefining relation X must not
+        #: evict templates over relation Y
+        self._relation_versions: dict[str, int] = {}
 
     @property
     def views_version(self) -> int:
         return self._views_version
+
+    @property
+    def schema_version(self) -> int:
+        return self._schema_version
+
+    def relation_version(self, name: str) -> int:
+        """DDL counter for one relation (0 if never created/dropped)."""
+        return self._relation_versions.get(name.lower(), 0)
+
+    def _bump_relation(self, name: str) -> None:
+        key = name.lower()
+        self._relation_versions[key] = self._relation_versions.get(key, 0) + 1
+        self._schema_version += 1
 
     def restore_views_version(self, version: int) -> None:
         """Advance the views version (snapshot load restores the policy
@@ -72,6 +93,7 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise DuplicateNameError(schema.name)
         self._tables[key] = schema
+        self._bump_relation(key)
         for col in schema.columns:
             if col.not_null:
                 self._not_nulls.append(NotNull(schema.name, col.name))
@@ -124,12 +146,14 @@ class Catalog:
             raise DuplicateNameError(view.name)
         self._views[key] = view
         self._views_version += 1
+        self._bump_relation(key)
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
         if key not in self._tables:
             raise UnknownTableError(name)
         del self._tables[key]
+        self._bump_relation(key)
         self._primary_keys.pop(key, None)
         self._uniques = [u for u in self._uniques if u.table.lower() != key]
         self._not_nulls = [n for n in self._not_nulls if n.table.lower() != key]
@@ -156,6 +180,7 @@ class Catalog:
             raise UnknownTableError(name)
         del self._views[key]
         self._views_version += 1
+        self._bump_relation(key)
 
     # -- constraints ------------------------------------------------------
 

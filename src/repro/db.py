@@ -197,6 +197,13 @@ class Database:
 
         self.validity_cache = ValidityCache()
         self.checker_options: dict[str, object] = {}
+        #: prepared-statement template cache (paper Section 5.6); always
+        #: populated lazily, but only consulted by execute_query when
+        #: ``prepared_enabled`` (or the per-call flag) says so
+        from repro.prepared import PreparedStatementCache
+
+        self.prepared = PreparedStatementCache(self)
+        self.prepared_enabled = False
         #: undo log for the active transaction (None = autocommit)
         self._txn_log: Optional[list[tuple]] = None
         #: ANALYZE snapshot for the optimizer's cost model
@@ -358,6 +365,7 @@ class Database:
                 self._tables.pop(statement.name.lower(), None)
             else:
                 self.catalog.drop_view(statement.name)
+            self.prepared.invalidate_relation(statement.name)
             self._log_ddl(statement)
             return None
         if isinstance(statement, ast.Grant):
@@ -393,6 +401,7 @@ class Database:
         for unique in self.catalog.uniques_for(schema.name):
             table.create_index(unique.columns, unique=True)
         self._tables[schema.name.lower()] = table
+        self.prepared.invalidate_relation(schema.name)
         if self.durability is not None:
             self._log_ddl(statement)
             self.durability.register_table(table)
@@ -405,12 +414,14 @@ class Database:
             column_names=statement.column_names,
         )
         self.catalog.create_view(view)
+        self.prepared.invalidate_relation(statement.name)
 
     def grant(self, view_name: str, to_user: str, grantor: Optional[str] = None) -> None:
         """GRANT SELECT on an authorization view (PUBLIC = everyone)."""
         if not self.catalog.has_view(view_name):
             raise GrantError(f"no view named {view_name!r}")
         self.grants.grant(view_name, to_user, grantor)
+        self.prepared.invalidate_user(to_user)
         self._durable_commit()
 
     def grant_public(self, view_name: str) -> None:
@@ -429,6 +440,7 @@ class Database:
         if not self.catalog.has_view(view_name):
             raise UnknownTableError(view_name)
         self.truman_policy[table_name.lower()] = view_name
+        self.prepared.invalidate_relation(table_name)
         if self.durability is not None:
             self.durability.log_truman(table_name.lower(), view_name)
 
@@ -455,7 +467,29 @@ class Database:
         access_params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
         ctx=None,
+        prepared: Optional[bool] = None,
     ) -> Result:
+        """Run a query under the given access-control mode.
+
+        ``prepared`` opts in to (or out of) the prepared-statement
+        pipeline (:mod:`repro.prepared`) for this call; ``None`` defers
+        to :attr:`prepared_enabled`.  Queries the pipeline cannot serve
+        identically fall back to the standard path transparently.
+        """
+        use_prepared = self.prepared_enabled if prepared is None else prepared
+        if use_prepared and not access_params:
+            from repro.prepared import PREPARABLE_MODES, PreparedFallback
+            from repro.prepared.pipeline import execute_prepared
+
+            if mode in PREPARABLE_MODES:
+                try:
+                    return execute_prepared(
+                        self, sql, session or SessionContext(), mode,
+                        engine=engine, ctx=ctx,
+                    )
+                except PreparedFallback:
+                    pass
+
         query = parse_statement(sql) if isinstance(sql, str) else sql
         if not isinstance(query, ast.QueryExpr):
             raise BindError("execute_query requires a SELECT statement")
@@ -534,7 +568,33 @@ class Database:
             view_filter=view_ok,
         )
         from repro.algebra.rewrite import push_selections
+        from repro.instrument import COUNTERS
 
+        COUNTERS.bump("plan.build")
+        return push_selections(translator.translate(query))
+
+    def plan_template(
+        self, query: ast.QueryExpr, session: SessionContext
+    ) -> ops.Operator:
+        """Plan a literal-stripped query *skeleton* (repro.prepared):
+        like :meth:`plan_query` but ``$$_litN`` placeholders survive
+        translation so literals can be bound into the plan later."""
+
+        def view_ok(view: ViewDef) -> bool:
+            if not view.authorization:
+                return True
+            return self.grants.is_granted(view.name, session.user)
+
+        translator = Translator(
+            self.catalog,
+            param_values=session.param_values(),
+            view_filter=view_ok,
+            allow_access_params=True,
+        )
+        from repro.algebra.rewrite import push_selections
+        from repro.instrument import COUNTERS
+
+        COUNTERS.bump("plan.build")
         return push_selections(translator.translate(query))
 
     def run_plan(
@@ -544,18 +604,33 @@ class Database:
         access_params: Optional[Mapping[str, object]] = None,
         engine: Optional[str] = None,
         ctx=None,
+        optimize: bool = True,
+        compile_cache=None,
     ) -> Result:
+        """Execute a logical plan.
+
+        ``optimize=False`` skips the per-execution selection pushdown —
+        the prepared pipeline passes pre-pushed plans (pushdown is
+        structure-only, so it commutes with literal binding).
+        ``compile_cache`` lets the vectorized engine reuse compiled
+        kernels across executions of the same template.
+        """
         session = session or SessionContext()
-        from repro.algebra.rewrite import push_selections
 
         engine = engine or self.default_engine
         if engine not in ENGINES:
             raise ExecutionError(
                 f"unknown execution engine {engine!r} (expected one of {ENGINES})"
             )
-        plan = push_selections(plan)
+        if optimize:
+            from repro.algebra.rewrite import push_selections
+
+            plan = push_selections(plan)
         executor = make_executor(
-            engine, _QueryContext(self, session, access_params), ctx=ctx
+            engine,
+            _QueryContext(self, session, access_params),
+            ctx=ctx,
+            compile_cache=compile_cache,
         )
         rows = executor.execute(plan)
         return Result(tuple(c.name for c in plan.columns), rows)

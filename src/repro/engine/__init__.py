@@ -16,17 +16,20 @@ from repro.engine.vectorized import BATCH_SIZE, VectorizedExecutor
 ENGINES = ("row", "vectorized")
 
 
-def make_executor(engine: str, context: ExecContext, ctx=None):
+def make_executor(engine: str, context: ExecContext, ctx=None, compile_cache=None):
     """Instantiate the named execution engine over ``context``.
 
     ``ctx`` (a :class:`repro.service.context.QueryContext`) makes
     execution cooperative: the row engine checks it every N rows, the
     vectorized engine every batch.  ``None`` costs nothing.
+    ``compile_cache`` (a :class:`repro.prepared.PlanCompileCache`) lets
+    the vectorized engine reuse compiled kernels across executions of a
+    prepared template; the row engine ignores it.
     """
     if engine == "row":
         return Executor(context, ctx=ctx)
     if engine == "vectorized":
-        return VectorizedExecutor(context, ctx=ctx)
+        return VectorizedExecutor(context, ctx=ctx, compile_cache=compile_cache)
     from repro.errors import ExecutionError
 
     raise ExecutionError(

@@ -37,6 +37,9 @@ _arith = Evaluator._arith
 
 def compile_scalar(expr: ast.Expr, resolver: RowResolver) -> VecFn:
     """Compile ``expr`` (bound against ``resolver``'s columns) once."""
+    from repro.instrument import COUNTERS
+
+    COUNTERS.bump("engine.compile")
     if isinstance(expr, ast.Literal):
         value = expr.value
         return lambda b: [value] * b.length

@@ -62,11 +62,18 @@ class VectorizedExecutor:
     """
 
     def __init__(
-        self, context: ExecContext, batch_size: int = BATCH_SIZE, ctx=None
+        self,
+        context: ExecContext,
+        batch_size: int = BATCH_SIZE,
+        ctx=None,
+        compile_cache=None,
     ):
         self.context = context
         self.batch_size = batch_size
         self.qctx = ctx
+        #: optional repro.prepared.PlanCompileCache: reuses compiled
+        #: kernels for identity-stable expressions of a prepared template
+        self.compile_cache = compile_cache
         #: instrumentation mirroring the row engine (E2/E4 contrasts)
         self.rows_scanned = 0
         self.join_pairs_examined = 0
@@ -76,6 +83,19 @@ class VectorizedExecutor:
     def _tick(self, rows: int, cells: int = 0) -> None:
         if self.qctx is not None:
             self.qctx.tick(rows, cells)
+
+    def _compile(self, expr: ast.Expr, columns: tuple):
+        """Compile a scalar, consulting the template kernel cache for
+        expressions whose identity is stable across binds."""
+        cache = self.compile_cache
+        if cache is not None and id(expr) in cache.cacheable:
+            key = (id(expr), columns)
+            fn = cache.lookup(key)
+            if fn is None:
+                fn = compile_scalar(expr, RowResolver(columns))
+                cache.store(key, fn)
+            return fn
+        return compile_scalar(expr, RowResolver(columns))
 
     # -- public API -------------------------------------------------------
 
@@ -183,7 +203,7 @@ class VectorizedExecutor:
         predicate: ast.Expr,
         columns: tuple[ops.OutCol, ...],
     ) -> list[ColumnBatch]:
-        compiled = compile_scalar(predicate, RowResolver(columns))
+        compiled = self._compile(predicate, columns)
         result = []
         for batch in batches:
             self._tick(batch.length)
@@ -202,9 +222,9 @@ class VectorizedExecutor:
         return self._filter_batches(batches, plan.predicate, child.columns)
 
     def _project(self, plan: ops.Project) -> list[ColumnBatch]:
-        resolver = RowResolver(plan.child.columns)
+        child_columns = plan.child.columns
         compiled = [
-            compile_scalar(expr, resolver) for expr, _ in plan.exprs
+            self._compile(expr, child_columns) for expr, _ in plan.exprs
         ]
         result = []
         for batch in self._batches(plan.child):
@@ -346,7 +366,7 @@ class VectorizedExecutor:
                     table.setdefault(key, []).append(i)
 
         compiled_residual = (
-            compile_scalar(residual, RowResolver(left_cols + right_cols))
+            self._compile(residual, left_cols + right_cols)
             if residual is not None
             else None
         )
@@ -402,9 +422,7 @@ class VectorizedExecutor:
         batches, exactly as the row engine's nested loop does."""
         left_cols = plan.left.columns
         right_cols = plan.right.columns
-        compiled = compile_scalar(
-            predicate, RowResolver(left_cols + right_cols)
-        )
+        compiled = self._compile(predicate, left_cols + right_cols)
         is_left = plan.kind == "left"
         pad_width = len(right_cols)
         right_indices = list(range(right.length))
@@ -444,7 +462,7 @@ class VectorizedExecutor:
             raise ExecutionError("IN subquery must produce exactly one column")
         values = {row[0] for row in right_rows if row[0] is not None}
         has_null = any(row[0] is None for row in right_rows)
-        compiled = compile_scalar(plan.operand, RowResolver(plan.left.columns))
+        compiled = self._compile(plan.operand, plan.left.columns)
 
         result = []
         for batch in left_batches:
@@ -511,14 +529,14 @@ class VectorizedExecutor:
     # -- aggregation ------------------------------------------------------
 
     def _aggregate(self, plan: ops.Aggregate) -> list[ColumnBatch]:
-        resolver = RowResolver(plan.child.columns)
+        child_columns = plan.child.columns
         group_fns = [
-            compile_scalar(expr, resolver) for expr, _ in plan.group_exprs
+            self._compile(expr, child_columns) for expr, _ in plan.group_exprs
         ]
         agg_specs = []
         for call, _ in plan.aggregates:
             star = len(call.args) == 1 and isinstance(call.args[0], ast.Star)
-            arg_fn = None if star else compile_scalar(call.args[0], resolver)
+            arg_fn = None if star else self._compile(call.args[0], child_columns)
             agg_specs.append((call.name, call.distinct, star, arg_fn))
 
         groups: dict[tuple, list] = {}
@@ -569,16 +587,16 @@ class VectorizedExecutor:
         )
 
     def _sort(self, plan: ops.Sort) -> list[ColumnBatch]:
-        resolver = RowResolver(plan.child.columns)
+        child_columns = plan.child.columns
         batch = self._concat(
-            self._batches(plan.child), len(plan.child.columns)
+            self._batches(plan.child), len(child_columns)
         )
         order = list(range(batch.length))
         # Successive stable sorts from the least-significant key over
         # one shared permutation — identical outcome to the row engine's
         # repeated stable row sorts.
         for expr, descending in reversed(plan.keys):
-            vector = compile_scalar(expr, resolver)(batch)
+            vector = self._compile(expr, child_columns)(batch)
 
             def sort_key(i, vector=vector):
                 value = vector[i]

@@ -21,7 +21,13 @@ Quickstart::
             print(result.rows)
 """
 
-from repro.net.client import AsyncReproClient, ClientResult, ReproClient
+from repro.net.client import (
+    AsyncPreparedStatement,
+    AsyncReproClient,
+    ClientResult,
+    PreparedStatement,
+    ReproClient,
+)
 from repro.net.loadgen import (
     LoadQuery,
     LoadReport,
@@ -40,6 +46,7 @@ from repro.net.protocol import (
 from repro.net.server import NetworkService, ReproServer
 
 __all__ = [
+    "AsyncPreparedStatement",
     "AsyncReproClient",
     "ClientResult",
     "DEFAULT_MAX_FRAME",
@@ -48,6 +55,7 @@ __all__ = [
     "LoadReport",
     "NetworkService",
     "PROTOCOL_VERSION",
+    "PreparedStatement",
     "ReproClient",
     "ReproServer",
     "decode_payload",

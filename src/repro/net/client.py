@@ -23,7 +23,7 @@ import asyncio
 import itertools
 import socket
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ConnectionDropped, ProtocolError
 from repro.net.protocol import (
@@ -91,6 +91,63 @@ def _query_message(
     if memory_budget is not None:
         message["memory_budget"] = memory_budget
     return message
+
+
+def _execute_message(
+    request_id: int, statement_id: int, args: Sequence, **options
+) -> dict:
+    message = _query_message(request_id, "", **options)
+    del message["sql"]
+    message["type"] = "execute"
+    message["statement"] = statement_id
+    message["args"] = list(args)
+    return message
+
+
+class PreparedStatement:
+    """Server-side prepared statement handle (blocking client).
+
+    Created by :meth:`ReproClient.prepare`; ``execute(*args)`` binds
+    positional values to the statement's ``$_litN`` placeholders (in
+    the literal order of the original query) and runs it through the
+    server's template cache.
+    """
+
+    def __init__(
+        self, client: "ReproClient", statement_id: int, n_params: int,
+        signature: str,
+    ):
+        self._client = client
+        self.statement_id = statement_id
+        self.n_params = n_params
+        self.signature = signature
+
+    def execute(self, *args, **options) -> ClientResult:
+        """Bind ``args`` and run; same options as
+        :meth:`ReproClient.query` (mode, deadline, engine, ...)."""
+        return self._client._execute_prepared(self, args, options)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PreparedStatement(id={self.statement_id}, "
+            f"params={self.n_params}, signature={self.signature!r})"
+        )
+
+
+class AsyncPreparedStatement:
+    """Server-side prepared statement handle (async client)."""
+
+    def __init__(
+        self, client: "AsyncReproClient", statement_id: int, n_params: int,
+        signature: str,
+    ):
+        self._client = client
+        self.statement_id = statement_id
+        self.n_params = n_params
+        self.signature = signature
+
+    async def execute(self, *args, **options) -> ClientResult:
+        return await self._client._execute_prepared(self, args, options)
 
 
 class _ResultAssembler:
@@ -249,6 +306,34 @@ class ReproClient:
         """
         return self.finish_query(self.start_query(sql, **options))
 
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse + literal-strip ``sql`` server-side once; returns a
+        :class:`PreparedStatement` whose ``execute(*args)`` binds new
+        literal values without re-sending (or re-parsing) the text."""
+        request_id = next(self._ids)
+        self._send({"type": "prepare", "id": request_id, "sql": sql})
+        message = self._next_message()
+        kind = message.get("type")
+        if kind == "error":
+            _raise_wire_error(message)
+        if kind != "prepared" or message.get("id") != request_id:
+            raise ProtocolError(f"expected prepared frame, got {kind!r}")
+        return PreparedStatement(
+            self,
+            message["statement"],
+            int(message.get("params", 0)),
+            message.get("signature", ""),
+        )
+
+    def _execute_prepared(
+        self, statement: PreparedStatement, args: Sequence, options: dict
+    ) -> ClientResult:
+        request_id = next(self._ids)
+        self._send(
+            _execute_message(request_id, statement.statement_id, args, **options)
+        )
+        return self.finish_query(request_id)
+
     def cancel(self, request_id: int) -> None:
         """Ask the server to cancel an in-flight request."""
         self._send({"type": "cancel", "id": request_id})
@@ -317,6 +402,7 @@ class AsyncReproClient:
         self._pending: dict[int, tuple[_ResultAssembler, asyncio.Future]] = {}
         self._welcome: Optional[asyncio.Future] = None
         self._stats_waiters: dict[int, asyncio.Future] = {}
+        self._prepare_waiters: dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
         self._closed = False
@@ -380,6 +466,10 @@ class AsyncReproClient:
             if not future.done():
                 future.set_exception(error)
         self._stats_waiters.clear()
+        for future in list(self._prepare_waiters.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._prepare_waiters.clear()
         if self._welcome is not None and not self._welcome.done():
             self._welcome.set_exception(error)
 
@@ -396,9 +486,24 @@ class AsyncReproClient:
             if future is not None and not future.done():
                 future.set_result(message.get("stats", {}))
             return
+        if kind == "prepared":
+            future = self._prepare_waiters.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(message)
+            return
         request_id = message.get("id")
         entry = self._pending.get(request_id)
         if entry is None:
+            if kind == "error" and request_id in self._prepare_waiters:
+                future = self._prepare_waiters.pop(request_id)
+                if not future.done():
+                    future.set_exception(
+                        error_for_code(
+                            message.get("code", "error"),
+                            message.get("message", "server error"),
+                        )
+                    )
+                return
             if kind == "error" and request_id is None:
                 # connection-level error (bad hello, protocol breach)
                 if self._welcome is not None and not self._welcome.done():
@@ -465,6 +570,41 @@ class AsyncReproClient:
     async def query(self, sql: str, **options) -> ClientResult:
         """Run one query; concurrent callers multiplex over the socket."""
         _, future = await self.submit(sql, **options)
+        return await future
+
+    async def prepare(self, sql: str) -> AsyncPreparedStatement:
+        """Async counterpart of :meth:`ReproClient.prepare`."""
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._prepare_waiters[request_id] = future
+        try:
+            await self._send({"type": "prepare", "id": request_id, "sql": sql})
+        except BaseException:
+            self._prepare_waiters.pop(request_id, None)
+            raise
+        message = await future
+        return AsyncPreparedStatement(
+            self,
+            message["statement"],
+            int(message.get("params", 0)),
+            message.get("signature", ""),
+        )
+
+    async def _execute_prepared(
+        self, statement: AsyncPreparedStatement, args: Sequence, options: dict
+    ) -> ClientResult:
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = (_ResultAssembler(), future)
+        try:
+            await self._send(
+                _execute_message(
+                    request_id, statement.statement_id, args, **options
+                )
+            )
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
         return await future
 
     async def cancel(self, request_id: int) -> None:

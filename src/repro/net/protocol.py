@@ -21,6 +21,8 @@ Client → server::
 
     {"type": "hello", "user": ..., "mode": ..., "params": {...}}
     {"type": "query", "id": n, "sql": ..., "deadline": ..., ...}
+    {"type": "prepare", "id": n, "sql": ..., "mode": ...}
+    {"type": "execute", "id": n, "statement": s, "args": [...], ...}
     {"type": "cancel", "id": n}
     {"type": "stats", "id": n}
     {"type": "goodbye"}
@@ -28,11 +30,24 @@ Client → server::
 Server → client::
 
     {"type": "welcome", "protocol": 1, "server": ..., "session": ...}
+    {"type": "prepared", "id": n, "statement": s, "params": k,
+     "signature": ...}
     {"type": "row_batch", "id": n, "seq": k, "rows": [[...], ...]}
     {"type": "result", "id": n, "status": "ok", "columns": [...], ...}
     {"type": "error", "id": n, "code": ..., "message": ..., ...}
     {"type": "stats", "id": n, "stats": {...}}
     {"type": "goodbye"}
+
+Prepared statements (paper §5.6): ``prepare`` parses and
+literal-strips the query once, server-side, and answers a ``prepared``
+frame naming the per-session statement handle and its parameter count
+(one ``$_litN`` placeholder per stripped literal, in query order).
+``execute`` binds positional ``args`` to those placeholders and runs
+through the gateway's template cache — no parse on the hot path.
+Responses to ``execute`` are ordinary ``row_batch``/``result``/
+``error`` frames.  Plain repeated ``query`` frames get the same
+template treatment transparently; ``prepare`` just pins the handle
+and skips even the text-cache lookup.
 
 Typed errors
 ------------

@@ -56,9 +56,11 @@ from repro.errors import (
     ConnectionDropped,
     FrameTooLarge,
     ProtocolError,
+    ReproError,
     ServiceOverloaded,
     ServiceShutdown,
 )
+from repro.prepared import PreparedFallback, resolve_signature
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     DEFAULT_ROWS_PER_FRAME,
@@ -81,6 +83,8 @@ NET_COUNTERS = (
     "frames_received",
     "disconnect_cancels",
     "net_queries",
+    "net_prepares",
+    "net_executes",
     "net_rows_streamed",
     "net_protocol_errors",
 )
@@ -101,7 +105,17 @@ class _Session:
         self.params: dict = {}
         #: request id → PendingQuery, while in flight
         self.inflight: dict[int, PendingQuery] = {}
+        #: statement handle → (skeleton, n_params, signature_text)
+        self.prepared: dict[int, tuple] = {}
+        self._stmt_ids = itertools.count(1)
         self.closing = False
+
+    def register_prepared(
+        self, skeleton, n_params: int, signature_text: str
+    ) -> int:
+        handle = next(self._stmt_ids)
+        self.prepared[handle] = (skeleton, n_params, signature_text)
+        return handle
 
     def cancel_inflight(self) -> int:
         """Cancel every request still in flight; returns how many."""
@@ -256,6 +270,12 @@ class ReproServer:
         if kind == "query":
             await self._handle_query(session, message)
             return True
+        if kind == "prepare":
+            await self._handle_prepare(session, message)
+            return True
+        if kind == "execute":
+            await self._handle_execute(session, message)
+            return True
         self.metrics.counter("net_protocol_errors").inc()
         await self._try_send_error(
             session,
@@ -346,6 +366,128 @@ class ReproServer:
             row_budget=message.get("row_budget"),
             memory_budget=message.get("memory_budget"),
         )
+        await self._submit_request(session, request_id, request)
+
+    async def _handle_prepare(self, session: _Session, message: dict) -> None:
+        """``prepare``: parse + literal-strip once, answer a handle."""
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, None, "protocol", "prepare frame needs an integer id"
+            )
+            return
+        if not session.authenticated:
+            await self._try_send_error(
+                session,
+                request_id,
+                "auth",
+                "session is not authenticated; send a hello frame first",
+            )
+            return
+        sql = message.get("sql")
+        if not isinstance(sql, str):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, request_id, "protocol", "prepare frame needs a sql string"
+            )
+            return
+        try:
+            skeleton, literals, signature_text = resolve_signature(
+                self.gateway.db, sql
+            )
+        except PreparedFallback as exc:
+            await self._try_send_error(
+                session, request_id, "error", f"cannot prepare: {exc}"
+            )
+            return
+        except ReproError as exc:
+            await self._try_send_error(session, request_id, "error", str(exc))
+            return
+        handle = session.register_prepared(
+            skeleton, len(literals), signature_text
+        )
+        self.metrics.counter("net_prepares").inc()
+        await self._send(
+            session,
+            {
+                "type": "prepared",
+                "id": request_id,
+                "statement": handle,
+                "params": len(literals),
+                "signature": signature_text,
+            },
+        )
+
+    async def _handle_execute(self, session: _Session, message: dict) -> None:
+        """``execute``: bind positional args to a prepared handle."""
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, None, "protocol", "execute frame needs an integer id"
+            )
+            return
+        entry = session.prepared.get(message.get("statement"))
+        if entry is None:
+            await self._try_send_error(
+                session,
+                request_id,
+                "error",
+                f"unknown prepared statement {message.get('statement')!r}",
+            )
+            return
+        skeleton, n_params, signature_text = entry
+        args = message.get("args") or []
+        if not isinstance(args, list) or len(args) != n_params:
+            got = len(args) if isinstance(args, list) else f"{args!r}"
+            await self._try_send_error(
+                session,
+                request_id,
+                "error",
+                f"prepared statement takes {n_params} argument(s), got {got}",
+            )
+            return
+        literals = tuple(args)
+        try:
+            hash(literals)
+        except TypeError:
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session,
+                request_id,
+                "protocol",
+                "execute args must be scalar literals",
+            )
+            return
+        mode = message.get("mode") or session.mode
+        if mode not in MODES:
+            await self._try_send_error(
+                session,
+                request_id,
+                "protocol",
+                f"unknown access-control mode {mode!r}",
+            )
+            return
+        request = QueryRequest(
+            user=session.user,
+            sql=signature_text,
+            params=session.params,
+            mode=mode,
+            deadline=message.get("deadline"),
+            tag=message.get("tag"),
+            engine=message.get("engine"),
+            row_budget=message.get("row_budget"),
+            memory_budget=message.get("memory_budget"),
+            skeleton=skeleton,
+            literals=literals,
+        )
+        self.metrics.counter("net_executes").inc()
+        await self._submit_request(session, request_id, request)
+
+    async def _submit_request(
+        self, session: _Session, request_id: int, request: QueryRequest
+    ) -> None:
         try:
             pending = self.gateway.submit(request)
         except ServiceOverloaded as exc:

@@ -94,6 +94,9 @@ class ValidityChecker:
         cooperative — the matcher's cover search ticks it, so a
         deadline/cancel aborts *mid-inference* and nothing is cached.
         """
+        from repro.instrument import COUNTERS
+
+        COUNTERS.bump("validity.check")
         if self.use_cache:
             cached = self.db.validity_cache.lookup(
                 session.user, query, session.user_id

@@ -121,6 +121,51 @@ class SharedValidityCache:
             data_version=data_version,
         )
 
+    def lookup_signed(
+        self,
+        user: Optional[str],
+        skeleton: ast.QueryExpr,
+        literals: tuple,
+        user_value: object,
+        data_version: Optional[int] = None,
+    ) -> Optional[tuple[Validity, str]]:
+        """Like :meth:`lookup`, for callers that already hold the
+        literal-stripped signature (the prepared-statement path, which
+        must not re-parse or re-sign on a hot hit).
+
+        Shards by the same ``(user, skeleton)`` key as :meth:`lookup`,
+        so prepared and legacy requests for the same query share one
+        decision entry.
+        """
+        if data_version is None:
+            data_version, _ = self.current_versions()
+        return self._shard(user, skeleton).lookup_signed(
+            user, skeleton, literals, user_value, data_version=data_version
+        )
+
+    def store_signed(
+        self,
+        user: Optional[str],
+        skeleton: ast.QueryExpr,
+        literals: tuple,
+        user_value: object,
+        validity: Validity,
+        reason: str,
+        data_version: Optional[int] = None,
+    ) -> None:
+        """Signature-level :meth:`store` (see :meth:`lookup_signed`)."""
+        if data_version is None:
+            data_version, _ = self.current_versions()
+        self._shard(user, skeleton).store_signed(
+            user,
+            skeleton,
+            literals,
+            user_value,
+            validity,
+            reason,
+            data_version=data_version,
+        )
+
     def clear(self) -> None:
         for shard in self._shards:
             shard.clear()

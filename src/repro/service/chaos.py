@@ -12,6 +12,10 @@ points the gateway fires while serving:
 ``gateway.before_check``          before the validity check / rewrite
 ``gateway.before_execute``        before query execution
 ``gateway.before_commit``         before the durable group commit
+``prepared.hit``                  a prepared template was served from
+                                  cache (after staleness validation)
+``prepared.bind``                 before literals are bound into a
+                                  prepared template's plan
 ``wal.before_fsync`` (via WAL)    inside the group-commit fsync path
 ``net.accept``                    a TCP connection was accepted
 ``net.after_hello``               a session finished authenticating
@@ -52,6 +56,8 @@ GATEWAY_FAULT_POINTS = (
     "gateway.before_check",
     "gateway.before_execute",
     "gateway.before_commit",
+    "prepared.hit",
+    "prepared.bind",
 )
 
 #: fault points the network front end (repro.net.server) fires

@@ -78,6 +78,13 @@ from repro.errors import (
 from repro.sql import ast, parse_statement, render
 from repro.nontruman.cache import query_signature
 from repro.nontruman.decision import ValidityDecision
+from repro.prepared import (
+    PREPARABLE_MODES,
+    PreparedFallback,
+    bind_skeleton,
+    get_or_build_template,
+    resolve_signature,
+)
 from repro.service.audit import AuditLog
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import SharedValidityCache
@@ -221,9 +228,14 @@ class EnforcementGateway:
         breaker_cooldown: float = 1.0,
         chaos: Optional[object] = None,
         retry_seed: Optional[int] = None,
+        prepared_statements: bool = True,
     ):
         self.db = db
         self.name = name
+        #: serve repeated queries through the §5.6 template cache
+        #: (explicit PREPARE'd requests *and* transparent server-side
+        #: templating of plain SQL text)
+        self.prepared_statements = prepared_statements
         self.pool = ConnectionPool(db, max_idle_per_key=max_idle_per_user)
         self.cache = SharedValidityCache(
             shards=cache_shards,
@@ -263,6 +275,8 @@ class EnforcementGateway:
             "requests_budget_exceeded",
             "worker_faults",
             "wal_commit_failures",
+            "prepared_requests",
+            "prepared_fallbacks",
         ):
             self.metrics.counter(counter)
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
@@ -526,23 +540,52 @@ class EnforcementGateway:
                 )
             )
 
-        # -- parse -------------------------------------------------------
+        # -- resolve / parse ---------------------------------------------
+        # Recover the literal-stripped signature without parsing when
+        # possible: from the request itself (an explicit PREPARE), or
+        # from the text tier (transparent templating of a repeated query
+        # string).  A cold text still parses exactly once — the parsed
+        # query is signed and remembered for next time.
         parse_start = time.perf_counter()
-        try:
-            statement = parse_statement(request.sql)
-        except ReproError as exc:
-            timing.parse_s = time.perf_counter() - parse_start
-            return finish(
-                QueryResponse(
-                    request=request, status=RequestStatus.ERROR, error=str(exc)
+        resolved: Optional[tuple] = None
+        statement: Optional[ast.Statement] = None
+        preparable = (
+            self.prepared_statements and request.mode in PREPARABLE_MODES
+        )
+        if request.skeleton is not None:
+            literals = tuple(request.literals or ())
+            if preparable:
+                resolved = (request.skeleton, literals, request.sql)
+            else:
+                # PREPARE'd under a non-preparable mode: rebind the
+                # literals and run it as a plain query
+                statement = bind_skeleton(request.skeleton, literals)
+        elif preparable:
+            resolved = self.db.prepared.lookup_text(request.sql)
+        if resolved is None and statement is None:
+            try:
+                statement = parse_statement(request.sql)
+            except ReproError as exc:
+                timing.parse_s = time.perf_counter() - parse_start
+                return finish(
+                    QueryResponse(
+                        request=request, status=RequestStatus.ERROR, error=str(exc)
+                    )
                 )
-            )
+            if preparable and isinstance(statement, ast.QueryExpr):
+                try:
+                    resolved = resolve_signature(self.db, statement)
+                    self.db.prepared.remember_text(request.sql, *resolved)
+                except PreparedFallback:
+                    resolved = None
         timing.parse_s = time.perf_counter() - parse_start
 
-        if not isinstance(statement, ast.QueryExpr):
+        if statement is not None and not isinstance(statement, ast.QueryExpr):
             return finish(self._process_statement(request, statement, timing))
         return finish(
-            self._process_query_with_retries(request, statement, timing, ctx)
+            self._process_query_with_retries(
+                request, statement, timing, ctx, resolved
+            )
         )
 
     # -- query path: retries + abort mapping ------------------------------
@@ -550,14 +593,17 @@ class EnforcementGateway:
     def _process_query_with_retries(
         self,
         request: QueryRequest,
-        query: ast.QueryExpr,
+        query: Optional[ast.QueryExpr],
         timing: Timing,
         ctx: QueryContext,
+        resolved: Optional[tuple] = None,
     ) -> QueryResponse:
         attempts = 0
         while True:
             try:
-                response = self._process_query(request, query, timing, ctx)
+                response = self._process_query(
+                    request, query, timing, ctx, resolved
+                )
                 break
             except TransientFault as exc:
                 self.metrics.counter("retries_total").inc()
@@ -703,124 +749,285 @@ class EnforcementGateway:
     def _process_query(
         self,
         request: QueryRequest,
-        query: ast.QueryExpr,
+        query: Optional[ast.QueryExpr],
         timing: Timing,
         ctx: QueryContext,
+        resolved: Optional[tuple] = None,
     ) -> QueryResponse:
+        """Serve one query request under the read lock.
+
+        ``query`` is the parsed AST (None on a hot prepared hit that
+        skipped the parser); ``resolved`` is the literal-stripped
+        ``(skeleton, literals, signature_text)`` triple when the request
+        is eligible for the prepared-template path.  Anything the
+        template path cannot serve identically falls back to the fresh
+        parse → check → plan route.
+        """
         self._rwlock.acquire_read()
         try:
             with self.pool.checkout(
                 request.user, request.mode, request.params
             ) as conn:
                 session = conn.session
-                decision: Optional[ValidityDecision] = None
-                cache_hit = False
-
-                self._fire_chaos("gateway.before_check")
-                check_start = time.perf_counter()
-                if request.mode == "non-truman":
-                    # the version observed under the read lock is the
-                    # version the decision is derived from
-                    data_version, _ = self.cache.current_versions()
-                    cached = self.cache.lookup(
-                        session.user, query, session.user_id
-                    )
-                    if cached is not None:
-                        validity, reason = cached
-                        decision = ValidityDecision(
-                            validity=validity, reason=reason, from_cache=True
-                        )
-                        cache_hit = True
-                    else:
-                        try:
-                            decision = self.db.check_validity(
-                                query, session, ctx=ctx
-                            )
-                        except QueryAborted:
-                            timing.check_s = time.perf_counter() - check_start
-                            raise  # unwound with nothing cached
-                        except ReproError as exc:
-                            timing.check_s = time.perf_counter() - check_start
-                            return QueryResponse(
-                                request=request,
-                                status=RequestStatus.ERROR,
-                                error=str(exc),
-                            )
-                        self.cache.store(
-                            session.user,
-                            query,
-                            session.user_id,
-                            decision.validity,
-                            decision.reason,
-                            data_version=data_version,
-                        )
-                    timing.check_s = time.perf_counter() - check_start
-                    if not decision.valid:
-                        return QueryResponse(
-                            request=request,
-                            status=RequestStatus.REJECTED,
-                            decision=decision,
-                            cache_hit=cache_hit,
-                            error=(
-                                "query rejected by Non-Truman model: "
-                                f"{decision.reason}"
-                            ),
-                        )
-                    to_execute, execute_mode = query, "open"
-                elif request.mode == "truman":
-                    from repro.truman.rewrite import truman_rewrite
-
+                if resolved is not None:
                     try:
-                        to_execute = truman_rewrite(self.db, query, session)
-                    except ReproError as exc:
-                        timing.check_s = time.perf_counter() - check_start
-                        return QueryResponse(
-                            request=request,
-                            status=RequestStatus.ERROR,
-                            error=str(exc),
+                        response = self._process_prepared(
+                            request, resolved, session, timing, ctx
                         )
-                    timing.check_s = time.perf_counter() - check_start
-                    execute_mode = "open"
-                else:  # open / motro execute directly under that mode
-                    to_execute, execute_mode = query, request.mode
-                    timing.check_s = time.perf_counter() - check_start
+                        response.signature = resolved[2]
+                        self.metrics.counter("prepared_requests").inc()
+                        return response
+                    except PreparedFallback:
+                        self.metrics.counter("prepared_fallbacks").inc()
+                        if query is None:
+                            skeleton, literals, _ = resolved
+                            query = bind_skeleton(skeleton, literals)
+                response = self._process_query_fresh(
+                    request, query, session, timing, ctx
+                )
+                if resolved is not None and response.signature is None:
+                    response.signature = resolved[2]
+                return response
+        finally:
+            self._rwlock.release_read()
 
-                # phase boundary: don't start executing an answer
-                # nobody is waiting for
-                ctx.check("phase boundary before execution")
+    def _process_prepared(
+        self,
+        request: QueryRequest,
+        resolved: tuple,
+        session,
+        timing: Timing,
+        ctx: QueryContext,
+    ) -> QueryResponse:
+        """The §5.6 template path: signature → template → bind → run.
 
-                self._fire_chaos("gateway.before_execute")
-                execute_start = time.perf_counter()
+        Raises :class:`PreparedFallback` (before any user-visible
+        effect) when the query cannot be templated; the caller re-runs
+        the fresh path, so behavior — including error messages — is
+        preserved bit-for-bit.
+        """
+        skeleton, literals, signature_text = resolved
+        check_start = time.perf_counter()
+        template, hit = get_or_build_template(
+            self.db, skeleton, literals, session, request.mode, signature_text
+        )
+        self._fire_chaos("gateway.before_check")
+        if hit:
+            self._fire_chaos("prepared.hit")
+        decision: Optional[ValidityDecision] = None
+        cache_hit = False
+        if request.mode == "non-truman":
+            # same shared cache (and the same signature keys) as the
+            # fresh path, so prepared and plain requests for one query
+            # share a single decision entry
+            data_version, _ = self.cache.current_versions()
+            cached = self.cache.lookup_signed(
+                session.user,
+                skeleton,
+                literals,
+                session.user_id,
+                data_version=data_version,
+            )
+            if cached is not None:
+                validity, reason = cached
+                decision = ValidityDecision(
+                    validity=validity, reason=reason, from_cache=True
+                )
+                cache_hit = True
+            else:
+                bound = bind_skeleton(skeleton, literals)
                 try:
-                    result = self.db.execute_query(
-                        to_execute,
-                        session=session,
-                        mode=execute_mode,
-                        engine=request.engine,
-                        ctx=ctx,
-                    )
+                    decision = self.db.check_validity(bound, session, ctx=ctx)
                 except QueryAborted:
-                    timing.execute_s = time.perf_counter() - execute_start
-                    raise
+                    timing.check_s = time.perf_counter() - check_start
+                    raise  # unwound with nothing cached
                 except ReproError as exc:
-                    timing.execute_s = time.perf_counter() - execute_start
+                    timing.check_s = time.perf_counter() - check_start
                     return QueryResponse(
                         request=request,
                         status=RequestStatus.ERROR,
-                        decision=decision,
-                        cache_hit=cache_hit,
                         error=str(exc),
+                        prepared=True,
                     )
-                timing.execute_s = time.perf_counter() - execute_start
+                self.cache.store_signed(
+                    session.user,
+                    skeleton,
+                    literals,
+                    session.user_id,
+                    decision.validity,
+                    decision.reason,
+                    data_version=data_version,
+                )
+            timing.check_s = time.perf_counter() - check_start
+            if not decision.valid:
                 return QueryResponse(
                     request=request,
-                    status=RequestStatus.OK,
-                    result=result,
+                    status=RequestStatus.REJECTED,
                     decision=decision,
                     cache_hit=cache_hit,
+                    prepared=True,
+                    error=(
+                        "query rejected by Non-Truman model: "
+                        f"{decision.reason}"
+                    ),
                 )
-        finally:
-            self._rwlock.release_read()
+        else:
+            timing.check_s = time.perf_counter() - check_start
+
+        # phase boundary: don't start executing an answer nobody is
+        # waiting for
+        ctx.check("phase boundary before execution")
+
+        self._fire_chaos("gateway.before_execute")
+        self._fire_chaos("prepared.bind")
+        execute_start = time.perf_counter()
+        plan = template.binder.bind(literals)
+        try:
+            result = self.db.run_plan(
+                plan,
+                session=session,
+                engine=request.engine,
+                ctx=ctx,
+                optimize=False,
+                compile_cache=template.compile_cache,
+            )
+        except QueryAborted:
+            timing.execute_s = time.perf_counter() - execute_start
+            raise
+        except ReproError as exc:
+            timing.execute_s = time.perf_counter() - execute_start
+            return QueryResponse(
+                request=request,
+                status=RequestStatus.ERROR,
+                decision=decision,
+                cache_hit=cache_hit,
+                prepared=True,
+                error=str(exc),
+            )
+        timing.execute_s = time.perf_counter() - execute_start
+        return QueryResponse(
+            request=request,
+            status=RequestStatus.OK,
+            result=result,
+            decision=decision,
+            cache_hit=cache_hit,
+            prepared=True,
+        )
+
+    def _process_query_fresh(
+        self,
+        request: QueryRequest,
+        query: ast.QueryExpr,
+        session,
+        timing: Timing,
+        ctx: QueryContext,
+    ) -> QueryResponse:
+        decision: Optional[ValidityDecision] = None
+        cache_hit = False
+
+        self._fire_chaos("gateway.before_check")
+        check_start = time.perf_counter()
+        if request.mode == "non-truman":
+            # the version observed under the read lock is the
+            # version the decision is derived from
+            data_version, _ = self.cache.current_versions()
+            cached = self.cache.lookup(
+                session.user, query, session.user_id
+            )
+            if cached is not None:
+                validity, reason = cached
+                decision = ValidityDecision(
+                    validity=validity, reason=reason, from_cache=True
+                )
+                cache_hit = True
+            else:
+                try:
+                    decision = self.db.check_validity(
+                        query, session, ctx=ctx
+                    )
+                except QueryAborted:
+                    timing.check_s = time.perf_counter() - check_start
+                    raise  # unwound with nothing cached
+                except ReproError as exc:
+                    timing.check_s = time.perf_counter() - check_start
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        error=str(exc),
+                    )
+                self.cache.store(
+                    session.user,
+                    query,
+                    session.user_id,
+                    decision.validity,
+                    decision.reason,
+                    data_version=data_version,
+                )
+            timing.check_s = time.perf_counter() - check_start
+            if not decision.valid:
+                return QueryResponse(
+                    request=request,
+                    status=RequestStatus.REJECTED,
+                    decision=decision,
+                    cache_hit=cache_hit,
+                    error=(
+                        "query rejected by Non-Truman model: "
+                        f"{decision.reason}"
+                    ),
+                )
+            to_execute, execute_mode = query, "open"
+        elif request.mode == "truman":
+            from repro.truman.rewrite import truman_rewrite
+
+            try:
+                to_execute = truman_rewrite(self.db, query, session)
+            except ReproError as exc:
+                timing.check_s = time.perf_counter() - check_start
+                return QueryResponse(
+                    request=request,
+                    status=RequestStatus.ERROR,
+                    error=str(exc),
+                )
+            timing.check_s = time.perf_counter() - check_start
+            execute_mode = "open"
+        else:  # open / motro execute directly under that mode
+            to_execute, execute_mode = query, request.mode
+            timing.check_s = time.perf_counter() - check_start
+
+        # phase boundary: don't start executing an answer
+        # nobody is waiting for
+        ctx.check("phase boundary before execution")
+
+        self._fire_chaos("gateway.before_execute")
+        execute_start = time.perf_counter()
+        try:
+            result = self.db.execute_query(
+                to_execute,
+                session=session,
+                mode=execute_mode,
+                engine=request.engine,
+                ctx=ctx,
+            )
+        except QueryAborted:
+            timing.execute_s = time.perf_counter() - execute_start
+            raise
+        except ReproError as exc:
+            timing.execute_s = time.perf_counter() - execute_start
+            return QueryResponse(
+                request=request,
+                status=RequestStatus.ERROR,
+                decision=decision,
+                cache_hit=cache_hit,
+                error=str(exc),
+            )
+        timing.execute_s = time.perf_counter() - execute_start
+        return QueryResponse(
+            request=request,
+            status=RequestStatus.OK,
+            result=result,
+            decision=decision,
+            cache_hit=cache_hit,
+        )
 
     # -- accounting ------------------------------------------------------
 
@@ -852,7 +1059,11 @@ class EnforcementGateway:
         self.audit.record(
             user=request.user,
             mode=request.mode,
-            signature=self._signature(request.sql),
+            # the prepared path stamps the signature it already holds;
+            # re-deriving it here would re-parse on the zero-parse path
+            signature=response.signature
+            if response.signature is not None
+            else self._signature(request.sql),
             status=response.status.value,
             decision="" if decision is None else decision.validity.value,
             rules=()
@@ -898,6 +1109,7 @@ class EnforcementGateway:
         }
         merged.update(self.metrics.snapshot())
         merged.update(self.cache.stats())
+        merged.update(self.db.prepared.stats())
         merged.update(self.pool.stats())
         merged.update(self._breaker.stats())
         if self.db.durability is not None:

@@ -58,6 +58,15 @@ class QueryRequest:
     row_budget: Optional[int] = None
     #: approximate max bytes of materialized state (None = gateway default)
     memory_budget: Optional[int] = None
+    #: pre-signed prepared statement: the literal-stripped skeleton AST
+    #: produced by ``PREPARE`` (the net server's ``prepare`` frame).
+    #: When set, ``sql`` carries the rendered signature text (for the
+    #: audit log) and ``literals`` the bound parameter values — the
+    #: gateway skips parsing entirely.
+    skeleton: Optional[object] = None
+    #: literal values to bind into ``skeleton`` (position-matched to
+    #: the ``$_litN`` placeholders)
+    literals: Optional[tuple] = None
 
 
 @dataclass
@@ -99,6 +108,12 @@ class QueryResponse:
     worker: Optional[str] = None
     #: transient-fault retries performed before this outcome
     retries: int = 0
+    #: True when the query ran through the prepared-template path
+    #: (template hit or build) instead of the parse → check → plan path
+    prepared: bool = False
+    #: literal-stripped audit signature, when the serving path already
+    #: knows it (prepared requests) — saves the audit re-parse
+    signature: Optional[str] = None
 
     @property
     def ok(self) -> bool:

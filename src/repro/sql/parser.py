@@ -680,6 +680,9 @@ class Parser:
 
 def parse_statement(source: str) -> ast.Statement:
     """Parse exactly one statement; raise ParseError on trailing input."""
+    from repro.instrument import COUNTERS
+
+    COUNTERS.bump("sql.parse")
     parser = Parser(source)
     statement = parser.parse_statement()
     while parser._accept_op(";"):
@@ -691,6 +694,9 @@ def parse_statement(source: str) -> ast.Statement:
 
 def parse_statements(source: str) -> list[ast.Statement]:
     """Parse a ``;``-separated script into a list of statements."""
+    from repro.instrument import COUNTERS
+
+    COUNTERS.bump("sql.parse")
     return Parser(source).parse_statements()
 
 

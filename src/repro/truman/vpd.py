@@ -32,6 +32,13 @@ class VpdPolicySet:
 
     def __init__(self):
         self._policies: dict[str, list[PolicyFn]] = {}
+        #: bumped on every policy attachment; prepared templates built
+        #: under an older policy set are stale (repro.prepared)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     def add_policy(
         self, table: str, policy: Union[str, ast.Expr, PolicyFn]
@@ -53,6 +60,7 @@ class VpdPolicySet:
         else:
             fn = policy
         self._policies.setdefault(table.lower(), []).append(fn)
+        self._version += 1
 
     def has_policy(self, table: str) -> bool:
         return table.lower() in self._policies

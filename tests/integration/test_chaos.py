@@ -773,6 +773,119 @@ class TestResilienceMetrics:
             gateway.shutdown(drain=False)
 
 
+class TestPreparedChaosStorm:
+    """Faults at the prepared-statement fire points while the grant
+    registry churns underneath.  A ``delay`` at ``prepared.bind``
+    stretches the window between template lookup and execution — the
+    window where a stale plan would be served — and a ``transient`` at
+    ``prepared.hit`` forces retries through a cache whose entries are
+    being invalidated mid-flight.  Zero stale-plan answers are allowed:
+
+    * every OK answer carries exactly the requester's own rows;
+    * a foreign user's probe (literal pinned to someone else's id)
+      never answers, no matter which template is hot;
+    * every rejection is the genuine Non-Truman message, and the only
+      other legal outcome is the typed persisted-transient error.
+    """
+
+    SEED = 20260807
+    SQL_11 = "select grade from Grades where student_id = '11'"
+    ROWS_11 = {(3.5,), (4.0,)}
+    SQL_12_OWN = "select grade from Grades where student_id = '12'"
+    ROWS_12 = {(2.5,)}
+
+    def test_storm_no_stale_plans_no_cross_user_rows(self):
+        db = Database()
+        db.execute_script(UNIVERSITY_SCHEMA)
+        db.execute_script(UNIVERSITY_DATA)
+        db.execute(
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = $user_id"
+        )
+        db.grant("MyGrades", "11")
+        db.grant("MyGrades", "12")
+        chaos = ChaosInjector(seed=self.SEED)
+        gateway = EnforcementGateway(
+            db, workers=4, queue_size=512, audit_capacity=8192,
+            retry_attempts=3, retry_backoff=0.001, chaos=chaos,
+            retry_seed=self.SEED,
+        )
+        chaos.inject("prepared.hit", "transient", probability=0.15)
+        chaos.inject("prepared.bind", "delay", probability=0.4,
+                     delay_s=0.002)
+
+        stop = threading.Event()
+
+        def churn():
+            # revoke/grant user 11's only view as fast as possible;
+            # each loop iteration ends re-granted
+            while not stop.is_set():
+                db.grants.revoke("MyGrades", "11")
+                time.sleep(0.0005)
+                db.grant("MyGrades", "11")
+                time.sleep(0.0005)
+
+        churner = threading.Thread(target=churn, daemon=True)
+        responses = []
+        try:
+            churner.start()
+            for i in range(150):
+                responses.append(("11-own", gateway.execute(
+                    QueryRequest(user="11", sql=self.SQL_11,
+                                 tag=f"own-{i}")
+                )))
+                responses.append(("12-own", gateway.execute(
+                    QueryRequest(user="12", sql=self.SQL_12_OWN,
+                                 tag=f"other-{i}")
+                )))
+                responses.append(("12-probe", gateway.execute(
+                    QueryRequest(user="12", sql=self.SQL_11,
+                                 tag=f"probe-{i}")
+                )))
+        finally:
+            stop.set()
+            churner.join(timeout=10)
+            gateway.shutdown(drain=False)
+        assert not churner.is_alive()
+
+        # the storm actually exercised the prepared path and its faults
+        assert gateway.metrics.counter("prepared_requests").value > 0
+        assert "prepared.bind:delay" in chaos.stats(), chaos.stats()
+        assert "prepared.hit:transient" in chaos.stats(), chaos.stats()
+
+        for kind, response in responses:
+            assert response.status in TERMINAL, (kind, response.status)
+            if response.status is RequestStatus.OK:
+                assert kind != "12-probe", (
+                    "cross-user answer: user 12 was served a template "
+                    "pinned to user 11's literal"
+                )
+                expected = self.ROWS_11 if kind == "11-own" else self.ROWS_12
+                assert set(response.rows) == expected, (kind, response.rows)
+                assert len(response.rows) == len(expected), (
+                    f"{kind}: duplicate/partial rows {response.rows}"
+                )
+            elif response.status is RequestStatus.REJECTED:
+                # user 12's own query is always answerable: a rejection
+                # there would mean a foreign decision was served
+                assert kind in ("11-own", "12-probe"), (kind, response.error)
+                assert "rejected by Non-Truman model" in response.error
+            else:
+                assert response.status is RequestStatus.ERROR, (
+                    kind, response.status, response.error,
+                )
+                assert "transient fault persisted" in response.error
+
+        # quiescent: with the grant held, the answer must come back
+        if not db.grants.is_granted("MyGrades", "11"):
+            db.grant("MyGrades", "11")
+        session = db.connect(user_id="11", mode="non-truman").session
+        result = db.execute_query(
+            self.SQL_11, session=session, mode="non-truman", prepared=True
+        )
+        assert set(result.rows) == self.ROWS_11
+
+
 class TestNetworkChaos:
     """Connection-drop fire points in the network front end: the server
     must survive injected drops at any ``net.*`` point, cancel the

@@ -497,6 +497,111 @@ class TestCancellationOnDisconnect:
             gateway.shutdown(drain=False)
 
 
+class TestPreparedWire:
+    """The ``prepare``/``execute`` message pair: explicit server-side
+    statement handles with positional literal rebinding (paper §5.6 on
+    the wire)."""
+
+    SQL = "select grade from Grades where student_id = '11'"
+
+    def test_prepare_execute_roundtrip(self, service):
+        gateway, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            stmt = client.prepare(self.SQL)
+            assert stmt.n_params == 1
+            assert "_lit1" in stmt.signature
+            cold = stmt.execute("11")
+            hot = stmt.execute("11")
+            assert sorted(cold.rows) == sorted(hot.rows)
+            assert sorted(r[0] for r in hot.rows) == [3.5, 4.0]
+        assert gateway.metrics.counter("net_prepares").value == 1
+        assert gateway.metrics.counter("net_executes").value == 2
+        assert gateway.metrics.counter("prepared_requests").value >= 1
+
+    def test_rebinding_foreign_literal_is_rejected(self, service):
+        """Rebinding the user-id literal to someone else's id must be
+        re-decided per the §5.6 carry-over rule — and rejected, since
+        the literal no longer matches the session user."""
+        _, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            stmt = client.prepare(self.SQL)
+            assert sorted(r[0] for r in stmt.execute("11").rows) == [3.5, 4.0]
+            with pytest.raises(QueryRejectedError):
+                stmt.execute("12")
+            # the statement handle survives the rejection
+            assert sorted(r[0] for r in stmt.execute("11").rows) == [3.5, 4.0]
+
+    def test_wire_answers_match_plain_queries(self, service):
+        """Differential: executing a prepared handle with literal L is
+        byte-identical to sending the bound SQL as a plain query."""
+        _, host, port = service
+        queries = [
+            self.SQL,
+            "select course_id, grade from Grades "
+            "where student_id = '11' and grade > 3.6",
+        ]
+        with ReproClient(host, port, user="11") as client:
+            for sql in queries:
+                plain = client.query(sql)
+                stmt = client.prepare(sql)
+                for _ in range(2):  # cold + hot
+                    prepared = stmt.execute(*client_literals(sql))
+                    assert prepared.columns == plain.columns
+                    assert prepared.rows == plain.rows
+
+    def test_prepare_non_query_is_typed_error(self, service):
+        _, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            with pytest.raises(ReproError, match="cannot prepare"):
+                client.prepare("insert into Grades values ('11','CS9',1.0)")
+            # session remains usable
+            assert client.query(self.SQL).rows
+
+    def test_execute_arity_mismatch_is_typed_error(self, service):
+        _, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            stmt = client.prepare(self.SQL)
+            with pytest.raises(ReproError, match="takes 1 argument"):
+                stmt.execute("11", "extra")
+
+    def test_unknown_handle_is_typed_error(self, service):
+        _, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            stmt = client.prepare(self.SQL)
+            stmt.statement_id = 999  # forge a handle
+            with pytest.raises(ReproError, match="unknown prepared statement"):
+                stmt.execute("11")
+
+    def test_async_prepare_execute(self, service):
+        _, host, port = service
+
+        async def scenario():
+            client = await AsyncReproClient.connect(host, port, user="11")
+            try:
+                stmt = await client.prepare(self.SQL)
+                assert stmt.n_params == 1
+                results = await asyncio.gather(
+                    stmt.execute("11"), stmt.execute("11")
+                )
+                for result in results:
+                    assert sorted(r[0] for r in result.rows) == [3.5, 4.0]
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+
+
+def client_literals(sql: str) -> tuple:
+    """The positional literals `prepare` strips from ``sql``, in order —
+    recomputed client-side so the differential test binds exactly what
+    the plain query contained."""
+    from repro.nontruman.cache import query_signature
+    from repro.sql import parse_query
+
+    _, literals = query_signature(parse_query(sql))
+    return literals
+
+
 class TestAsyncClientPipelining:
     def test_interleaved_queries_one_connection(self, service):
         _, host, port = service

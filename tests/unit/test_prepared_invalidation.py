@@ -1,0 +1,192 @@
+"""Exact invalidation of the prepared-template cache.
+
+The invariants under test (see ``repro/prepared/cache.py``):
+
+* invalidation is *exact*: a grant to user A evicts A's templates only;
+  DDL on relation X evicts only templates that (transitively) reference
+  X;
+* revocation has no eager hook (``db.grants.revoke`` is a registry
+  call), so the lookup-time version validation is the load-bearing
+  mechanism — a revoked user's cached acceptance must never be served;
+* redefining a granted authorization view (drop + create) flips the
+  view's relation version and therefore the decisions of every template
+  whose user holds that grant;
+* templates are keyed by user: overlapping signatures for different
+  users never share an artifact.
+"""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryRejectedError
+
+
+def grades_db():
+    db = Database()
+    db.execute("create table Grades(student_id varchar(8), grade float)")
+    db.execute("create table Other(x int)")
+    db.execute("insert into Grades values ('11', 3.5)")
+    db.execute("insert into Grades values ('12', 2.0)")
+    db.execute("insert into Other values (1)")
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.execute(
+        "create authorization view OtherView as select * from Other"
+    )
+    return db
+
+
+def run(db, sql, user, mode="non-truman"):
+    session = db.connect(user_id=user, mode=mode).session
+    return db.execute_query(sql, session=session, mode=mode, prepared=True)
+
+
+OK_SQL = "select grade from Grades where student_id = '11'"
+OTHER_SQL = "select x from Other where x > 0"
+
+
+class TestExactInvalidation:
+    def test_ddl_evicts_only_referencing_templates(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        db.grant("OtherView", "11")
+        run(db, OK_SQL, "11")
+        run(db, OTHER_SQL, "11")
+        run(db, OTHER_SQL, "11")  # hot
+        base = db.prepared.stats()
+        db.execute("drop table Other")
+        # eager hook evicted every template touching Other — for user
+        # 11 that is *both* templates: granted auth views (and their
+        # bodies) are decision dependencies of every template
+        after = db.prepared.stats()
+        assert after["prepared_invalidations"] > base["prepared_invalidations"]
+        assert after["prepared_templates"] < base["prepared_templates"]
+
+    def test_ddl_on_unrelated_relation_preserves_templates(self):
+        db = grades_db()
+        # open-mode templates depend only on the relations they scan
+        run(db, OK_SQL, None, mode="open")
+        run(db, OTHER_SQL, None, mode="open")
+        assert db.prepared.stats()["prepared_templates"] == 2
+        db.execute("create table Unrelated(y int)")
+        db.execute("drop table Unrelated")
+        base = db.prepared.stats()
+        run(db, OK_SQL, None, mode="open")
+        after = db.prepared.stats()
+        assert after["prepared_hits"] == base["prepared_hits"] + 1
+        assert after["prepared_builds"] == base["prepared_builds"]
+
+    def test_grant_evicts_only_that_user(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        db.grant("MyGrades", "12")
+        run(db, OK_SQL, "11")
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "12")  # 12 may not see 11's grades
+        assert db.prepared.stats()["prepared_templates"] == 2
+        db.grant("OtherView", "12")  # policy change for 12 only
+        run(db, OK_SQL, "11")  # 11's template survives: pure hit
+        stats = db.prepared.stats()
+        assert stats["prepared_templates"] == 1  # 12's was evicted
+        base_builds = stats["prepared_builds"]
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "12")  # rebuilt, still rejected
+        assert db.prepared.stats()["prepared_builds"] == base_builds + 1
+
+    def test_public_grant_evicts_everyone(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        db.grant("MyGrades", "12")
+        run(db, OK_SQL, "11")
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "12")
+        db.grant_public("OtherView")  # PUBLIC changes every user's views
+        assert db.prepared.stats()["prepared_templates"] == 0
+
+    def test_revoke_detected_at_lookup_without_eager_hook(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]  # cached accept
+        # revoke goes straight to the registry — no Database facade, no
+        # eager invalidation; only the version stamps protect us
+        db.grants.revoke("MyGrades", "11")
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "11")
+        # the stale template was evicted, not served
+        assert db.prepared.stats()["prepared_invalidations"] >= 1
+        # and re-granting restores acceptance (fresh build again)
+        db.grant("MyGrades", "11")
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+
+    def test_auth_view_redefinition_flips_cached_decision(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+        # redefine the granted view to cover nothing relevant
+        db.execute("drop view MyGrades")
+        db.execute(
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = 'nobody'"
+        )
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "11")
+        # redefine it back; acceptance returns
+        db.execute("drop view MyGrades")
+        db.execute(
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = $user_id"
+        )
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+
+
+class TestUserIsolation:
+    def test_template_never_crosses_users(self):
+        """Same SQL text, same signature, different users: the Truman
+        substitution bakes the *session* into the plan, so serving user
+        A's template to user B would leak A's rows.  The cache key
+        carries the user; prove the answers stay per-user."""
+        db = grades_db()
+        db.set_truman_view("Grades", "MyGrades")
+        sql = "select grade from Grades where grade > 0.5"
+        first_11 = run(db, sql, "11", mode="truman").rows
+        first_12 = run(db, sql, "12", mode="truman").rows
+        assert first_11 == [(3.5,)]
+        assert first_12 == [(2.0,)]
+        # hot hits — each user must keep getting their own rows
+        assert run(db, sql, "11", mode="truman").rows == [(3.5,)]
+        assert run(db, sql, "12", mode="truman").rows == [(2.0,)]
+        assert db.prepared.stats()["prepared_templates"] == 2
+
+    def test_non_truman_decision_is_per_user(self):
+        db = grades_db()
+        db.grant("MyGrades", "11")
+        assert run(db, OK_SQL, "11").rows == [(3.5,)]
+        # same text, same signature — user 12 must be decided on their
+        # own grants, not served 11's cached acceptance
+        with pytest.raises(QueryRejectedError):
+            run(db, OK_SQL, "12")
+
+
+class TestNegativeCacheInvalidation:
+    def test_unpreparable_retried_after_policy_change(self):
+        """The negative cache must not outlive the state it was derived
+        from: templates that failed to build are retried after any
+        grant/DDL change (stale stamp drops the negative entry)."""
+        db = grades_db()
+        session = db.connect(user_id="11", mode="open").session
+        from repro.prepared import PreparedFallback
+        from repro.prepared.pipeline import resolve_signature
+
+        skeleton, literals, _ = resolve_signature(
+            db, "select grade from Missing where grade > 1.0"
+        )
+        key = (skeleton, "11", "open", ())
+        db.prepared.note_unpreparable(key, "11")
+        with pytest.raises(PreparedFallback):
+            db.prepared.check_unpreparable(key, "11")
+        db.execute("create table Missing(grade float)")
+        db.prepared.check_unpreparable(key, "11")  # no longer negative

@@ -293,3 +293,125 @@ def test_kleene_nesting_agrees_with_tables():
         expected = OR_TABLE[(AND_TABLE[(l, r)], NOT_TABLE[l])]
         assert got_row is expected
         assert got_vec is expected
+
+
+# -- prepared-statement rebinding properties ---------------------------
+#
+# Property 4: binding random literal tuples (NULLs and type-edge values
+# included) into one fixed prepared template agrees with fresh
+# execution, observable-for-observable.  Property 5: a literal that
+# changes the Non-Truman validity outcome must get its own decision —
+# never a hit on the cached decision of a different binding.
+
+#: literal pools: NULL, zero/negative/huge numerics, empty / quoted /
+#: wildcard-looking strings
+REBIND_NUM = [None, 0, 1, -1, 2.5, -1.5, 1e16, 0.0, 3]
+REBIND_STR = [None, "", "a", "b", "it's", "x_y", "A%", "nope"]
+
+
+def _prepared_outcome(db, query, session, prepared):
+    try:
+        result = db.execute_query(
+            query, session=session, mode="open", prepared=prepared
+        )
+    except Exception as exc:  # identical failures count as agreement
+        return ("raised", type(exc).__name__, str(exc))
+    return ("ok", result.columns, list(result.rows))
+
+
+def test_random_rebinding_agrees_with_fresh():
+    from repro.db import Database
+    from repro.prepared import bind_skeleton, resolve_signature
+
+    db = Database()
+    db.execute("create table T(k int, v float, tag varchar(8))")
+    for row in [
+        "(1, 1.5, 'a')",
+        "(2, null, 'b')",
+        "(3, 2.5, null)",
+        "(null, null, 'c')",
+        "(0, 0.0, '')",
+    ]:
+        db.execute(f"insert into T values {row}")
+    session = db.connect(mode="open").session
+
+    sql = "select k, v, tag from T where (v > 0.5 and tag = 'a') or k = 1"
+    skeleton, literals, _ = resolve_signature(db, sql)
+    assert len(literals) == 3
+
+    rng = random.Random(424242)
+    for _ in range(80):
+        values = (
+            rng.choice(REBIND_NUM),
+            rng.choice(REBIND_STR),
+            rng.choice(REBIND_NUM),
+        )
+        bound = bind_skeleton(skeleton, values)
+        fresh = _prepared_outcome(db, bound, session, prepared=False)
+        cold = _prepared_outcome(db, bound, session, prepared=True)
+        hot = _prepared_outcome(db, bound, session, prepared=True)
+        assert cold == fresh, f"cold rebind diverges for {values!r}"
+        assert hot == fresh, f"hot rebind diverges for {values!r}"
+
+
+def test_null_rebinding_changes_signature_not_answers():
+    """A NULL literal is never stripped into the template signature —
+    binding NULL must fall through to a *different* template whose
+    answers still match fresh execution."""
+    from repro.db import Database
+    from repro.nontruman.cache import query_signature
+    from repro.prepared import bind_skeleton, resolve_signature
+
+    db = Database()
+    db.execute("create table T(k int, v float)")
+    db.execute("insert into T values (1, 1.5)")
+    db.execute("insert into T values (2, null)")
+    session = db.connect(mode="open").session
+
+    skeleton, literals, _ = resolve_signature(db, "select k from T where v > 1.0")
+    bound_null = bind_skeleton(skeleton, (None,))
+    null_skeleton, null_literals = query_signature(bound_null)
+    assert null_skeleton != skeleton  # NULL stays inline
+    assert null_literals == ()
+    fresh = _prepared_outcome(db, bound_null, session, prepared=False)
+    prep = _prepared_outcome(db, bound_null, session, prepared=True)
+    assert prep == fresh
+    assert fresh[0] == "ok" and fresh[2] == []  # v > NULL is UNKNOWN
+
+
+def test_validity_flip_never_hits_foreign_decision():
+    """user 11 may see only their own grades: rebinding the student_id
+    literal from '11' to '12' flips the validity outcome, so the '12'
+    binding must be decided fresh (and rejected), not served from the
+    cached acceptance of the '11' binding — in either order, repeatedly."""
+    from repro.db import Database
+    from repro.errors import QueryRejectedError
+
+    db = Database()
+    db.execute("create table Grades(student_id varchar(8), grade float)")
+    db.execute("insert into Grades values ('11', 3.5)")
+    db.execute("insert into Grades values ('12', 2.0)")
+    db.execute(
+        "create authorization view MyGrades as "
+        "select * from Grades where student_id = $user_id"
+    )
+    db.grant("MyGrades", "11")
+    session = db.connect(user_id="11", mode="non-truman").session
+
+    ok_sql = "select grade from Grades where student_id = '11'"
+    bad_sql = "select grade from Grades where student_id = '12'"
+
+    for _ in range(3):  # repeat: hot hits must stay correct
+        rows = db.execute_query(
+            ok_sql, session=session, mode="non-truman", prepared=True
+        ).rows
+        assert rows == [(3.5,)]
+        with pytest.raises(QueryRejectedError) as prep_exc:
+            db.execute_query(
+                bad_sql, session=session, mode="non-truman", prepared=True
+            )
+        with pytest.raises(QueryRejectedError) as fresh_exc:
+            db.execute_query(
+                bad_sql, session=session, mode="non-truman", prepared=False
+            )
+        assert str(prep_exc.value) == str(fresh_exc.value)

@@ -155,6 +155,115 @@ class TestSharedCacheRaces:
         assert cache.policy_invalidations >= 1
 
 
+class TestPreparedCacheRaces:
+    """Concurrent bind/execute against grant/revoke + DDL churn.
+
+    The hazard: a template is looked up, a revoke lands, and the
+    already-checked-out artifact is executed anyway — a stale-plan
+    answer.  Every observed outcome must be a legitimate policy state
+    (the correct rows, or the exact fresh rejection message); the
+    quiescent final answer must reflect the final policy.
+    """
+
+    SQL = "select grade from Grades where student_id = '7'"
+    REJECTION = (
+        "query rejected by Non-Truman model: no rewriting in terms of "
+        "the available authorization views was found (rules U1-U3, C1-C3)"
+    )
+
+    def _db(self):
+        from repro.db import Database
+
+        db = Database()
+        db.execute("create table Grades(student_id varchar(8), grade float)")
+        db.execute("insert into Grades values ('7', 3.0)")
+        db.execute(
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = $user_id"
+        )
+        return db
+
+    def test_bind_vs_grant_revoke_churn(self):
+        from repro.db import Database  # noqa: F401  (fixture import parity)
+        from repro.errors import QueryRejectedError
+
+        db = self._db()
+        db.grant("MyGrades", "7")
+        session = db.connect(user_id="7", mode="non-truman").session
+
+        def churn(index):
+            for _ in range(OPS // 3):
+                db.grants.revoke("MyGrades", "7")
+                db.grant("MyGrades", "7")
+
+        def reader(index):
+            for _ in range(OPS):
+                try:
+                    result = db.execute_query(
+                        self.SQL, session=session, mode="non-truman",
+                        prepared=True,
+                    )
+                except QueryRejectedError as exc:
+                    # legal only with the fresh rejection text — a
+                    # garbled or stale message means a torn decision
+                    assert str(exc) == self.REJECTION, str(exc)
+                else:
+                    assert result.rows == [(3.0,)], result.rows
+
+        def worker(index):
+            (churn if index == 0 else reader)(index)
+
+        hammer(worker)
+        # quiescent: the grant is held, so the answer must come back
+        result = db.execute_query(
+            self.SQL, session=session, mode="non-truman", prepared=True
+        )
+        assert result.rows == [(3.0,)]
+
+    def test_bind_vs_view_redefinition_churn(self):
+        from repro.errors import QueryRejectedError
+
+        db = self._db()
+        db.grant("MyGrades", "7")
+        session = db.connect(user_id="7", mode="non-truman").session
+        closed = (
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = 'nobody'"
+        )
+        opened = (
+            "create authorization view MyGrades as "
+            "select * from Grades where student_id = $user_id"
+        )
+
+        def churn(index):
+            for _ in range(OPS // 5):
+                db.execute("drop view MyGrades")
+                db.execute(closed)
+                db.execute("drop view MyGrades")
+                db.execute(opened)
+
+        def reader(index):
+            for _ in range(OPS):
+                try:
+                    result = db.execute_query(
+                        self.SQL, session=session, mode="non-truman",
+                        prepared=True,
+                    )
+                except QueryRejectedError as exc:
+                    assert str(exc) == self.REJECTION, str(exc)
+                else:
+                    assert result.rows == [(3.0,)], result.rows
+
+        def worker(index):
+            (churn if index == 0 else reader)(index)
+
+        hammer(worker)
+        result = db.execute_query(
+            self.SQL, session=session, mode="non-truman", prepared=True
+        )
+        assert result.rows == [(3.0,)]
+
+
 class TestMetricsRaces:
     def test_counters_and_histograms_exact_under_concurrency(self):
         registry = MetricsRegistry()
