@@ -532,7 +532,33 @@ def build_database(
     workload: Optional[str],
     script: Optional[str],
     data_dir: Optional[str] = None,
+    shards: int = 0,
+    replicas: int = 0,
 ) -> Database:
+    if shards > 0:
+        if data_dir is not None:
+            raise ValueError(
+                "--shards and --data-dir are mutually exclusive: a "
+                "sharded coordinator's durability slot carries the "
+                "cluster replication log"
+            )
+        from repro.cluster import ClusterCoordinator
+
+        db = ClusterCoordinator(shards=shards, replicas=replicas)
+        if workload == "university":
+            from repro.workloads.university import build_university
+
+            build_university(db=db)
+        elif workload == "bank":
+            raise ValueError(
+                "the bank workload builds its own single-node database; "
+                "use --workload university or --script with --shards"
+            )
+        elif script:
+            with open(script) as handle:
+                db.execute_script(handle.read())
+        db.sync_replicas()
+        return db
     if data_dir is not None:
         from repro.durability import has_durable_data
 
@@ -600,13 +626,32 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         help="maximum wire frame size in bytes (default 1 MiB); "
              "larger results are streamed as multiple row_batch frames",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="serve a sharded cluster coordinator with this many "
+             "storage nodes (0 = single-node; incompatible with "
+             "--data-dir)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="WAL-shipping read replicas for the cluster (requires "
+             "--shards)",
+    )
     args = parser.parse_args(argv)
+    if args.replicas and not args.shards:
+        parser.error("--replicas requires --shards")
 
     from repro.net.protocol import DEFAULT_MAX_FRAME
     from repro.net.server import ReproServer
     from repro.service import EnforcementGateway
 
-    db = build_database(args.workload, args.script, args.data_dir)
+    try:
+        db = build_database(
+            args.workload, args.script, args.data_dir,
+            shards=args.shards, replicas=args.replicas,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     gateway = EnforcementGateway(
         db,
         workers=args.workers,
@@ -623,8 +668,13 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
 
     async def amain() -> None:
         host, port = await server.start()
+        topology = (
+            f", shards={args.shards}, replicas={args.replicas}"
+            if args.shards else ""
+        )
         print(f"repro-serve listening on {host}:{port} "
-              f"(workers={args.workers}, queue={args.queue_size})")
+              f"(workers={args.workers}, queue={args.queue_size}"
+              f"{topology})")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:

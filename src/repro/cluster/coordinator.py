@@ -1,0 +1,258 @@
+"""The cluster coordinator: one brain, N shards, M replicas.
+
+:class:`ClusterCoordinator` *is a* :class:`~repro.db.Database` whose
+storage layer is hash-partitioned: ``_make_table`` places one fragment
+of every relation on each :class:`~repro.cluster.storage_node.
+StorageNode` behind a :class:`~repro.cluster.partition.
+PartitionedTable` facade.  Everything above storage — the parser, the
+Non-Truman validity checker, Truman rewriting, planning, the prepared-
+statement pipeline — runs **once per query on the coordinator**,
+exactly as on a single node; only execution touches shards:
+
+* point scans prune to the one shard the partition key hashes to (both
+  engines — see ``Executor._select_input`` and
+  ``VectorizedExecutor._scan``);
+* decomposable scalar aggregates scatter to every node and gather
+  merged partials (:meth:`run_plan`);
+* everything else reads the facade's merged row-id-ordered view, which
+  is byte-identical to a single node's iteration order.
+
+Replication: a :class:`~repro.cluster.shipper.ClusterWal` installed as
+``durability`` turns every mutation and policy change into
+epoch-stamped records shipped to :class:`~repro.cluster.replica.
+ReadReplica` instances.  :meth:`route_read` offers a replica only when
+its observed policy epoch has caught up with the coordinator's **and**
+its data lag is within ``replica_max_lag`` — a freshly-appended revoke
+makes every replica ineligible until it has applied that revoke.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import DurabilityError, ExecutionError
+from repro.algebra import ops
+from repro.authviews.session import SessionContext
+from repro.db import Database, Result
+from repro.engine import ENGINES, Evaluator, RowResolver
+from repro.instrument import COUNTERS
+from repro.storage.table import Table
+from repro.cluster.partition import HashPartitioner, PartitionedTable
+from repro.cluster.replica import ReadReplica
+from repro.cluster.shipper import ClusterWal, WalShipper
+from repro.cluster.storage_node import (
+    StorageNode,
+    decomposable_aggregate,
+    exact_merge_aggregates,
+    fragment_safe_subtree,
+    merge_partials,
+)
+
+#: modes whose reads may be served by a caught-up replica
+REPLICA_READ_MODES = ("open", "truman", "non-truman")
+
+
+class ClusterCoordinator(Database):
+    """Sharded, replicated Database with single-point enforcement."""
+
+    def __init__(
+        self,
+        shards: int = 4,
+        replicas: int = 0,
+        replica_max_lag: int = 0,
+        ship_batch: int = 1,
+        partition_keys: Optional[Mapping[str, tuple]] = None,
+    ):
+        if shards < 1:
+            raise ExecutionError(f"cluster needs at least 1 shard, got {shards}")
+        self.nodes = [StorageNode(i) for i in range(int(shards))]
+        #: optional per-table partition-key override (defaults to the
+        #: primary key, else all columns)
+        self.partition_keys = {
+            name.lower(): tuple(cols)
+            for name, cols in (partition_keys or {}).items()
+        }
+        self.replicas: list[ReadReplica] = []
+        self.replica_max_lag = replica_max_lag
+        self._route_cursor = 0
+        super().__init__()
+        ClusterWal(self, ship_batch=ship_batch).install(self)
+        for _ in range(int(replicas)):
+            self.add_replica()
+
+    # -- storage placement ------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.nodes)
+
+    def _make_table(self, schema) -> PartitionedTable:
+        pk = self.catalog.primary_key(schema.name)
+        key = self.partition_keys.get(schema.name.lower())
+        if key is None:
+            key = (
+                pk.columns
+                if pk is not None
+                else tuple(c.name for c in schema.columns)
+            )
+        partitioner = HashPartitioner(schema, key, len(self.nodes))
+        shard_tables = [Table(schema) for _ in self.nodes]
+        for node, shard_table in zip(self.nodes, shard_tables):
+            node.add_table(schema.name, shard_table)
+        return PartitionedTable(schema, shard_tables, partitioner)
+
+    # -- durability is the replication log --------------------------------
+
+    def _attach_durability(self, data_dir, sync="group", injector=None):
+        raise DurabilityError(
+            "a sharded coordinator cannot attach durable storage; its "
+            "durability slot carries the cluster replication log "
+            "(run a single-node Database for data_dir persistence)"
+        )
+
+    def save(self, data_dir, sync="group"):
+        raise DurabilityError(
+            "a sharded coordinator cannot save to a data_dir; its "
+            "durability slot carries the cluster replication log"
+        )
+
+    # -- replicas ---------------------------------------------------------
+
+    @property
+    def policy_epoch(self) -> int:
+        return self.durability.policy_epoch
+
+    def add_replica(self, name: Optional[str] = None) -> ReadReplica:
+        """Attach a replica and replay the full log into it."""
+        replica = ReadReplica(name or f"r{len(self.replicas)}")
+        shipper = WalShipper(
+            self.durability.log, replica, ship_batch=self.durability.ship_batch
+        )
+        self.durability.shippers.append(shipper)
+        self.replicas.append(replica)
+        shipper.ship()
+        return replica
+
+    def sync_replicas(self) -> int:
+        """Ship everything pending to every replica."""
+        return self.durability.ship_all()
+
+    def replica_lag(self) -> int:
+        """Worst data lag (in log records) across the replicas."""
+        if not self.durability.shippers:
+            return 0
+        return max(s.lag() for s in self.durability.shippers)
+
+    def route_read(self) -> Optional[ReadReplica]:
+        """A replica fit to serve a read right now, or None for primary.
+
+        Fit means: observed policy epoch ≥ the coordinator's (no policy
+        change it has not applied — stamped at append time, so even an
+        unshipped revoke disqualifies every replica immediately) and
+        data lag within ``replica_max_lag``.  Eligible replicas are
+        rotated round-robin.
+        """
+        if not self.replicas:
+            return None
+        epoch = self.policy_epoch
+        eligible = [
+            shipper.replica
+            for shipper in self.durability.shippers
+            if shipper.replica.policy_epoch >= epoch
+            and shipper.lag() <= self.replica_max_lag
+        ]
+        if not eligible:
+            return None
+        self._route_cursor += 1
+        return eligible[self._route_cursor % len(eligible)]
+
+    # -- scatter-gather execution -----------------------------------------
+
+    def run_plan(
+        self,
+        plan: ops.Operator,
+        session: Optional[SessionContext] = None,
+        access_params: Optional[Mapping[str, object]] = None,
+        engine: Optional[str] = None,
+        ctx=None,
+        optimize: bool = True,
+        compile_cache=None,
+    ) -> Result:
+        session = session or SessionContext()
+        engine = engine or self.default_engine
+        if engine not in ENGINES:
+            raise ExecutionError(
+                f"unknown execution engine {engine!r} (expected one of {ENGINES})"
+            )
+        if optimize:
+            from repro.algebra.rewrite import push_selections
+
+            plan = push_selections(plan)
+        scattered = self._scatter_aggregate(
+            plan, session, access_params, engine, ctx, compile_cache
+        )
+        if scattered is not None:
+            return scattered
+        return super().run_plan(
+            plan,
+            session,
+            access_params,
+            engine,
+            ctx,
+            optimize=False,
+            compile_cache=compile_cache,
+        )
+
+    def _scatter_aggregate(
+        self, plan, session, access_params, engine, ctx, compile_cache
+    ) -> Optional[Result]:
+        """Per-shard partial aggregation with a coordinator merge.
+
+        Handles plans of shape ``[Project/Alias]* → Aggregate(scalar,
+        decomposable) → fragment-safe subtree over one partitioned
+        relation``; returns None (→ merged-facade fallback) otherwise.
+        """
+        wrappers = []
+        node = plan
+        while isinstance(node, (ops.Project, ops.Alias)):
+            wrappers.append(node)
+            node = node.child
+        if not isinstance(node, ops.Aggregate):
+            return None
+        if not decomposable_aggregate(node):
+            return None
+        if not fragment_safe_subtree(node.child):
+            return None
+        leaf = node.child
+        while not isinstance(leaf, ops.Rel):
+            leaf = leaf.child
+        table = self._tables.get(leaf.name.lower())
+        if not isinstance(table, PartitionedTable):
+            return None
+        if not exact_merge_aggregates(node, leaf, table.schema):
+            return None
+
+        per_node = [
+            storage_node.partial_aggregate(
+                self, node, session, access_params, engine, ctx, compile_cache
+            )
+            for storage_node in self.nodes
+        ]
+        COUNTERS.bump("cluster.scatter")
+        row = tuple(
+            merge_partials(call, [partials[i] for partials in per_node])
+            for i, (call, _) in enumerate(node.aggregates)
+        )
+
+        # re-apply the wrapper chain (innermost first) on the merged row
+        columns = node.columns
+        for wrapper in reversed(wrappers):
+            if isinstance(wrapper, ops.Alias):
+                columns = wrapper.columns
+                continue
+            evaluator = Evaluator(RowResolver(columns))
+            row = tuple(
+                evaluator.evaluate(expr, row) for expr, _ in wrapper.exprs
+            )
+            columns = wrapper.columns
+        return Result(tuple(c.name for c in plan.columns), [row])

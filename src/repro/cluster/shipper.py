@@ -1,0 +1,292 @@
+"""Cluster WAL: epoch-stamped replication log + shipping to replicas.
+
+:class:`ClusterWal` duck-types the surface of
+:class:`repro.durability.manager.DurabilityManager` and is installed as
+the coordinator's ``durability`` — so the gateway's write path (group
+commit after the write lock, the commit circuit breaker, degraded
+read-only failover, drain-time checkpoint) and ``\\stats`` plumbing
+drive replication without knowing the cluster exists.
+
+Every record carries two stamps:
+
+* ``lsn`` — position in the replication log (idempotence: a replica
+  re-applying an already-seen LSN is a no-op);
+* ``epoch`` — the **policy epoch**, bumped *at append time* for every
+  policy-bearing record (grant/revoke, DDL — view bodies change what a
+  name means — Truman mappings, VPD predicates, participation
+  constraints).  The coordinator routes reads only to replicas whose
+  observed epoch has caught up to its own, so the instant a revoke is
+  appended — before it even ships — every replica is ineligible until
+  it has applied that revoke.  A revoke can therefore never be served
+  stale: the race window is closed by construction, not by shipping
+  speed.
+
+Shipped records round-trip through the durable WAL's CRC framing
+(:func:`repro.durability.wal.encode_record` /
+:func:`~repro.durability.wal.decode_frames`): what a replica applies is
+exactly what a follower reading a shipped segment file would decode.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DurabilityError
+from repro.durability.wal import decode_frames, encode_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.replica import ReadReplica
+    from repro.db import Database
+
+#: record kinds that change what some user is allowed to see
+POLICY_KINDS = frozenset(
+    {"grant", "revoke", "ddl", "truman", "vpd", "participation"}
+)
+
+
+class ReplicationLog:
+    """In-memory ordered log of epoch-stamped records."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+        self.next_lsn = 1
+
+    @property
+    def last_lsn(self) -> int:
+        return self.next_lsn - 1
+
+    def append(self, payload: dict) -> int:
+        record = dict(payload)
+        lsn = self.next_lsn
+        record["lsn"] = lsn
+        self.records.append(record)
+        self.next_lsn = lsn + 1
+        return lsn
+
+
+class WalShipper:
+    """Ships the replication log to one replica, tracking its cursor."""
+
+    def __init__(self, log: ReplicationLog, replica: "ReadReplica",
+                 ship_batch: int = 1):
+        self.log = log
+        self.replica = replica
+        #: ship eagerly once this many records are pending
+        self.ship_batch = max(1, ship_batch)
+        #: chaos hooks: a paused shipper accumulates lag; failures raise
+        self.paused = False
+        self.fail_next_ships = 0
+        self._cursor = 0
+        self.ships = 0
+        self.records_shipped = 0
+
+    def pending(self) -> int:
+        return len(self.log.records) - self._cursor
+
+    def lag(self) -> int:
+        """Records appended to the log but not yet applied here."""
+        return self.log.last_lsn - self.replica.applied_lsn
+
+    def maybe_ship(self) -> int:
+        if self.paused or self.pending() < self.ship_batch:
+            return 0
+        return self.ship()
+
+    def ship(self) -> int:
+        """Apply every pending record to the replica, in LSN order."""
+        if self.paused:
+            return 0
+        if self.fail_next_ships > 0:
+            self.fail_next_ships -= 1
+            raise DurabilityError(
+                f"injected ship failure to {self.replica.name}"
+            )
+        shipped = 0
+        while self._cursor < len(self.log.records):
+            record = self.log.records[self._cursor]
+            # round-trip through the durable framing: the replica sees
+            # exactly what a decoded shipped segment would contain
+            frames, _, torn = decode_frames(encode_record(record))
+            if torn or len(frames) != 1:
+                raise DurabilityError(
+                    f"replication frame for LSN {record.get('lsn')} "
+                    "did not survive encoding"
+                )
+            self.replica.apply(frames[0])
+            self._cursor += 1
+            shipped += 1
+        if shipped:
+            self.ships += 1
+            self.records_shipped += shipped
+        return shipped
+
+
+class ClusterWal:
+    """DurabilityManager-shaped replication front for a coordinator.
+
+    Not durable: records live in memory and ``checkpoint`` is a
+    truncation-free no-op (a sharded coordinator refuses ``data_dir``
+    attachment — see :class:`repro.cluster.coordinator.
+    ClusterCoordinator`).  What it preserves is the manager's *contract*
+    with the database and gateway: logging hooks, ``commit`` as the
+    post-write barrier (here: shipping), and ``wal_stats``.
+    """
+
+    def __init__(self, db: "Database", ship_batch: int = 1):
+        self.db = db
+        self.ship_batch = ship_batch
+        self.log = ReplicationLog()
+        self.shippers: list[WalShipper] = []
+        self.policy_epoch = 0
+        self.commits = 0
+        self.checkpoints = 0
+        self.closed = False
+        #: test/chaos hook mirroring a failing durable commit: trips the
+        #: gateway's breaker into degraded read-only mode
+        self.fail_next_commits = 0
+        self._lock = threading.RLock()
+
+    def install(self, db: "Database") -> None:
+        db.durability = self
+        for table in db._tables.values():
+            self.register_table(table)
+        db.grants.on_change = self._registry_change
+        db.vpd_policies.on_change = self._vpd_change
+
+    # -- logging hooks (DurabilityManager surface) ------------------------
+
+    def _append(self, payload: dict) -> int:
+        with self._lock:
+            if self.closed:
+                raise DurabilityError("cluster WAL is closed")
+            if payload.get("kind") in POLICY_KINDS:
+                self.policy_epoch += 1
+            payload = dict(payload)
+            payload["epoch"] = self.policy_epoch
+            return self.log.append(payload)
+
+    def log_ddl(self, sql: str) -> int:
+        return self._append({"kind": "ddl", "sql": sql})
+
+    def log_truman(self, table_name: str, view_name: str) -> int:
+        return self._append(
+            {"kind": "truman", "table": table_name, "view": view_name}
+        )
+
+    def log_participation(self, constraint) -> int:
+        from repro.durability.snapshot import _participation_state
+
+        return self._append(
+            {
+                "kind": "participation",
+                "constraint": _participation_state(constraint),
+            }
+        )
+
+    def log_vpd(self, table: str, predicate: str, version: int) -> int:
+        return self._append(
+            {"kind": "vpd", "table": table, "predicate": predicate,
+             "vv": version}
+        )
+
+    def register_table(self, table) -> None:
+        """Install the mutation hook on a (partitioned) table facade."""
+        name = table.schema.name.lower()
+
+        def hook(event: str, *args) -> None:
+            if event == "insert":
+                rid, row = args
+                self._append(
+                    {"kind": "row", "op": "insert", "table": name,
+                     "rid": rid, "row": list(row),
+                     "dv": self.db.validity_cache.data_version}
+                )
+            elif event == "update":
+                rid, row, _old = args
+                self._append(
+                    {"kind": "row", "op": "update", "table": name,
+                     "rid": rid, "row": list(row),
+                     "dv": self.db.validity_cache.data_version}
+                )
+            elif event == "delete":
+                rid, _row = args
+                self._append(
+                    {"kind": "row", "op": "delete", "table": name,
+                     "rid": rid,
+                     "dv": self.db.validity_cache.data_version}
+                )
+            elif event == "index":
+                columns, unique = args
+                self._append(
+                    {"kind": "index", "table": name,
+                     "columns": list(columns), "unique": unique}
+                )
+
+        table.on_mutate = hook
+
+    def _registry_change(self, event: str, info: dict) -> None:
+        payload = {"kind": event}
+        payload.update(info)
+        self._append(payload)
+
+    def _vpd_change(self, table: str, text: Optional[str], version: int) -> None:
+        if text is None:
+            raise DurabilityError(
+                "callable VPD policies cannot be replicated to read "
+                "replicas; attach the policy as a predicate string"
+            )
+        self.log_vpd(table, text, version)
+
+    # -- commit / checkpoint (DurabilityManager surface) ------------------
+
+    def commit(self) -> None:
+        """The cluster's durability barrier: ship pending records.
+
+        Raising here is how replication failure surfaces to the
+        gateway's circuit breaker — after ``failure_threshold`` failed
+        commits the gateway enters degraded read-only mode, which is the
+        cluster's failover posture.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            if self.fail_next_commits > 0:
+                self.fail_next_commits -= 1
+                raise DurabilityError("injected cluster commit failure")
+            self.commits += 1
+            for shipper in self.shippers:
+                shipper.maybe_ship()
+
+    def ship_all(self) -> int:
+        """Force every shipper fully up to date; returns records shipped."""
+        with self._lock:
+            return sum(shipper.ship() for shipper in self.shippers)
+
+    def checkpoint(self) -> int:
+        """No storage to truncate; reported LSN is the log head."""
+        with self._lock:
+            self.checkpoints += 1
+            return self.log.last_lsn
+
+    def close(self, checkpoint: bool = True) -> None:
+        with self._lock:
+            self.closed = True
+
+    # -- observability (DurabilityManager surface) ------------------------
+
+    def wal_stats(self) -> dict[str, object]:
+        with self._lock:
+            stats: dict[str, object] = {
+                "cluster_wal_records": len(self.log.records),
+                "cluster_wal_last_lsn": self.log.last_lsn,
+                "cluster_wal_commits": self.commits,
+                "cluster_replicas": len(self.shippers),
+                "policy_epoch": self.policy_epoch,
+            }
+            for shipper in self.shippers:
+                prefix = f"replica_{shipper.replica.name}"
+                stats[f"{prefix}_lag"] = shipper.lag()
+                stats[f"{prefix}_applied_lsn"] = shipper.replica.applied_lsn
+                stats[f"{prefix}_policy_epoch"] = shipper.replica.policy_epoch
+            return stats

@@ -392,9 +392,14 @@ class Database:
 
     # -- DDL ------------------------------------------------------------------
 
+    def _make_table(self, schema) -> Table:
+        """Storage for one relation; the cluster coordinator overrides
+        this to hash-partition the rows across its storage nodes."""
+        return Table(schema)
+
     def _create_table(self, statement: ast.CreateTable) -> None:
         schema = self.catalog.create_table_from_ast(statement)
-        table = Table(schema)
+        table = self._make_table(schema)
         pk = self.catalog.primary_key(schema.name)
         if pk is not None:
             table.create_index(pk.columns, unique=True)

@@ -105,6 +105,7 @@ class DurabilityManager:
         for table in db._tables.values():
             self.register_table(table)
         db.grants.on_change = self._registry_change
+        db.vpd_policies.on_change = self._vpd_change
 
     # -- logging hooks ---------------------------------------------------
 
@@ -188,6 +189,19 @@ class DurabilityManager:
         payload = {"kind": event}
         payload.update(info)
         self._append(payload)
+
+    def _vpd_change(self, table: str, text: Optional[str], version: int) -> None:
+        # callable policies have no serializable form; they stay
+        # process-local exactly as before VPD records existed
+        if text is None:
+            return
+        self.log_vpd(table, text, version)
+
+    def log_vpd(self, table: str, predicate: str, version: int) -> int:
+        return self._append(
+            {"kind": "vpd", "table": table, "predicate": predicate,
+             "vv": version}
+        )
 
     # -- commit / checkpoint ---------------------------------------------
 

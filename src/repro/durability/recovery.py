@@ -77,6 +77,8 @@ def apply_record(db: "Database", record: dict) -> None:
         )
     elif kind == "truman":
         db.set_truman_view(record["table"], record["view"])
+    elif kind == "vpd":
+        db.vpd_policies.add_policy(record["table"], record["predicate"])
     elif kind == "participation":
         db.add_participation_constraint(
             load_participation(record["constraint"])

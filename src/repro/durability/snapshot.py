@@ -166,6 +166,7 @@ def capture_state(db: "Database", last_lsn: int) -> dict:
         "participations": [
             _participation_state(c) for c in db.catalog.manual_participations()
         ],
+        "vpd": [[table, text] for table, text in db.vpd_policies.policy_texts()],
         "counters": {
             "data_version": db.validity_cache.data_version,
             "grants_version": db.grants.version,
@@ -203,6 +204,8 @@ def restore_state(db: "Database", state: dict) -> None:
         db.execute(sql)
     for participation in state["participations"]:
         db.add_participation_constraint(load_participation(participation))
+    for table, text in state.get("vpd", ()):
+        db.vpd_policies.add_policy(table, text)
     db.validity_cache.restore_data_version(state["counters"]["data_version"])
     db.catalog.restore_views_version(state["counters"]["views_version"])
 

@@ -69,6 +69,16 @@ def read_wal(path: str) -> tuple[list[dict], int, bool]:
     """
     with open(path, "rb") as handle:
         data = handle.read()
+    return decode_frames(data)
+
+
+def decode_frames(data: bytes) -> tuple[list[dict], int, bool]:
+    """Decode a byte stream of CRC-framed records.
+
+    Shared between file recovery (:func:`read_wal`) and the cluster's
+    WAL shipper (:mod:`repro.cluster.shipper`), which round-trips every
+    shipped record through the same framing a durable log would use.
+    """
     records: list[dict] = []
     offset = 0
     torn = False

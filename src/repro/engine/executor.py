@@ -20,6 +20,7 @@ from repro.algebra import expr as exprs
 from repro.algebra import ops
 from repro.engine.aggregates import make_accumulator
 from repro.engine.evaluator import Evaluator, RowResolver
+from repro.optimizer.pushdown import split_pushable_equalities
 
 
 class ExecContext(Protocol):
@@ -58,6 +59,8 @@ class Executor:
         #: simple instrumentation used by benchmarks
         self.rows_scanned = 0
         self.join_pairs_examined = 0
+        #: scans answered from a single partition (sharded tables only)
+        self.pruned_scans = 0
 
     def execute(self, plan: ops.Operator) -> list[tuple]:
         if isinstance(plan, ops.Rel):
@@ -108,7 +111,7 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _execute_select(self, plan: ops.Select) -> list[tuple]:
-        rows = self.execute(plan.child)
+        rows = self._select_input(plan)
         evaluator = Evaluator(RowResolver(plan.child.columns))
         qctx = self.qctx
         if qctx is None:
@@ -119,6 +122,31 @@ class Executor:
             if evaluator.matches(plan.predicate, row):
                 result.append(row)
         return result
+
+    def _select_input(self, plan: ops.Select) -> list[tuple]:
+        """Rows feeding a selection; a scan over a partitioned table is
+        pruned to one shard when equality conjuncts pin the full
+        partition key.  The caller still applies the whole predicate, so
+        pruning can only skip rows the predicate would reject anyway."""
+        child = plan.child
+        if isinstance(child, ops.Rel):
+            getter = getattr(self.context, "table_handle", None)
+            table = getter(child.name) if getter is not None else None
+            pruner = getattr(table, "prune_for", None)
+            if pruner is not None:
+                equalities, _ = split_pushable_equalities(plan.predicate, child)
+                if equalities:
+                    fragment = pruner({e.column: e.value for e in equalities})
+                    if fragment is not None:
+                        rows = fragment.rows()
+                        self.rows_scanned += len(rows)
+                        self.pruned_scans += 1
+                        if self.qctx is not None:
+                            self.qctx.tick(
+                                len(rows), len(rows) * max(len(child.columns), 1)
+                            )
+                        return rows
+        return self.execute(child)
 
     def _execute_project(self, plan: ops.Project) -> list[tuple]:
         rows = self.execute(plan.child)

@@ -45,7 +45,7 @@ from repro.engine.vectorized.batch import (
     rows_from_batches,
 )
 from repro.engine.vectorized.compile import compile_scalar, selection_vector
-from repro.optimizer.pushdown import annotate_scan
+from repro.optimizer.pushdown import annotate_scan, split_pushable_equalities
 
 #: default number of rows per column batch
 BATCH_SIZE = 1024
@@ -79,6 +79,8 @@ class VectorizedExecutor:
         self.join_pairs_examined = 0
         #: index probes answered without a full scan (vectorized-only)
         self.index_probes = 0
+        #: scans answered from a single partition (sharded tables only)
+        self.pruned_scans = 0
 
     def _tick(self, rows: int, cells: int = 0) -> None:
         if self.qctx is not None:
@@ -153,6 +155,19 @@ class VectorizedExecutor:
         a pushable single-column equality conjunct."""
         width = len(rel.schema_columns)
         table = self._table_handle(rel.name)
+
+        pruner = getattr(table, "prune_for", None)
+        if pruner is not None and predicate is not None:
+            equalities, _ = split_pushable_equalities(predicate, rel)
+            if equalities:
+                fragment = pruner({e.column: e.value for e in equalities})
+                if fragment is not None:
+                    # probe/scan logic below runs against the single
+                    # shard that can hold matching rows; the full
+                    # predicate is still applied, so this is purely a
+                    # work reduction
+                    table = fragment
+                    self.pruned_scans += 1
 
         if table is not None and predicate is not None:
             annotation = annotate_scan(

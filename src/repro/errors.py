@@ -213,6 +213,17 @@ class ConnectionDropped(NetworkError, ConnectionError):
     """
 
 
+class ConnectionLostError(ConnectionDropped):
+    """An *established* client connection died mid-operation.
+
+    Distinguished from :class:`ConnectionDropped` (which also covers
+    refused connects and protocol-level closes) so clients can offer
+    transparent single-reconnect retry for idempotent reads — a SELECT
+    or a stats fetch can safely be re-sent on a fresh connection, a
+    write cannot.
+    """
+
+
 class DurabilityError(ReproError):
     """Raised by the durable-storage layer (``repro.durability``).
 

@@ -25,7 +25,7 @@ import socket
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.errors import ConnectionDropped, ProtocolError
+from repro.errors import ConnectionDropped, ConnectionLostError, ProtocolError
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -185,11 +185,21 @@ def _raise_wire_error(message: dict) -> None:
 # -- blocking client -------------------------------------------------------
 
 
+def _idempotent_read(sql: str) -> bool:
+    """True when re-sending ``sql`` after a lost connection is safe."""
+    return sql.lstrip().lower().startswith("select")
+
+
 class ReproClient:
     """Blocking protocol client: connect, hello, query, close.
 
     One outstanding query at a time; server frames for that query are
     consumed in order.  Use :class:`AsyncReproClient` for pipelining.
+
+    ``reconnect=True`` opts in to a single transparent reconnect-and-
+    retry when an established connection dies under an **idempotent
+    read** (a SELECT or a stats fetch).  Writes and prepared executes
+    never retry — the first attempt may have been applied.
     """
 
     def __init__(
@@ -202,7 +212,12 @@ class ReproClient:
         params: Optional[dict] = None,
         connect_timeout: Optional[float] = 10.0,
         max_frame_size: int = DEFAULT_MAX_FRAME,
+        reconnect: bool = False,
     ):
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self.reconnect = reconnect
         self._sock = socket.create_connection((host, port), connect_timeout)
         # frame-level timeouts are the server's job (deadlines); the
         # socket itself blocks until the server answers or drops
@@ -212,6 +227,7 @@ class ReproClient:
         self._ids = itertools.count(1)
         self.max_frame_size = max_frame_size
         self.server_info: dict = {}
+        self.reconnects = 0
         self.hello(user=user, mode=mode, params=params)
 
     # -- transport --------------------------------------------------------
@@ -220,20 +236,37 @@ class ReproClient:
         try:
             self._sock.sendall(encode_frame(message, self.max_frame_size))
         except OSError as exc:
-            raise ConnectionDropped(f"connection lost while sending: {exc}") from None
+            raise ConnectionLostError(
+                f"connection lost while sending: {exc}"
+            ) from None
 
     def _next_message(self) -> dict:
         while not self._inbox:
             try:
                 data = self._sock.recv(65536)
             except OSError as exc:
-                raise ConnectionDropped(
+                raise ConnectionLostError(
                     f"connection lost while receiving: {exc}"
                 ) from None
             if not data:
-                raise ConnectionDropped("server closed the connection")
+                raise ConnectionLostError("server closed the connection")
             self._inbox.extend(self._decoder.feed(data))
         return self._inbox.pop(0)
+
+    def _reconnect(self) -> None:
+        """Re-establish the socket and re-authenticate the session."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(
+            (self._host, self._port), self._connect_timeout
+        )
+        self._sock.settimeout(None)
+        self._decoder = FrameDecoder(self.max_frame_size)
+        self._inbox = []
+        self.reconnects += 1
+        self.hello(*self._hello_args)
 
     # -- session ----------------------------------------------------------
 
@@ -244,6 +277,7 @@ class ReproClient:
         params: Optional[dict] = None,
     ) -> dict:
         """(Re-)authenticate this connection; returns the welcome frame."""
+        self._hello_args = (user, mode, params)
         self._send(
             {
                 "type": "hello",
@@ -304,7 +338,13 @@ class ReproClient:
         ``row_budget``, ``memory_budget`` — the same knobs as
         :class:`~repro.service.request.QueryRequest`.
         """
-        return self.finish_query(self.start_query(sql, **options))
+        try:
+            return self.finish_query(self.start_query(sql, **options))
+        except ConnectionLostError:
+            if not (self.reconnect and _idempotent_read(sql)):
+                raise
+            self._reconnect()
+            return self.finish_query(self.start_query(sql, **options))
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse + literal-strip ``sql`` server-side once; returns a
@@ -340,6 +380,15 @@ class ReproClient:
 
     def stats(self) -> dict:
         """The gateway's merged stats snapshot, fetched over the wire."""
+        try:
+            return self._fetch_stats()
+        except ConnectionLostError:
+            if not self.reconnect:
+                raise
+            self._reconnect()
+            return self._fetch_stats()
+
+    def _fetch_stats(self) -> dict:
         request_id = next(self._ids)
         self._send({"type": "stats", "id": request_id})
         message = self._next_message()
@@ -436,9 +485,14 @@ class AsyncReproClient:
         if self._closed or self._writer is None:
             raise ConnectionDropped("client is closed")
         data = encode_frame(message, self.max_frame_size)
-        async with self._write_lock:
-            self._writer.write(data)
-            await self._writer.drain()
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLostError(
+                f"connection lost while sending: {exc}"
+            ) from None
 
     async def _read_loop(self) -> None:
         assert self._reader is not None and self._decoder is not None
@@ -451,7 +505,7 @@ class AsyncReproClient:
                 for message in self._decoder.feed(data):
                     self._route(message)
         except (ConnectionError, OSError) as exc:
-            error = ConnectionDropped(f"connection lost: {exc}")
+            error = ConnectionLostError(f"connection lost: {exc}")
         except ProtocolError as exc:
             error = exc
         except asyncio.CancelledError:

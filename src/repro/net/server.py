@@ -311,17 +311,22 @@ class ReproServer:
         if first_auth:
             self.metrics.counter("sessions_authenticated").inc()
         self._fire_chaos("net.after_hello")
-        await self._send(
-            session,
-            {
-                "type": "welcome",
-                "protocol": PROTOCOL_VERSION,
-                "server": self.name,
-                "session": session.id,
-                "user": session.user,
-                "mode": session.mode,
-            },
-        )
+        welcome = {
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "server": self.name,
+            "session": session.id,
+            "user": session.user,
+            "mode": session.mode,
+        }
+        # cluster deployments advertise their topology so clients and
+        # operators can see what is serving them
+        db = self.gateway.db
+        shards = getattr(db, "n_shards", None)
+        if shards is not None:
+            welcome["shards"] = shards
+            welcome["replicas"] = len(getattr(db, "replicas", ()))
+        await self._send(session, welcome)
 
     async def _handle_query(self, session: _Session, message: dict) -> None:
         request_id = message.get("id")

@@ -66,6 +66,11 @@ class PreparedStatementCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: calls to invalidate_user / invalidate_relation (counted even
+        #: when nothing matched — replication idempotence tests assert a
+        #: re-applied policy record triggers no second call)
+        self.user_invalidations = 0
+        self.relation_invalidations = 0
         self.evictions = 0
         self.builds = 0
         self.text_hits = 0
@@ -171,6 +176,7 @@ class PreparedStatementCache:
 
         key_user = None if user is None else str(user).lower()
         with self._lock:
+            self.user_invalidations += 1
             doomed = [
                 key
                 for key, template in self._templates.items()
@@ -189,6 +195,7 @@ class PreparedStatementCache:
     def invalidate_relation(self, name: str) -> None:
         """Drop templates that (transitively) reference ``name``."""
         with self._lock:
+            self.relation_invalidations += 1
             doomed = [
                 key
                 for key, template in self._templates.items()
@@ -223,6 +230,8 @@ class PreparedStatementCache:
                 "prepared_hit_rate": (self.hits / total) if total else 0.0,
                 "prepared_builds": self.builds,
                 "prepared_invalidations": self.invalidations,
+                "prepared_user_invalidations": self.user_invalidations,
+                "prepared_relation_invalidations": self.relation_invalidations,
                 "prepared_evictions": self.evictions,
                 "prepared_text_hits": self.text_hits,
                 "prepared_text_misses": self.text_misses,

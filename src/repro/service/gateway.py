@@ -277,6 +277,7 @@ class EnforcementGateway:
             "wal_commit_failures",
             "prepared_requests",
             "prepared_fallbacks",
+            "replica_reads",
         ):
             self.metrics.counter(counter)
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
@@ -769,6 +770,17 @@ class EnforcementGateway:
                 request.user, request.mode, request.params
             ) as conn:
                 session = conn.session
+                replica = self._route_replica(request)
+                if replica is not None:
+                    if query is None and resolved is not None:
+                        skeleton, literals, _ = resolved
+                        query = bind_skeleton(skeleton, literals)
+                    response = self._process_query_replica(
+                        request, query, replica, session, timing, ctx
+                    )
+                    if resolved is not None:
+                        response.signature = resolved[2]
+                    return response
                 if resolved is not None:
                     try:
                         response = self._process_prepared(
@@ -790,6 +802,125 @@ class EnforcementGateway:
                 return response
         finally:
             self._rwlock.release_read()
+
+    def _route_replica(self, request: QueryRequest):
+        """A caught-up read replica for this request, or None for primary.
+
+        Only cluster databases (:class:`repro.cluster.ClusterCoordinator`)
+        expose ``route_read``; everywhere else this is a no-op.  The
+        routing gate — replica policy epoch caught up with the
+        coordinator's, data lag within bounds — lives in the database,
+        not here.
+        """
+        route = getattr(self.db, "route_read", None)
+        if route is None:
+            return None
+        from repro.cluster.coordinator import REPLICA_READ_MODES
+
+        if request.mode not in REPLICA_READ_MODES:
+            return None
+        return route()
+
+    def _process_query_replica(
+        self,
+        request: QueryRequest,
+        query: ast.QueryExpr,
+        replica,
+        session,
+        timing: Timing,
+        ctx: QueryContext,
+    ) -> QueryResponse:
+        """Serve one read on a replica's own Database.
+
+        The replica enforces policy itself (its grants / Truman views /
+        VPD predicates are rebuilt from shipped WAL records), so the
+        outcome — rows, rejection message, audit decision — is the same
+        as the primary's; only the serving node differs.  Applies and
+        reads are mutually exclusive via the replica's lock, so a read
+        can never observe a half-applied shipped batch.
+        """
+        self.metrics.counter("replica_reads").inc()
+        rdb = replica.database
+        decision: Optional[ValidityDecision] = None
+        check_start = time.perf_counter()
+        with replica.read_lock():
+            if request.mode == "non-truman":
+                try:
+                    decision = rdb.check_validity(query, session, ctx=ctx)
+                except QueryAborted:
+                    timing.check_s = time.perf_counter() - check_start
+                    raise
+                except ReproError as exc:
+                    timing.check_s = time.perf_counter() - check_start
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        error=str(exc),
+                        replica=replica.name,
+                    )
+                timing.check_s = time.perf_counter() - check_start
+                if not decision.valid:
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.REJECTED,
+                        decision=decision,
+                        error=(
+                            "query rejected by Non-Truman model: "
+                            f"{decision.reason}"
+                        ),
+                        replica=replica.name,
+                    )
+                to_execute, execute_mode = query, "open"
+            elif request.mode == "truman":
+                from repro.truman.rewrite import truman_rewrite
+
+                try:
+                    to_execute = truman_rewrite(rdb, query, session)
+                except ReproError as exc:
+                    timing.check_s = time.perf_counter() - check_start
+                    return QueryResponse(
+                        request=request,
+                        status=RequestStatus.ERROR,
+                        error=str(exc),
+                        replica=replica.name,
+                    )
+                timing.check_s = time.perf_counter() - check_start
+                execute_mode = "open"
+            else:
+                to_execute, execute_mode = query, request.mode
+                timing.check_s = time.perf_counter() - check_start
+
+            ctx.check("phase boundary before execution")
+            self._fire_chaos("gateway.before_execute")
+            execute_start = time.perf_counter()
+            try:
+                result = rdb.execute_query(
+                    to_execute,
+                    session=session,
+                    mode=execute_mode,
+                    engine=request.engine,
+                    ctx=ctx,
+                )
+            except QueryAborted:
+                timing.execute_s = time.perf_counter() - execute_start
+                raise
+            except ReproError as exc:
+                timing.execute_s = time.perf_counter() - execute_start
+                return QueryResponse(
+                    request=request,
+                    status=RequestStatus.ERROR,
+                    decision=decision,
+                    error=str(exc),
+                    replica=replica.name,
+                )
+            timing.execute_s = time.perf_counter() - execute_start
+        return QueryResponse(
+            request=request,
+            status=RequestStatus.OK,
+            result=result,
+            decision=decision,
+            replica=replica.name,
+        )
 
     def _process_prepared(
         self,
@@ -1112,6 +1243,19 @@ class EnforcementGateway:
         merged.update(self.db.prepared.stats())
         merged.update(self.pool.stats())
         merged.update(self._breaker.stats())
+        # policy / data version counters: what the enforcement caches
+        # stamp their entries with, and what cluster epoch gating keys on
+        merged["policy_grants_version"] = self.db.grants.version
+        merged["policy_views_version"] = self.db.catalog.views_version
+        merged["policy_vpd_version"] = self.db.vpd_policies.version
+        merged["data_version"] = self.db.validity_cache.data_version
+        epoch = getattr(self.db, "policy_epoch", None)
+        if epoch is not None:
+            merged["policy_epoch"] = epoch
+        for name, table in sorted(self.db._tables.items()):
+            version = getattr(table, "data_version", None)
+            if version is not None:
+                merged[f"data_version_{name}"] = version
         if self.db.durability is not None:
             merged.update(self.db.durability.wal_stats())
         return merged

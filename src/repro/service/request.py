@@ -114,6 +114,9 @@ class QueryResponse:
     #: literal-stripped audit signature, when the serving path already
     #: knows it (prepared requests) — saves the audit re-parse
     signature: Optional[str] = None
+    #: name of the read replica that served this request (cluster
+    #: deployments only; None = primary)
+    replica: Optional[str] = None
 
     @property
     def ok(self) -> bool:

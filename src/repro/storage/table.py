@@ -40,6 +40,16 @@ class Table:
         self._indexes: list[HashIndex] = []
         #: durability hook; see module docstring
         self.on_mutate: Optional[Callable[..., None]] = None
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic count of successful mutations on this relation.
+
+        Exposed through ``\\stats`` so clients can compare a replica's
+        applied state against the primary without diffing rows.
+        """
+        return self._data_version
 
     # -- index management -------------------------------------------------
 
@@ -154,6 +164,7 @@ class Table:
             raise
         self._next_id = max(self._next_id, rid + 1)
         self._rows[rid] = row
+        self._data_version += 1
         if self.on_mutate is not None:
             self.on_mutate("insert", rid, row)
         return rid
@@ -163,6 +174,7 @@ class Table:
         del self._rows[row_id]
         for index in self._indexes:
             index.delete(row_id, row)
+        self._data_version += 1
         if self.on_mutate is not None:
             self.on_mutate("delete", row_id, row)
         return row
@@ -192,6 +204,7 @@ class Table:
                 index.insert(row_id, old)
             raise
         self._rows[row_id] = new
+        self._data_version += 1
         if self.on_mutate is not None:
             self.on_mutate("update", row_id, new, old)
         return old

@@ -35,6 +35,14 @@ class VpdPolicySet:
         #: bumped on every policy attachment; prepared templates built
         #: under an older policy set are stale (repro.prepared)
         self._version = 0
+        #: ``on_change(table, predicate_text_or_None, version)`` after
+        #: every attachment; the durability/replication layers use it to
+        #: ship the policy.  ``None`` marks a callable policy, which has
+        #: no serializable form.
+        self.on_change: Optional[Callable[[str, Optional[str], int], None]] = None
+        #: (table, predicate text | None) per attachment, in order —
+        #: the serializable subset survives snapshots and WAL shipping
+        self._texts: list[tuple[str, Optional[str]]] = []
 
     @property
     def version(self) -> int:
@@ -48,19 +56,28 @@ class VpdPolicySet:
         ``policy`` may be a predicate string (``"student_id = $user_id"``),
         a pre-parsed expression, or a callable policy function.
         """
+        text: Optional[str]
         if isinstance(policy, str):
             predicate = _parse_predicate(policy)
+            text = policy
             fn: PolicyFn = lambda session, predicate=predicate: exprs.substitute_params(
                 predicate, session.param_values()
             )
         elif isinstance(policy, ast.Expr):
+            from repro.sql.render import render
+
+            text = render(policy)
             fn = lambda session, predicate=policy: exprs.substitute_params(
                 predicate, session.param_values()
             )
         else:
+            text = None
             fn = policy
         self._policies.setdefault(table.lower(), []).append(fn)
+        self._texts.append((table.lower(), text))
         self._version += 1
+        if self.on_change is not None:
+            self.on_change(table.lower(), text, self._version)
 
     def has_policy(self, table: str) -> bool:
         return table.lower() in self._policies
@@ -80,6 +97,11 @@ class VpdPolicySet:
 
     def tables(self) -> list[str]:
         return list(self._policies)
+
+    def policy_texts(self) -> list[tuple[str, str]]:
+        """Serializable (table, predicate text) policies, in attachment
+        order.  Callable policies have no text and are omitted."""
+        return [(table, text) for table, text in self._texts if text is not None]
 
 
 def _qualify(predicate: ast.Expr, binding: str) -> ast.Expr:

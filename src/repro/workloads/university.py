@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.db import Database
 from repro.catalog.constraints import TotalParticipation
@@ -106,10 +107,16 @@ def build_university(
     deploy_views: bool = True,
     grant_views_public: bool = True,
     declare_constraints: bool = True,
+    db: Optional[Database] = None,
 ) -> Database:
-    """Create and populate a university database."""
+    """Create and populate a university database.
+
+    ``db`` populates an existing (possibly sharded/cluster) database
+    instead of constructing a fresh single-node one.
+    """
     rng = random.Random(config.seed)
-    db = Database()
+    if db is None:
+        db = Database()
     db.execute_script(SCHEMA_SQL)
 
     course_ids = [f"CS{100 + i}" for i in range(config.courses)]

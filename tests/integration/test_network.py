@@ -497,6 +497,58 @@ class TestCancellationOnDisconnect:
             gateway.shutdown(drain=False)
 
 
+class TestReconnect:
+    """`ConnectionLostError` + the opt-in single reconnect-and-retry
+    for idempotent reads (cluster PR satellite): an established
+    connection dying under a SELECT is retried transparently once,
+    re-authenticating the session; writes never retry."""
+
+    def test_lost_connection_raises_typed_error(self, service):
+        from repro.errors import ConnectionLostError
+
+        _, host, port = service
+        with ReproClient(host, port, user="11") as client:
+            client._sock.close()  # the connection dies under us
+            with pytest.raises(ConnectionLostError) as excinfo:
+                client.query("select grade from MyGrades")
+            # typed as a connection error end to end
+            assert isinstance(excinfo.value, ConnectionDropped)
+            assert client.reconnects == 0
+
+    def test_idempotent_read_retries_once_with_session(self, service):
+        _, host, port = service
+        with ReproClient(host, port, user="11", reconnect=True) as client:
+            before = client.query("select grade from MyGrades")
+            client._sock.close()
+            after = client.query("select grade from MyGrades")
+            assert client.reconnects == 1
+            # the re-hello restored the same authenticated session:
+            # the auth view still resolves against user 11
+            assert after.rows == before.rows
+
+    def test_write_never_retries(self, service):
+        from repro.errors import ConnectionLostError
+
+        _, host, port = service
+        with ReproClient(
+            host, port, user=None, mode="open", reconnect=True
+        ) as client:
+            client._sock.close()
+            with pytest.raises(ConnectionLostError):
+                client.query(
+                    "insert into Grades values ('11', 'CS999', 1.0)"
+                )
+            assert client.reconnects == 0
+
+    def test_stats_fetch_retries(self, service):
+        _, host, port = service
+        with ReproClient(host, port, user="11", reconnect=True) as client:
+            client._sock.close()
+            stats = client.stats()
+            assert client.reconnects == 1
+            assert "breaker_state" in stats
+
+
 class TestPreparedWire:
     """The ``prepare``/``execute`` message pair: explicit server-side
     statement handles with positional literal rebinding (paper §5.6 on
