@@ -18,7 +18,13 @@ exposes — ``\\stats`` shows the gateway's live metrics.  Meta-commands:
 ``\\views``         list authorization views available to this session
 ``\\check SQL``     run only the validity check; print the decision,
                    rule trace, and witness plan
-``\\explain SQL``   show the logical plan for a query
+``\\explain SQL``   show the logical plan for a query; in non-truman
+                   mode, also the decision trace — and, when a ReBAC
+                   policy is attached, the relationship-tuple chains
+                   that justify (or fail to justify) the access
+``\\time T``        set the session's $time parameter (``\\time off``
+                   clears it); compiled ReBAC views compare grant
+                   expiry against it
 ``\\grant V U``     grant view V to user U (or PUBLIC)
 ``\\tables``        list base tables
 ``\\stats``         gateway metrics: requests, cache, pool, latency
@@ -63,6 +69,8 @@ class Shell:
         self.out = out
         self.mode = "non-truman"
         self.user: Optional[str] = None
+        #: session $time parameter (None = unset); see \time
+        self.time: Optional[float] = None
         self.conn: Connection = db.connect(user_id=None, mode=self.mode)
         self.gateway_workers = gateway_workers
         #: default per-query deadline (seconds); None disables it
@@ -76,7 +84,13 @@ class Shell:
         print(text, file=self.out)
 
     def reconnect(self) -> None:
-        self.conn = self.db.connect(user_id=self.user, mode=self.mode)
+        self.conn = self.db.connect(
+            user_id=self.user, mode=self.mode, time=self.time
+        )
+
+    def session_params(self) -> dict:
+        """The session-context parameters gateway requests carry."""
+        return {} if self.time is None else {"time": self.time}
 
     def gateway(self):
         """The shell's enforcement gateway, started on first use."""
@@ -172,6 +186,8 @@ class Shell:
             self._check(rest)
         elif head == "\\explain":
             self._explain(rest)
+        elif head == "\\time":
+            self._set_time(rest)
         elif head == "\\stats":
             self.write(self.gateway().render_stats())
         elif head == "\\audit":
@@ -250,6 +266,39 @@ class Shell:
             self.write(f"error: {exc}")
             return
         self.write(plan.pretty())
+        if self.mode != "non-truman":
+            return
+        # non-truman mode: trace the validity decision, and (with a
+        # ReBAC policy attached) the tuple chains behind it
+        from repro.rebac.trace import explain_query, render_report
+
+        try:
+            report = explain_query(self.db, statement, self.conn.session)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write("decision:")
+        for line in render_report(report):
+            self.write(f"  {line}")
+
+    def _set_time(self, rest: str) -> None:
+        text = rest.strip()
+        if not text:
+            shown = "unset" if self.time is None else repr(self.time)
+            self.write(f"session time: {shown}")
+            return
+        if text.lower() in ("off", "none"):
+            self.time = None
+            self.reconnect()
+            self.write("session time cleared")
+            return
+        try:
+            self.time = float(text)
+        except ValueError:
+            self.write("usage: \\time <seconds|off>")
+            return
+        self.reconnect()
+        self.write(f"session time set to {self.time}")
 
     def _audit(self, rest: str) -> None:
         try:
@@ -355,7 +404,10 @@ class Shell:
 
         try:
             response = self.gateway().execute(
-                QueryRequest(user=self.user, sql=sql, mode=self.mode)
+                QueryRequest(
+                    user=self.user, sql=sql, mode=self.mode,
+                    params=self.session_params(),
+                )
             )
         except ServiceError as exc:
             self.write(f"error: {exc}")
@@ -388,7 +440,7 @@ def print_result(write, result) -> None:
 
 REMOTE_BANNER = """repro — remote shell over the wire protocol (repro.net)
 Type SQL terminated by ';'.  Meta-commands: \\user ID, \\mode M,
-\\stats, \\reset, \\help, \\quit."""
+\\explain SQL, \\stats, \\reset, \\help, \\quit."""
 
 
 class RemoteShell:
@@ -406,6 +458,7 @@ class RemoteShell:
         self.out = out
         self.user = client.user
         self.mode = client.mode or "non-truman"
+        self.time: Optional[float] = None
         self._buffer: list[str] = []
 
     def write(self, text: str = "") -> None:
@@ -476,6 +529,32 @@ class RemoteShell:
             else:
                 self.mode = mode
                 self._rehello()
+        elif head == "\\time":
+            text = rest.strip()
+            if not text:
+                shown = "unset" if self.time is None else repr(self.time)
+                self.write(f"session time: {shown}")
+            elif text.lower() in ("off", "none"):
+                self.time = None
+                self._rehello()
+            else:
+                try:
+                    self.time = float(text)
+                except ValueError:
+                    self.write("usage: \\time <seconds|off>")
+                    return True
+                self._rehello()
+        elif head == "\\explain":
+            if not rest.strip():
+                self.write("usage: \\explain <select ...>")
+                return True
+            try:
+                explained = self.client.explain(rest.rstrip("; \t"))
+            except (NetworkError, ReproError) as exc:
+                self.write(f"error: {exc}")
+                return True
+            for line in explained.get("rendered", ()):
+                self.write(f"  {line}")
         elif head == "\\stats":
             try:
                 stats = self.client.stats()
@@ -503,8 +582,9 @@ class RemoteShell:
     def _rehello(self) -> None:
         from repro.errors import NetworkError, ReproError
 
+        params = {} if self.time is None else {"time": self.time}
         try:
-            self.client.hello(user=self.user, mode=self.mode)
+            self.client.hello(user=self.user, mode=self.mode, params=params)
             self.write(f"connected as {self.user!r} in mode {self.mode!r}")
         except (NetworkError, ReproError) as exc:
             self.write(f"error: {exc}")
@@ -549,6 +629,10 @@ def build_database(
             from repro.workloads.university import build_university
 
             build_university(db=db)
+        elif workload == "collab":
+            from repro.workloads.collab import build_collab
+
+            build_collab(db=db)
         elif workload == "bank":
             raise ValueError(
                 "the bank workload builds its own single-node database; "
@@ -572,6 +656,10 @@ def build_database(
         from repro.workloads.university import build_university
 
         return build_university()
+    if workload == "collab":
+        from repro.workloads.collab import build_collab
+
+        return build_collab()
     if workload == "bank":
         from repro.workloads.bank import build_bank, grant_teller
 
@@ -599,7 +687,8 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         help="TCP port to listen on (0 picks a free port)",
     )
     parser.add_argument(
-        "--workload", choices=["university", "bank"], default=None,
+        "--workload", choices=["university", "bank", "collab"],
+        default=None,
         help="preload a generated demo workload",
     )
     parser.add_argument(
@@ -726,7 +815,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         prog="repro", description="fine-grained access control shell"
     )
     parser.add_argument(
-        "--workload", choices=["university", "bank"], default=None,
+        "--workload", choices=["university", "bank", "collab"],
+        default=None,
         help="preload a generated demo workload",
     )
     parser.add_argument(

@@ -61,6 +61,7 @@ class ClusterCoordinator(Database):
         replicas: int = 0,
         replica_max_lag: int = 0,
         ship_batch: int = 1,
+        auto_ship_lag: Optional[int] = None,
         partition_keys: Optional[Mapping[str, tuple]] = None,
     ):
         if shards < 1:
@@ -76,7 +77,12 @@ class ClusterCoordinator(Database):
         self.replica_max_lag = replica_max_lag
         self._route_cursor = 0
         super().__init__()
-        ClusterWal(self, ship_batch=ship_batch).install(self)
+        #: auto_ship_lag bounds replica lag without explicit syncs: a
+        #: commit ships as soon as any replica trails by that many
+        #: records, even when the ship batch has not filled
+        ClusterWal(
+            self, ship_batch=ship_batch, auto_ship_lag=auto_ship_lag
+        ).install(self)
         for _ in range(int(replicas)):
             self.add_replica()
 
@@ -126,7 +132,10 @@ class ClusterCoordinator(Database):
         """Attach a replica and replay the full log into it."""
         replica = ReadReplica(name or f"r{len(self.replicas)}")
         shipper = WalShipper(
-            self.durability.log, replica, ship_batch=self.durability.ship_batch
+            self.durability.log,
+            replica,
+            ship_batch=self.durability.ship_batch,
+            auto_ship_lag=self.durability.auto_ship_lag,
         )
         self.durability.shippers.append(shipper)
         self.replicas.append(replica)

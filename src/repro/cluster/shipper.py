@@ -41,7 +41,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: record kinds that change what some user is allowed to see
 POLICY_KINDS = frozenset(
-    {"grant", "revoke", "ddl", "truman", "vpd", "participation"}
+    {"grant", "revoke", "ddl", "truman", "vpd", "participation",
+     "rebac_namespace", "rebac_tuple"}
 )
 
 
@@ -69,17 +70,22 @@ class WalShipper:
     """Ships the replication log to one replica, tracking its cursor."""
 
     def __init__(self, log: ReplicationLog, replica: "ReadReplica",
-                 ship_batch: int = 1):
+                 ship_batch: int = 1,
+                 auto_ship_lag: Optional[int] = None):
         self.log = log
         self.replica = replica
         #: ship eagerly once this many records are pending
         self.ship_batch = max(1, ship_batch)
+        #: lag ceiling: a commit auto-ships whenever the replica's lag
+        #: reaches this many records, even mid-batch (None = batch only)
+        self.auto_ship_lag = auto_ship_lag
         #: chaos hooks: a paused shipper accumulates lag; failures raise
         self.paused = False
         self.fail_next_ships = 0
         self._cursor = 0
         self.ships = 0
         self.records_shipped = 0
+        self.auto_ships = 0
 
     def pending(self) -> int:
         return len(self.log.records) - self._cursor
@@ -89,8 +95,17 @@ class WalShipper:
         return self.log.last_lsn - self.replica.applied_lsn
 
     def maybe_ship(self) -> int:
-        if self.paused or self.pending() < self.ship_batch:
+        if self.paused:
             return 0
+        if self.pending() < self.ship_batch:
+            if (
+                self.auto_ship_lag is None
+                or self.lag() < self.auto_ship_lag
+                or self.pending() == 0
+            ):
+                return 0
+            # lag-bound breach: don't wait for the batch to fill
+            self.auto_ships += 1
         return self.ship()
 
     def ship(self) -> int:
@@ -133,9 +148,11 @@ class ClusterWal:
     post-write barrier (here: shipping), and ``wal_stats``.
     """
 
-    def __init__(self, db: "Database", ship_batch: int = 1):
+    def __init__(self, db: "Database", ship_batch: int = 1,
+                 auto_ship_lag: Optional[int] = None):
         self.db = db
         self.ship_batch = ship_batch
+        self.auto_ship_lag = auto_ship_lag
         self.log = ReplicationLog()
         self.shippers: list[WalShipper] = []
         self.policy_epoch = 0
@@ -189,6 +206,12 @@ class ClusterWal:
             {"kind": "vpd", "table": table, "predicate": predicate,
              "vv": version}
         )
+
+    def log_rebac(self, payload: dict) -> int:
+        """Append a ReBAC policy record (``rebac_namespace`` /
+        ``rebac_tuple``) — policy-bearing, so the epoch bumps at append
+        time like a grant/revoke."""
+        return self._append(dict(payload))
 
     def register_table(self, table) -> None:
         """Install the mutation hook on a (partitioned) table facade."""
@@ -289,4 +312,5 @@ class ClusterWal:
                 stats[f"{prefix}_lag"] = shipper.lag()
                 stats[f"{prefix}_applied_lsn"] = shipper.replica.applied_lsn
                 stats[f"{prefix}_policy_epoch"] = shipper.replica.policy_epoch
+                stats[f"{prefix}_auto_ships"] = shipper.auto_ships
             return stats

@@ -213,6 +213,8 @@ class Database:
         #: execution engine used when no per-query override is given:
         #: "row" (tuple-at-a-time oracle) or "vectorized" (columnar)
         self.default_engine = "row"
+        #: ReBAC subsystem (repro.rebac); set by attach_rebac
+        self.rebac = None
         #: durability manager (repro.durability); None = in-memory
         self.durability = None
         if data_dir is not None:

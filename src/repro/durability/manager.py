@@ -203,6 +203,12 @@ class DurabilityManager:
              "vv": version}
         )
 
+    def log_rebac(self, payload: dict) -> int:
+        """Append a ReBAC policy record (``rebac_namespace`` attaches
+        the compiled-policy manager on replay; ``rebac_tuple`` carries
+        one relationship-tuple write/delete)."""
+        return self._append(dict(payload))
+
     # -- commit / checkpoint ---------------------------------------------
 
     def commit(self) -> None:

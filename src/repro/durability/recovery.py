@@ -83,6 +83,22 @@ def apply_record(db: "Database", record: dict) -> None:
         db.add_participation_constraint(
             load_participation(record["constraint"])
         )
+    elif kind == "rebac_namespace":
+        from repro.rebac import NamespaceConfig, attach_rebac
+
+        # the schema DDL precedes this record in the log; only the
+        # manager itself needs (re-)attaching here
+        attach_rebac(
+            db,
+            NamespaceConfig.from_state(record["namespace"]),
+            create_schema=False,
+        )
+    elif kind == "rebac_tuple":
+        if getattr(db, "rebac", None) is None:
+            raise DurabilityError(
+                "rebac_tuple WAL record with no preceding rebac_namespace"
+            )
+        db.rebac.apply_record(record)
     else:
         raise DurabilityError(f"unknown WAL record kind {kind!r}")
 

@@ -167,6 +167,11 @@ def capture_state(db: "Database", last_lsn: int) -> dict:
             _participation_state(c) for c in db.catalog.manual_participations()
         ],
         "vpd": [[table, text] for table, text in db.vpd_policies.policy_texts()],
+        "rebac": (
+            None
+            if getattr(db, "rebac", None) is None
+            else db.rebac.state_dict()
+        ),
         "counters": {
             "data_version": db.validity_cache.data_version,
             "grants_version": db.grants.version,
@@ -206,6 +211,19 @@ def restore_state(db: "Database", state: dict) -> None:
         db.add_participation_constraint(load_participation(participation))
     for table, text in state.get("vpd", ()):
         db.vpd_policies.add_policy(table, text)
+    rebac_state = state.get("rebac")
+    if rebac_state is not None:
+        from repro.rebac import NamespaceConfig, attach_rebac
+
+        # tables/views/grants above already restored the compiled
+        # schema; re-attach the manager and its tuples without DML —
+        # the materialized RebacGrants rows are part of table state
+        manager = attach_rebac(
+            db,
+            NamespaceConfig.from_state(rebac_state["namespace"]),
+            create_schema=False,
+        )
+        manager.restore_tuples(rebac_state["tuples"])
     db.validity_cache.restore_data_version(state["counters"]["data_version"])
     db.catalog.restore_views_version(state["counters"]["views_version"])
 

@@ -107,6 +107,23 @@ class GrantError(AccessControlError):
     """Raised for malformed or unauthorized GRANT operations."""
 
 
+class RebacError(AccessControlError):
+    """Raised for malformed relationship tuples or namespace configs
+    (``repro.rebac``): unknown object types or relations, subjects that
+    parse as neither ``user:id`` nor ``object#relation``, or writes
+    against a database with no ReBAC manager attached."""
+
+
+class RebacCycleError(RebacError):
+    """Raised when a relationship-tuple write would create a cycle in
+    the group graph (userset membership / hierarchy edges).
+
+    The message is *deterministic*: the offending cycle is reported
+    rotated to its lexicographically smallest node, so the same cyclic
+    tuple set produces the same error no matter the insertion order.
+    """
+
+
 class UnsupportedFeatureError(ReproError):
     """Raised when a statement uses SQL the engine deliberately omits.
 

@@ -378,6 +378,41 @@ class ReproClient:
         """Ask the server to cancel an in-flight request."""
         self._send({"type": "cancel", "id": request_id})
 
+    def explain(self, sql: str, mode: Optional[str] = None) -> dict:
+        """Decision trace for ``sql`` without executing it.
+
+        Returns ``{"report": {...}, "rendered": [...]}`` — the
+        structured :class:`~repro.rebac.trace.ExplainReport` dict plus
+        its display lines (what the local shell's ``\\explain``
+        prints).  An explain is an idempotent read, so it takes part in
+        the transparent reconnect like ``query``/``stats`` do.
+        """
+        try:
+            return self._fetch_explain(sql, mode)
+        except ConnectionLostError:
+            if not self.reconnect:
+                raise
+            self._reconnect()
+            return self._fetch_explain(sql, mode)
+
+    def _fetch_explain(self, sql: str, mode: Optional[str]) -> dict:
+        request_id = next(self._ids)
+        message: dict = {"type": "explain", "id": request_id, "sql": sql}
+        if mode is not None:
+            message["mode"] = mode
+        self._send(message)
+        message = self._next_message()
+        if message.get("type") == "error":
+            _raise_wire_error(message)
+        if message.get("type") != "explain":
+            raise ProtocolError(
+                f"expected explain frame, got {message.get('type')!r}"
+            )
+        return {
+            "report": message.get("report", {}),
+            "rendered": list(message.get("rendered", ())),
+        }
+
     def stats(self) -> dict:
         """The gateway's merged stats snapshot, fetched over the wire."""
         try:
@@ -452,6 +487,7 @@ class AsyncReproClient:
         self._welcome: Optional[asyncio.Future] = None
         self._stats_waiters: dict[int, asyncio.Future] = {}
         self._prepare_waiters: dict[int, asyncio.Future] = {}
+        self._explain_waiters: dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
         self._closed = False
@@ -524,6 +560,10 @@ class AsyncReproClient:
             if not future.done():
                 future.set_exception(error)
         self._prepare_waiters.clear()
+        for future in list(self._explain_waiters.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._explain_waiters.clear()
         if self._welcome is not None and not self._welcome.done():
             self._welcome.set_exception(error)
 
@@ -545,19 +585,30 @@ class AsyncReproClient:
             if future is not None and not future.done():
                 future.set_result(message)
             return
+        if kind == "explain":
+            future = self._explain_waiters.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(
+                    {
+                        "report": message.get("report", {}),
+                        "rendered": list(message.get("rendered", ())),
+                    }
+                )
+            return
         request_id = message.get("id")
         entry = self._pending.get(request_id)
         if entry is None:
-            if kind == "error" and request_id in self._prepare_waiters:
-                future = self._prepare_waiters.pop(request_id)
-                if not future.done():
-                    future.set_exception(
-                        error_for_code(
-                            message.get("code", "error"),
-                            message.get("message", "server error"),
+            for waiters in (self._prepare_waiters, self._explain_waiters):
+                if kind == "error" and request_id in waiters:
+                    future = waiters.pop(request_id)
+                    if not future.done():
+                        future.set_exception(
+                            error_for_code(
+                                message.get("code", "error"),
+                                message.get("message", "server error"),
+                            )
                         )
-                    )
-                return
+                    return
             if kind == "error" and request_id is None:
                 # connection-level error (bad hello, protocol breach)
                 if self._welcome is not None and not self._welcome.done():
@@ -663,6 +714,21 @@ class AsyncReproClient:
 
     async def cancel(self, request_id: int) -> None:
         await self._send({"type": "cancel", "id": request_id})
+
+    async def explain(self, sql: str, mode: Optional[str] = None) -> dict:
+        """Async counterpart of :meth:`ReproClient.explain`."""
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._explain_waiters[request_id] = future
+        message: dict = {"type": "explain", "id": request_id, "sql": sql}
+        if mode is not None:
+            message["mode"] = mode
+        try:
+            await self._send(message)
+        except BaseException:
+            self._explain_waiters.pop(request_id, None)
+            raise
+        return await future
 
     async def stats(self) -> dict:
         request_id = next(self._ids)

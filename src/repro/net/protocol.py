@@ -25,6 +25,7 @@ Client → server::
     {"type": "execute", "id": n, "statement": s, "args": [...], ...}
     {"type": "cancel", "id": n}
     {"type": "stats", "id": n}
+    {"type": "explain", "id": n, "sql": ..., "mode": ...}
     {"type": "goodbye"}
 
 Server → client::
@@ -36,7 +37,18 @@ Server → client::
     {"type": "result", "id": n, "status": "ok", "columns": [...], ...}
     {"type": "error", "id": n, "code": ..., "message": ..., ...}
     {"type": "stats", "id": n, "stats": {...}}
+    {"type": "explain", "id": n, "report": {...}, "rendered": [...]}
     {"type": "goodbye"}
+
+``explain`` runs the Non-Truman validity check *without executing the
+query* and answers the full decision trace
+(:mod:`repro.rebac.trace`): validity, reason, inference rules fired,
+views used, and — when the database carries a compiled ReBAC policy —
+the relationship-tuple chains that justify (or fail to justify) the
+access.  ``report`` is the structured
+:meth:`~repro.rebac.trace.ExplainReport.as_dict` shape; ``rendered``
+is the same report as display lines, identical to what the local
+shell's ``\\explain`` prints.
 
 Prepared statements (paper §5.6): ``prepare`` parses and
 literal-strips the query once, server-side, and answers a ``prepared``

@@ -85,6 +85,7 @@ NET_COUNTERS = (
     "net_queries",
     "net_prepares",
     "net_executes",
+    "net_explains",
     "net_rows_streamed",
     "net_protocol_errors",
 )
@@ -270,6 +271,9 @@ class ReproServer:
         if kind == "query":
             await self._handle_query(session, message)
             return True
+        if kind == "explain":
+            await self._handle_explain(session, message)
+            return True
         if kind == "prepare":
             await self._handle_prepare(session, message)
             return True
@@ -372,6 +376,68 @@ class ReproServer:
             memory_budget=message.get("memory_budget"),
         )
         await self._submit_request(session, request_id, request)
+
+    async def _handle_explain(self, session: _Session, message: dict) -> None:
+        """``explain``: validity check + decision trace, no execution."""
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, None, "protocol", "explain frame needs an integer id"
+            )
+            return
+        if not session.authenticated:
+            await self._try_send_error(
+                session,
+                request_id,
+                "auth",
+                "session is not authenticated; send a hello frame first",
+            )
+            return
+        sql = message.get("sql")
+        if not isinstance(sql, str):
+            self.metrics.counter("net_protocol_errors").inc()
+            await self._try_send_error(
+                session, request_id, "protocol",
+                "explain frame needs a sql string",
+            )
+            return
+        mode = message.get("mode") or session.mode
+        if mode not in MODES:
+            await self._try_send_error(
+                session,
+                request_id,
+                "protocol",
+                f"unknown access-control mode {mode!r}",
+            )
+            return
+        from repro.rebac.trace import explain_query, render_report
+
+        db = self.gateway.db
+        loop = asyncio.get_running_loop()
+
+        def _trace():
+            conn = db.connect(user_id=session.user, mode=mode,
+                              **dict(session.params))
+            return explain_query(db, sql, conn.session)
+
+        try:
+            # the validity check may run probe queries; keep it off the
+            # event loop like the gateway keeps query work off it
+            report = await loop.run_in_executor(None, _trace)
+        except ReproError as exc:
+            await self._try_send_error(session, request_id, "error", str(exc))
+            return
+        self.metrics.counter("net_explains").inc()
+        await self._send(
+            session,
+            {
+                "type": "explain",
+                "id": request_id,
+                "report": report.as_dict(),
+                "rendered": render_report(report),
+            },
+        )
 
     async def _handle_prepare(self, session: _Session, message: dict) -> None:
         """``prepare``: parse + literal-strip once, answer a handle."""

@@ -1,0 +1,282 @@
+"""The policy compiler: tuples + namespace → grants + authorization views.
+
+Two halves, both deterministic functions of the *sorted* tuple set:
+
+* :func:`compute_closure` — a fixpoint over the namespace rewrite rules
+  that flattens userset membership, same-object ``computed`` unions,
+  and ``via`` hierarchy inheritance into one concrete user per grant.
+  Each grant remembers the **tuple chain** that justifies it (for
+  ``\\explain``) and the chain's effective expiry (the minimum over its
+  tuples; a user reachable over several chains keeps the one that
+  expires last).
+* :func:`view_sql` / :func:`compile_views` — the SQL half: the closure
+  is materialized as rows of the ``RebacGrants`` relation, and each
+  ``(object type, permission)`` pair becomes one parameterized
+  authorization view joining the bound table against ``RebacGrants``
+  on ``$user_id`` with an ``expires_at > $time`` conjunct.  The view
+  bodies are plain conjunctive queries — equality/comparison conjuncts
+  over a join, no disjunction — so the paper's validity-inference rules
+  (U1–U3, C1–C3) apply to compiled ReBAC policies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.rebac.namespace import Computed, Direct, NamespaceConfig, Via
+from repro.rebac.tuples import NEVER_EXPIRES, RelationTuple, parse_object
+
+#: the materialized grant-closure relation every compiled view joins
+GRANTS_TABLE = "RebacGrants"
+
+GRANTS_SCHEMA_SQL = (
+    "create table RebacGrants(\n"
+    "    object_type varchar(20),\n"
+    "    object_id varchar(40),\n"
+    "    relation varchar(20),\n"
+    "    user_id varchar(40),\n"
+    "    expires_at float,\n"
+    "    primary key (object_type, object_id, relation, user_id)\n"
+    ")"
+)
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One closed-over grant: a user holds a relation on an object.
+
+    ``chain`` is the justifying tuple path, ordered from the granted
+    object down to the concrete user; ``expires_at`` is the chain's
+    effective expiry (min over its tuples).
+    """
+
+    expires_at: float
+    chain: tuple[RelationTuple, ...]
+
+    @classmethod
+    def from_chain(cls, chain: tuple[RelationTuple, ...]) -> "Grant":
+        return cls(
+            expires_at=min(t.expires_at for t in chain),
+            chain=chain,
+        )
+
+    @property
+    def never_expires(self) -> bool:
+        return self.expires_at >= NEVER_EXPIRES
+
+    def sort_key(self):
+        """Total preference order (smaller = better): grants that
+        expire later win; ties break to the shorter, then
+        lexicographically smaller, chain — so the kept chain is a
+        deterministic function of the tuple *set*."""
+        return (
+            -self.expires_at,
+            len(self.chain),
+            tuple(t.key() for t in self.chain),
+        )
+
+
+#: closure maps (object, relation) → {user_id → Grant}
+Closure = dict[tuple[str, str], dict[str, Grant]]
+
+
+def _merge(
+    closure: Closure,
+    object_: str,
+    relation: str,
+    user_id: str,
+    grant: Grant,
+) -> bool:
+    """Install ``grant`` unless an equal-or-better one is present."""
+    users = closure.setdefault((object_, relation), {})
+    current = users.get(user_id)
+    if current is not None and current.sort_key() <= grant.sort_key():
+        return False
+    users[user_id] = grant
+    return True
+
+
+def compute_closure(
+    namespace: NamespaceConfig, tuples: Iterable[RelationTuple]
+) -> Closure:
+    """Fixpoint of the namespace rewrite rules over the tuple set.
+
+    Expired tuples are *not* filtered here — closure rows carry their
+    expiry and the compiled views compare it against ``$time``, so the
+    closure itself is independent of the clock.  The result depends
+    only on the tuple set: input is sorted, every pass iterates in
+    sorted order, and :func:`Grant.sort_key` breaks ties totally.
+    """
+    tuples_sorted = sorted(set(tuples))
+    closure: Closure = {}
+
+    # index the hierarchy tuples once: Via rules walk object → parent
+    via_edges: dict[tuple[str, str], list[RelationTuple]] = {}
+    for t in tuples_sorted:
+        if not t.subject_is_userset and not t.subject_is_user:
+            via_edges.setdefault((t.object, t.relation), []).append(t)
+
+    changed = True
+    while changed:
+        changed = False
+        # 1. tuple-driven membership (Direct rule): concrete users seed
+        #    grants, userset subjects splice in the subject's members.
+        for t in tuples_sorted:
+            otype_name = t.object.partition(":")[0]
+            otype = namespace.object_types.get(otype_name)
+            if otype is None or not otype.has_relation(t.relation):
+                continue
+            rel_def = otype.relation(t.relation)
+            if not any(isinstance(rule, Direct) for rule in rel_def.union):
+                continue
+            if t.subject_is_user:
+                user_id = t.subject.partition(":")[2]
+                if _merge(
+                    closure, t.object, t.relation, user_id,
+                    Grant.from_chain((t,)),
+                ):
+                    changed = True
+            elif t.subject_is_userset:
+                source = closure.get(
+                    (t.subject_object, t.subject_relation), {}
+                )
+                for user_id, grant in sorted(source.items()):
+                    if _merge(
+                        closure, t.object, t.relation, user_id,
+                        Grant.from_chain((t,) + grant.chain),
+                    ):
+                        changed = True
+        # 2. rule-driven membership: computed / via unions, iterated
+        #    over the (sorted) objects the closure already knows about.
+        for (object_, relation), users in sorted(closure.items()):
+            otype_name = object_.partition(":")[0]
+            otype = namespace.object_types.get(otype_name)
+            if otype is None:
+                continue
+            for target_rel in otype.relations:
+                for rule in target_rel.union:
+                    if (
+                        isinstance(rule, Computed)
+                        and rule.relation == relation
+                    ):
+                        for user_id, grant in sorted(users.items()):
+                            if _merge(
+                                closure, object_, target_rel.name,
+                                user_id, grant,
+                            ):
+                                changed = True
+        for t in tuples_sorted:
+            if t.subject_is_userset or t.subject_is_user:
+                continue
+            # t is a hierarchy tuple (object, parent, parent-object);
+            # Via(hierarchy=t.relation, relation=r) pulls the parent's
+            # r-members down onto t.object.
+            otype_name = t.object.partition(":")[0]
+            otype = namespace.object_types.get(otype_name)
+            if otype is None:
+                continue
+            for target_rel in otype.relations:
+                for rule in target_rel.union:
+                    if (
+                        not isinstance(rule, Via)
+                        or rule.hierarchy != t.relation
+                    ):
+                        continue
+                    source = closure.get((t.subject, rule.relation), {})
+                    for user_id, grant in sorted(source.items()):
+                        if _merge(
+                            closure, t.object, target_rel.name, user_id,
+                            Grant.from_chain((t,) + grant.chain),
+                        ):
+                            changed = True
+    return closure
+
+
+def closure_rows(
+    namespace: NamespaceConfig, closure: Closure
+) -> list[tuple[str, str, str, str, float]]:
+    """The closure as sorted ``RebacGrants`` rows —
+    ``(object_type, object_id, relation, user_id, expires_at)`` — for
+    *permission* relations only (plumbing relations like ``member`` or
+    ``parent`` stay out of the SQL surface)."""
+    rows: list[tuple[str, str, str, str, float]] = []
+    for (object_, relation), users in closure.items():
+        otype_name, object_id = parse_object(object_)
+        otype = namespace.object_types.get(otype_name)
+        if otype is None or relation not in otype.permissions:
+            continue
+        for user_id, grant in users.items():
+            rows.append(
+                (otype_name, object_id, relation, user_id, grant.expires_at)
+            )
+    rows.sort()
+    return rows
+
+
+def view_name(object_type: str, permission: str) -> str:
+    """``("document", "viewer")`` → ``"RebacDocumentViewer"``."""
+    return f"Rebac{object_type.capitalize()}{permission.capitalize()}"
+
+
+def view_sql(
+    namespace: NamespaceConfig, object_type: str, permission: str
+) -> str:
+    """The authorization-view DDL for one (object type, permission).
+
+    The body is a conjunctive query: bound table ⋈ RebacGrants on the
+    id column, with the grant row pinned to this type/relation, the
+    session user (``$user_id``), and unexpired grants only
+    (``expires_at > $time``)."""
+    otype = namespace.object_type(object_type)
+    if permission not in otype.permissions:
+        from repro.errors import RebacError
+
+        raise RebacError(
+            f"{permission!r} is not a declared permission of object type "
+            f"{object_type!r}"
+        )
+    binding = otype.binding
+    if binding is None:
+        from repro.errors import RebacError
+
+        raise RebacError(
+            f"object type {object_type!r} has no table binding"
+        )
+    table = binding.table
+    select_list = ", ".join(f"{table}.{col}" for col in binding.columns)
+    return (
+        f"create authorization view {view_name(object_type, permission)} as\n"
+        f"    select {select_list}\n"
+        f"    from {table}, {GRANTS_TABLE}\n"
+        f"    where {GRANTS_TABLE}.object_type = '{object_type}'\n"
+        f"      and {GRANTS_TABLE}.object_id = {table}.{binding.id_column}\n"
+        f"      and {GRANTS_TABLE}.relation = '{permission}'\n"
+        f"      and {GRANTS_TABLE}.user_id = $user_id\n"
+        f"      and {GRANTS_TABLE}.expires_at > $time"
+    )
+
+
+#: introspection view: the session user's own unexpired grants
+MY_GRANTS_VIEW_SQL = (
+    "create authorization view RebacMyGrants as\n"
+    "    select RebacGrants.object_type, RebacGrants.object_id,\n"
+    "           RebacGrants.relation, RebacGrants.expires_at\n"
+    "    from RebacGrants\n"
+    "    where RebacGrants.user_id = $user_id\n"
+    "      and RebacGrants.expires_at > $time"
+)
+
+
+def compile_views(namespace: NamespaceConfig) -> list[str]:
+    """All view DDL for the namespace, in deterministic order: one per
+    bound (object type, permission), plus the introspection view."""
+    statements: list[str] = []
+    for otype_name in sorted(namespace.object_types):
+        otype = namespace.object_types[otype_name]
+        if otype.binding is None:
+            continue
+        for permission in otype.permissions:
+            statements.append(view_sql(namespace, otype_name, permission))
+    statements.append(MY_GRANTS_VIEW_SQL)
+    return statements

@@ -1,0 +1,260 @@
+"""Namespace configuration: object types, relations, inheritance rules.
+
+A :class:`NamespaceConfig` declares, per object type, the relations
+tuples may use and how they combine into effective membership — the
+pg-authz / Zanzibar rewrite rules, restricted to unions of:
+
+* :class:`Direct` — membership written directly as tuples (concrete
+  users or usersets like ``team:eng#member``);
+* :class:`Computed` — another relation on the *same* object is folded
+  in (``editor ⊆ viewer``);
+* :class:`Via` — tuple-to-userset: follow a hierarchy relation (e.g.
+  ``parent``) to another object and take one of *its* relations
+  (``viewer of a document includes viewer of its parent folder``).
+
+Relations named ``permissions`` are the externally meaningful ones the
+compiler materializes into ``RebacGrants`` rows and authorization
+views.  A :class:`TableBinding` maps an object type onto the SQL
+relation its compiled views join against.
+
+Configs serialize to plain dicts (``to_state`` / ``from_state``) so
+the WAL and snapshots can carry them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import RebacError
+from repro.rebac.tuples import RelationTuple, parse_subject
+
+
+@dataclass(frozen=True)
+class Direct:
+    """Membership from tuples written directly on this relation."""
+
+    def to_state(self) -> dict:
+        return {"kind": "direct"}
+
+
+@dataclass(frozen=True)
+class Computed:
+    """Union in another relation of the same object (editor ⊆ viewer)."""
+
+    relation: str
+
+    def to_state(self) -> dict:
+        return {"kind": "computed", "relation": self.relation}
+
+
+@dataclass(frozen=True)
+class Via:
+    """Tuple-to-userset: follow ``hierarchy`` tuples to a related
+    object and union in its ``relation`` (folder inheritance)."""
+
+    hierarchy: str
+    relation: str
+
+    def to_state(self) -> dict:
+        return {
+            "kind": "via",
+            "hierarchy": self.hierarchy,
+            "relation": self.relation,
+        }
+
+
+def _rule_from_state(data: dict):
+    kind = data.get("kind")
+    if kind == "direct":
+        return Direct()
+    if kind == "computed":
+        return Computed(relation=data["relation"])
+    if kind == "via":
+        return Via(hierarchy=data["hierarchy"], relation=data["relation"])
+    raise RebacError(f"unknown namespace rule kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class RelationDef:
+    """One relation on an object type: a union of rewrite rules."""
+
+    name: str
+    union: tuple = (Direct(),)
+
+    def to_state(self) -> dict:
+        return {
+            "name": self.name,
+            "union": [rule.to_state() for rule in self.union],
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "RelationDef":
+        return cls(
+            name=data["name"],
+            union=tuple(_rule_from_state(r) for r in data["union"]),
+        )
+
+
+@dataclass(frozen=True)
+class TableBinding:
+    """How an object type maps onto a SQL relation.
+
+    ``table`` is the relation the compiled views select from;
+    ``id_column`` is the column the object id joins on; ``columns`` is
+    the full projection list (the views join against ``RebacGrants``,
+    so ``select *`` would leak grant columns).
+    """
+
+    table: str
+    id_column: str
+    columns: tuple[str, ...]
+
+    def to_state(self) -> dict:
+        return {
+            "table": self.table,
+            "id_column": self.id_column,
+            "columns": list(self.columns),
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "TableBinding":
+        return cls(
+            table=data["table"],
+            id_column=data["id_column"],
+            columns=tuple(data["columns"]),
+        )
+
+
+@dataclass(frozen=True)
+class ObjectTypeDef:
+    """One object type: its relations, permissions, and SQL binding."""
+
+    name: str
+    relations: tuple[RelationDef, ...]
+    #: relations materialized as RebacGrants rows + authorization views
+    permissions: tuple[str, ...] = ()
+    binding: Optional[TableBinding] = None
+
+    def relation(self, name: str) -> RelationDef:
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        raise RebacError(
+            f"object type {self.name!r} has no relation {name!r}"
+        )
+
+    def has_relation(self, name: str) -> bool:
+        return any(rel.name == name for rel in self.relations)
+
+    def to_state(self) -> dict:
+        return {
+            "name": self.name,
+            "relations": [rel.to_state() for rel in self.relations],
+            "permissions": list(self.permissions),
+            "binding": None if self.binding is None else self.binding.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "ObjectTypeDef":
+        binding = data.get("binding")
+        return cls(
+            name=data["name"],
+            relations=tuple(
+                RelationDef.from_state(r) for r in data["relations"]
+            ),
+            permissions=tuple(data.get("permissions", ())),
+            binding=None if binding is None else TableBinding.from_state(binding),
+        )
+
+
+class NamespaceConfig:
+    """The full namespace: object types by name."""
+
+    def __init__(self, object_types: Iterable[ObjectTypeDef]):
+        self.object_types: dict[str, ObjectTypeDef] = {}
+        for otype in object_types:
+            if otype.name in self.object_types:
+                raise RebacError(f"duplicate object type {otype.name!r}")
+            self.object_types[otype.name] = otype
+        self._validate()
+
+    def _validate(self) -> None:
+        for otype in self.object_types.values():
+            for rel in otype.relations:
+                for rule in rel.union:
+                    if isinstance(rule, Computed):
+                        if not otype.has_relation(rule.relation):
+                            raise RebacError(
+                                f"{otype.name}.{rel.name}: computed rule "
+                                f"references unknown relation {rule.relation!r}"
+                            )
+                    elif isinstance(rule, Via):
+                        if not otype.has_relation(rule.hierarchy):
+                            raise RebacError(
+                                f"{otype.name}.{rel.name}: via rule references "
+                                f"unknown hierarchy relation {rule.hierarchy!r}"
+                            )
+            for permission in otype.permissions:
+                if not otype.has_relation(permission):
+                    raise RebacError(
+                        f"object type {otype.name!r} declares permission "
+                        f"{permission!r} with no matching relation"
+                    )
+
+    def object_type(self, name: str) -> ObjectTypeDef:
+        otype = self.object_types.get(name)
+        if otype is None:
+            raise RebacError(f"unknown object type {name!r}")
+        return otype
+
+    @property
+    def hierarchy_relations(self) -> frozenset[str]:
+        """Relations used as Via sources anywhere — the ones whose
+        plain-object tuples add group-graph edges."""
+        names: set[str] = set()
+        for otype in self.object_types.values():
+            for rel in otype.relations:
+                for rule in rel.union:
+                    if isinstance(rule, Via):
+                        names.add(rule.hierarchy)
+        return frozenset(names)
+
+    def validate_tuple(self, t: RelationTuple) -> None:
+        """Check a tuple against the namespace before it is committed."""
+        otype_name = t.object.partition(":")[0]
+        otype = self.object_type(otype_name)
+        if not otype.has_relation(t.relation):
+            raise RebacError(
+                f"object type {otype_name!r} has no relation {t.relation!r}"
+            )
+        subject_type, _, subject_relation = parse_subject(t.subject)
+        if subject_relation is not None:
+            subject_otype = self.object_type(subject_type)
+            if not subject_otype.has_relation(subject_relation):
+                raise RebacError(
+                    f"userset subject {t.subject!r}: object type "
+                    f"{subject_type!r} has no relation {subject_relation!r}"
+                )
+        elif subject_type != "user":
+            # plain-object subject: only meaningful on hierarchy relations
+            if t.relation not in self.hierarchy_relations:
+                raise RebacError(
+                    f"subject {t.subject!r} is neither a user nor a userset, "
+                    f"and {t.relation!r} is not a hierarchy relation"
+                )
+            self.object_type(subject_type)
+
+    def to_state(self) -> dict:
+        return {
+            "object_types": [
+                otype.to_state()
+                for _, otype in sorted(self.object_types.items())
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "NamespaceConfig":
+        return cls(
+            ObjectTypeDef.from_state(o) for o in data["object_types"]
+        )

@@ -1,0 +1,262 @@
+"""Relationship tuples and the group-graph cycle detector.
+
+A :class:`RelationTuple` is the Zanzibar ``(object, relation, subject)``
+triple:
+
+* ``object`` — ``"type:id"``, e.g. ``"document:readme"``;
+* ``relation`` — a relation name declared by the namespace config,
+  e.g. ``"viewer"`` or ``"parent"``;
+* ``subject`` — either a concrete user (``"user:alice"``), a *userset*
+  (``"team:eng#member"`` — every member of team ``eng``), or a plain
+  object (``"folder:root"`` — the subject of a hierarchy relation such
+  as ``parent``);
+* ``expires_at`` — optional wall-clock bound; ``None`` means the grant
+  never expires.  Internally ``None`` is represented by the large
+  sentinel :data:`NEVER_EXPIRES` so the compiled views can keep a plain
+  ``expires_at > $time`` conjunct inside the paper's conjunctive-query
+  fragment (no ``OR``/``IS NULL``).
+
+The **group graph** has one node per object and one directed edge per
+tuple that makes an object's membership depend on another object's:
+userset subjects (``doc ← team#member``) and hierarchy subjects
+(``doc ← folder``).  :func:`detect_cycle` walks it deterministically —
+adjacency is built from the *sorted* tuple set and neighbors are
+visited in sorted order — so a cyclic tuple set is rejected with a
+byte-stable :class:`~repro.errors.RebacCycleError` regardless of the
+order the tuples were written in.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import RebacCycleError, RebacError
+
+#: wall-clock sentinel for "never expires" (far beyond year 9999);
+#: keeps ``expires_at > $time`` a single comparable conjunct
+NEVER_EXPIRES = 253402300800.0
+
+
+def parse_object(text: str) -> tuple[str, str]:
+    """Split ``"type:id"`` into ``(type, id)``; raises on malformed input."""
+    kind, sep, ident = text.partition(":")
+    if not sep or not kind or not ident or "#" in text:
+        raise RebacError(
+            f"malformed object {text!r} (expected 'type:id')"
+        )
+    return kind, ident
+
+
+def parse_subject(text: str) -> tuple[str, str, Optional[str]]:
+    """Split a subject into ``(type, id, relation-or-None)``.
+
+    ``"user:alice"`` → ``("user", "alice", None)``;
+    ``"team:eng#member"`` → ``("team", "eng", "member")``.
+    """
+    base, sep, relation = text.partition("#")
+    if sep and not relation:
+        raise RebacError(
+            f"malformed subject {text!r} (empty relation after '#')"
+        )
+    kind, colon, ident = base.partition(":")
+    if not colon or not kind or not ident:
+        raise RebacError(
+            f"malformed subject {text!r} (expected 'type:id' or "
+            "'type:id#relation')"
+        )
+    return kind, ident, (relation if sep else None)
+
+
+@dataclass(frozen=True, order=True)
+class RelationTuple:
+    """One ``(object, relation, subject)`` triple with optional expiry."""
+
+    object: str
+    relation: str
+    subject: str
+    expires_at: float = NEVER_EXPIRES
+
+    def __post_init__(self):
+        parse_object(self.object)
+        parse_subject(self.subject)
+        if not self.relation:
+            raise RebacError("relation name must be non-empty")
+
+    @property
+    def subject_is_userset(self) -> bool:
+        return "#" in self.subject
+
+    @property
+    def subject_is_user(self) -> bool:
+        return not self.subject_is_userset and self.subject.startswith("user:")
+
+    @property
+    def subject_object(self) -> str:
+        """The subject's ``type:id`` part (userset relation stripped)."""
+        return self.subject.partition("#")[0]
+
+    @property
+    def subject_relation(self) -> Optional[str]:
+        _, sep, relation = self.subject.partition("#")
+        return relation if sep else None
+
+    @property
+    def never_expires(self) -> bool:
+        return self.expires_at >= NEVER_EXPIRES
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity without the expiry: one grant per (o, r, s)."""
+        return (self.object, self.relation, self.subject)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "object": self.object,
+            "relation": self.relation,
+            "subject": self.subject,
+            "expires_at": self.expires_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RelationTuple":
+        return cls(
+            object=data["object"],
+            relation=data["relation"],
+            subject=data["subject"],
+            expires_at=float(data.get("expires_at", NEVER_EXPIRES)),
+        )
+
+    def __str__(self) -> str:
+        suffix = "" if self.never_expires else f" [expires {self.expires_at}]"
+        return f"({self.object}, {self.relation}, {self.subject}){suffix}"
+
+
+def _group_edges(
+    tuples: Iterable[RelationTuple], hierarchy_relations: frozenset[str]
+) -> dict[str, list[str]]:
+    """Sorted adjacency of the group graph.
+
+    An edge ``a → b`` means "a's membership depends on b's": userset
+    subjects always add one, hierarchy-relation tuples with a plain
+    object subject add one (``doc → folder`` for a ``parent`` tuple).
+    """
+    edges: dict[str, set[str]] = {}
+    for t in sorted(set(tuples)):
+        if t.subject_is_userset:
+            edges.setdefault(t.object, set()).add(t.subject_object)
+        elif t.relation in hierarchy_relations and not t.subject_is_user:
+            edges.setdefault(t.object, set()).add(t.subject_object)
+    return {node: sorted(targets) for node, targets in sorted(edges.items())}
+
+
+def detect_cycle(
+    tuples: Iterable[RelationTuple],
+    hierarchy_relations: frozenset[str] = frozenset(),
+) -> Optional[list[str]]:
+    """First cycle in the group graph, canonicalized, or None.
+
+    Deterministic: nodes are explored in sorted order, neighbors in
+    sorted order, and the reported cycle is rotated so its
+    lexicographically smallest node comes first — the same cyclic set
+    yields the same cycle no matter how it was assembled.
+    """
+    edges = _group_edges(tuples, hierarchy_relations)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    for node in edges:
+        if color[node] != WHITE:
+            continue
+        # iterative DFS with an explicit path stack
+        stack: list[tuple[str, int]] = [(node, 0)]
+        path = [node]
+        color[node] = GREY
+        while stack:
+            current, cursor = stack[-1]
+            neighbors = edges.get(current, ())
+            if cursor < len(neighbors):
+                stack[-1] = (current, cursor + 1)
+                target = neighbors[cursor]
+                state = color.get(target, BLACK if target not in edges else WHITE)
+                if state == GREY:
+                    cycle = path[path.index(target):]
+                    return _canonical_cycle(cycle)
+                if state == WHITE:
+                    color[target] = GREY
+                    stack.append((target, 0))
+                    path.append(target)
+            else:
+                color[current] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def _canonical_cycle(cycle: list[str]) -> list[str]:
+    """Rotate a cycle so its smallest node leads."""
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]
+
+
+def cycle_error(cycle: list[str]) -> RebacCycleError:
+    """The byte-stable error for a detected cycle."""
+    loop = " -> ".join(cycle + [cycle[0]])
+    return RebacCycleError(
+        f"relationship cycle detected in the group graph: {loop}"
+    )
+
+
+class TupleStore:
+    """Thread-safe set of relation tuples, keyed on (o, r, s).
+
+    Writing a tuple whose (object, relation, subject) already exists
+    replaces its expiry.  The store is *mechanism only* — validation
+    against the namespace and cycle rejection live in
+    :class:`~repro.rebac.manager.RebacManager`, which checks a tentative
+    tuple set *before* committing anything here.
+    """
+
+    def __init__(self, tuples: Iterable[RelationTuple] = ()):
+        self._lock = threading.RLock()
+        self._tuples: dict[tuple[str, str, str], RelationTuple] = {}
+        for t in tuples:
+            self._tuples[t.key()] = t
+
+    def write(self, t: RelationTuple) -> Optional[RelationTuple]:
+        """Insert or replace; returns the previous tuple (or None)."""
+        with self._lock:
+            previous = self._tuples.get(t.key())
+            self._tuples[t.key()] = t
+            return previous
+
+    def delete(self, key: tuple[str, str, str]) -> Optional[RelationTuple]:
+        """Remove by (object, relation, subject); returns the removed
+        tuple or None when absent."""
+        with self._lock:
+            return self._tuples.pop(key, None)
+
+    def get(self, key: tuple[str, str, str]) -> Optional[RelationTuple]:
+        with self._lock:
+            return self._tuples.get(key)
+
+    def snapshot(self) -> list[RelationTuple]:
+        """The current tuples, sorted (the deterministic iteration
+        order every compile pass uses)."""
+        with self._lock:
+            return sorted(self._tuples.values())
+
+    def with_write(self, t: RelationTuple) -> list[RelationTuple]:
+        """A sorted copy of the set as it would look after writing ``t``
+        (for pre-commit cycle checks)."""
+        with self._lock:
+            tentative = dict(self._tuples)
+            tentative[t.key()] = t
+            return sorted(tentative.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tuples)
+
+    def __contains__(self, key: tuple[str, str, str]) -> bool:
+        with self._lock:
+            return key in self._tuples

@@ -27,6 +27,7 @@ from repro.service.chaos import (
     GATEWAY_FAULT_POINTS,
     NET_FAULT_POINTS,
 )
+from repro.service.clock import Clock, ManualClock, SYSTEM_CLOCK
 from repro.service.context import QueryContext
 from repro.service.gateway import EnforcementGateway, PendingQuery
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry, State
@@ -38,8 +39,11 @@ __all__ = [
     "AuditRecord",
     "ChaosInjector",
     "CircuitBreaker",
+    "Clock",
     "ConnectionPool",
     "Counter",
+    "ManualClock",
+    "SYSTEM_CLOCK",
     "EnforcementGateway",
     "FaultSpec",
     "GATEWAY_FAULT_POINTS",

@@ -15,10 +15,11 @@ receives each record as it is appended (e.g. to tee into a file).
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+from repro.service.clock import SYSTEM_CLOCK, Clock
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class AuditRecord:
     """One finished request."""
 
     seq: int
-    timestamp: float  # time.time() at completion
+    timestamp: float  # clock.now() at completion
     user: Optional[str]
     mode: str
     #: literal-stripped SQL signature (falls back to raw SQL)
@@ -66,11 +67,13 @@ class AuditLog:
         self,
         capacity: int = 2048,
         sink: Optional[Callable[[AuditRecord], None]] = None,
+        clock: Optional[Clock] = None,
     ):
         self._records: deque[AuditRecord] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._seq = 0
         self._sink = sink
+        self._clock = clock or SYSTEM_CLOCK
 
     def record(
         self,
@@ -89,7 +92,7 @@ class AuditLog:
             self._seq += 1
             entry = AuditRecord(
                 seq=self._seq,
-                timestamp=time.time(),
+                timestamp=self._clock.now(),
                 user=user,
                 mode=mode,
                 signature=signature,

@@ -1,0 +1,68 @@
+"""Injectable clocks for deadline and expiry logic.
+
+Every component that asks "what time is it?" — gateway deadlines,
+query-context budgets, audit timestamps, and ReBAC grant expiry —
+takes a :class:`Clock` instead of calling :func:`time.time` /
+:func:`time.monotonic` directly.  Production code uses the module
+singleton :data:`SYSTEM_CLOCK`; tests inject a :class:`ManualClock`
+and *advance* it, so "the grant expired" is a deterministic statement
+about test state rather than a race against the wall clock.
+
+Two time bases are exposed, mirroring the stdlib:
+
+* :meth:`Clock.now` — wall-clock seconds since the epoch (audit
+  timestamps, ``$time`` session values, grant ``expires_at`` bounds);
+* :meth:`Clock.monotonic` — a monotonic float for measuring elapsed
+  time (deadlines, latencies).
+
+:class:`ManualClock` drives both from one counter so advancing it
+moves deadlines and expiry in lockstep.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """The real time source (thin wrapper over the stdlib)."""
+
+    def now(self) -> float:
+        """Wall-clock seconds since the epoch."""
+        return time.time()
+
+    def monotonic(self) -> float:
+        """Monotonic seconds (for measuring elapsed time)."""
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    ``advance(dt)`` moves both time bases forward by ``dt`` seconds;
+    ``set_now(t)`` jumps the wall clock to an absolute value without
+    disturbing the monotonic base's origin.
+    """
+
+    def __init__(self, now: float = 1_000_000.0, monotonic: float = 0.0):
+        self._now = float(now)
+        self._monotonic = float(monotonic)
+
+    def now(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._monotonic
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock backwards ({dt})")
+        self._now += dt
+        self._monotonic += dt
+
+    def set_now(self, now: float) -> None:
+        self._now = float(now)
+
+
+#: the default clock used when none is injected
+SYSTEM_CLOCK = Clock()

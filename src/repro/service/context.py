@@ -22,10 +22,10 @@ Code paths outside the gateway pass ``ctx=None`` and pay nothing.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Optional
 
 from repro.errors import QueryCancelled, QueryTimeout, ResourceBudgetExceeded
+from repro.service.clock import SYSTEM_CLOCK, Clock
 
 #: rows charged between wall-clock checks; small enough that a scan of
 #: a few thousand rows observes cancellation, large enough that the
@@ -41,6 +41,7 @@ class QueryContext:
     """Deadline, cancel token, and row/memory budgets for one request."""
 
     __slots__ = (
+        "clock",
         "deadline_s",
         "deadline_at",
         "row_budget",
@@ -59,8 +60,10 @@ class QueryContext:
         row_budget: Optional[int] = None,
         memory_budget: Optional[int] = None,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
+        clock: Optional[Clock] = None,
     ):
-        now = time.monotonic()
+        self.clock = clock or SYSTEM_CLOCK
+        now = self.clock.monotonic()
         self.deadline_s = deadline
         self.deadline_at = None if deadline is None else now + deadline
         self.row_budget = row_budget
@@ -89,13 +92,16 @@ class QueryContext:
 
     @property
     def expired(self) -> bool:
-        return self.deadline_at is not None and time.monotonic() > self.deadline_at
+        return (
+            self.deadline_at is not None
+            and self.clock.monotonic() > self.deadline_at
+        )
 
     def remaining(self) -> Optional[float]:
         """Seconds until the deadline (None = no deadline)."""
         if self.deadline_at is None:
             return None
-        return max(0.0, self.deadline_at - time.monotonic())
+        return max(0.0, self.deadline_at - self.clock.monotonic())
 
     # -- cooperative checks ----------------------------------------------
 
@@ -105,7 +111,10 @@ class QueryContext:
         where = f" during {phase}" if phase else ""
         if self._cancelled.is_set():
             raise QueryCancelled(f"query cancelled{where}")
-        if self.deadline_at is not None and time.monotonic() > self.deadline_at:
+        if (
+            self.deadline_at is not None
+            and self.clock.monotonic() > self.deadline_at
+        ):
             raise QueryTimeout(
                 f"deadline of {self.deadline_s:.3f}s exceeded{where}"
             )

@@ -88,6 +88,7 @@ from repro.prepared import (
 from repro.service.audit import AuditLog
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import SharedValidityCache
+from repro.service.clock import SYSTEM_CLOCK, Clock
 from repro.service.context import QueryContext
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import ConnectionPool
@@ -229,9 +230,13 @@ class EnforcementGateway:
         chaos: Optional[object] = None,
         retry_seed: Optional[int] = None,
         prepared_statements: bool = True,
+        clock: Optional[Clock] = None,
     ):
         self.db = db
         self.name = name
+        #: injectable time source threaded into every QueryContext this
+        #: gateway creates and into the audit log's timestamps
+        self.clock = clock or SYSTEM_CLOCK
         #: serve repeated queries through the §5.6 template cache
         #: (explicit PREPARE'd requests *and* transparent server-side
         #: templating of plain SQL text)
@@ -243,7 +248,7 @@ class EnforcementGateway:
             version_source=self._versions,
         )
         self.metrics = MetricsRegistry()
-        self.audit = AuditLog(capacity=audit_capacity)
+        self.audit = AuditLog(capacity=audit_capacity, clock=self.clock)
         self.queue_size = queue_size
         #: deadline applied to requests that carry none (None = unbounded)
         self.default_deadline = default_deadline
@@ -337,6 +342,7 @@ class EnforcementGateway:
             deadline=deadline,
             row_budget=row_budget,
             memory_budget=memory_budget,
+            clock=self.clock,
         )
 
     def submit(self, request: QueryRequest) -> PendingQuery:

@@ -2,6 +2,7 @@
 
 from repro.workloads.university import UniversityConfig, build_university
 from repro.workloads.bank import BankConfig, build_bank
+from repro.workloads.collab import CollabConfig, build_collab, collab_namespace
 from repro.workloads.queries import student_query_mix, LabeledQuery
 
 __all__ = [
@@ -9,6 +10,9 @@ __all__ = [
     "build_university",
     "BankConfig",
     "build_bank",
+    "CollabConfig",
+    "build_collab",
+    "collab_namespace",
     "student_query_mix",
     "LabeledQuery",
 ]

@@ -1,0 +1,230 @@
+"""The collaboration workload: ReBAC policies over a document tree.
+
+A deterministic org-chart + folder-tree generator for the
+:mod:`repro.rebac` subsystem: teams with members, folders nested into
+chains ``folder_depth`` deep, and documents filed into folders — so a
+user's right to read a document typically flows through a grant chain
+about ten links long (document → parent folders → team userset → user).
+A fraction of the direct grants carry expiry timestamps relative to
+``base_time``, so expiry behaviour is exercised (and, with a
+:class:`~repro.service.clock.ManualClock`, deterministic).
+
+``build_collab`` creates the schema and data, attaches the compiled
+ReBAC policy (:func:`repro.rebac.attach_rebac`), and writes the
+relationship tuples.  Sessions must carry a ``time`` parameter — the
+compiled views have an ``expires_at > $time`` conjunct; helpers in
+tests use ``db.connect(user_id=..., mode=..., time=...)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db import Database
+from repro.rebac import (
+    Computed,
+    Direct,
+    NamespaceConfig,
+    ObjectTypeDef,
+    RebacManager,
+    RelationDef,
+    TableBinding,
+    Via,
+    attach_rebac,
+)
+from repro.service.clock import Clock
+
+SCHEMA_SQL = """
+create table Folders(
+    folder_id varchar(20) primary key,
+    name varchar(40) not null
+);
+create table Documents(
+    doc_id varchar(20) primary key,
+    folder_id varchar(20) not null,
+    title varchar(60) not null,
+    content varchar(80) not null,
+    foreign key (folder_id) references Folders
+);
+"""
+
+_TEAM_NAMES = [
+    "eng", "design", "sales", "legal", "research", "support", "ops",
+    "finance", "marketing", "security", "data", "platform",
+]
+
+_WORDS = [
+    "plan", "report", "spec", "notes", "draft", "review", "budget",
+    "roadmap", "summary", "memo", "brief", "charter",
+]
+
+
+def collab_namespace() -> NamespaceConfig:
+    """Teams, nested folders, documents — editors are viewers, and both
+    relations inherit down the folder tree via ``parent`` tuples."""
+    return NamespaceConfig(
+        [
+            ObjectTypeDef(
+                name="team",
+                relations=(RelationDef("member"),),
+            ),
+            ObjectTypeDef(
+                name="folder",
+                relations=(
+                    RelationDef("parent"),
+                    RelationDef(
+                        "viewer",
+                        union=(
+                            Direct(),
+                            Computed("editor"),
+                            Via("parent", "viewer"),
+                        ),
+                    ),
+                    RelationDef(
+                        "editor", union=(Direct(), Via("parent", "editor"))
+                    ),
+                ),
+                permissions=("viewer", "editor"),
+                binding=TableBinding(
+                    table="Folders",
+                    id_column="folder_id",
+                    columns=("folder_id", "name"),
+                ),
+            ),
+            ObjectTypeDef(
+                name="document",
+                relations=(
+                    RelationDef("parent"),
+                    RelationDef(
+                        "viewer",
+                        union=(
+                            Direct(),
+                            Computed("editor"),
+                            Via("parent", "viewer"),
+                        ),
+                    ),
+                    RelationDef(
+                        "editor", union=(Direct(), Via("parent", "editor"))
+                    ),
+                ),
+                permissions=("viewer", "editor"),
+                binding=TableBinding(
+                    table="Documents",
+                    id_column="doc_id",
+                    columns=("doc_id", "folder_id", "title", "content"),
+                ),
+            ),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class CollabConfig:
+    teams: int = 4
+    users_per_team: int = 4
+    #: folder chains this deep hang off each team's root folder
+    folder_depth: int = 8
+    documents: int = 24
+    #: fraction of direct document grants that expire
+    expiring_fraction: float = 0.25
+    #: grants expire between base_time and base_time + expiry_spread
+    base_time: float = 1_000_000.0
+    expiry_spread: float = 1_000.0
+    seed: int = 7
+
+
+def user_name(team_index: int, member_index: int) -> str:
+    return f"u{team_index}_{member_index}"
+
+
+def team_name(team_index: int) -> str:
+    return _TEAM_NAMES[team_index % len(_TEAM_NAMES)]
+
+
+def build_collab(
+    config: CollabConfig = CollabConfig(),
+    db: Optional[Database] = None,
+    deploy_policy: bool = True,
+    clock: Optional[Clock] = None,
+) -> Database:
+    """Create and populate a collaboration database.
+
+    ``db`` populates an existing (possibly sharded/cluster) database;
+    ``deploy_policy=False`` loads only the base tables — the
+    differential tests use it to hand-author the same policy.
+    """
+    rng = random.Random(config.seed)
+    if db is None:
+        db = Database()
+    db.execute_script(SCHEMA_SQL)
+
+    manager: Optional[RebacManager] = None
+    if deploy_policy:
+        manager = attach_rebac(db, collab_namespace(), clock=clock)
+
+    def tuple_write(obj: str, relation: str, subject: str,
+                    expires_at: Optional[float] = None) -> None:
+        if manager is not None:
+            manager.write_tuple(obj, relation, subject, expires_at=expires_at)
+
+    # org chart: teams and members
+    for t in range(config.teams):
+        for m in range(config.users_per_team):
+            tuple_write(
+                f"team:{team_name(t)}", "member", f"user:{user_name(t, m)}"
+            )
+
+    # folder chains: one root per team, nested folder_depth deep; the
+    # team's userset views the root, so leaf access is a ~10-link chain
+    leaf_folders: list[str] = []
+    for t in range(config.teams):
+        team = team_name(t)
+        chain_parent: Optional[str] = None
+        for depth in range(config.folder_depth):
+            folder_id = f"f{t}_{depth}"
+            db.execute(
+                f"insert into Folders values ('{folder_id}', "
+                f"'{team} level {depth}')",
+                sync=False,
+            )
+            if chain_parent is None:
+                tuple_write(
+                    f"folder:{folder_id}", "viewer", f"team:{team}#member"
+                )
+            else:
+                tuple_write(
+                    f"folder:{folder_id}", "parent", f"folder:{chain_parent}"
+                )
+            chain_parent = folder_id
+        leaf_folders.append(chain_parent)
+
+    # documents: filed into leaf folders, round-robin across teams, with
+    # a sprinkle of direct (possibly expiring) grants to outside users
+    for d in range(config.documents):
+        t = d % config.teams
+        folder_id = leaf_folders[t]
+        doc_id = f"d{d}"
+        title = f"{_WORDS[d % len(_WORDS)]} {d}"
+        content = f"content of {title} ({team_name(t)})"
+        db.execute(
+            f"insert into Documents values ('{doc_id}', '{folder_id}', "
+            f"'{title}', '{content}')",
+            sync=False,
+        )
+        tuple_write(f"document:{doc_id}", "parent", f"folder:{folder_id}")
+        if rng.random() < 0.5:
+            other_team = (t + 1) % config.teams
+            grantee = user_name(other_team, rng.randrange(config.users_per_team))
+            expires = None
+            if rng.random() < config.expiring_fraction:
+                expires = config.base_time + rng.uniform(
+                    1.0, config.expiry_spread
+                )
+            tuple_write(
+                f"document:{doc_id}", "viewer", f"user:{grantee}",
+                expires_at=expires,
+            )
+    db._durable_commit()
+    return db

@@ -1,0 +1,570 @@
+"""Unit and property tests for the ReBAC subsystem (repro.rebac).
+
+The determinism contracts under test:
+
+* cycle rejection is *deterministic*: the same cyclic tuple set yields
+  the same byte-stable error message no matter the insertion order;
+* the grant closure is *insertion-order independent*: every permutation
+  of a tuple set compiles to identical RebacGrants rows and identical
+  justifying chains;
+* expiry composes as a minimum over the chain and is evaluated against
+  the injectable clock, never the wall clock.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.db import Database
+from repro.errors import RebacCycleError, RebacError
+from repro.rebac import (
+    NEVER_EXPIRES,
+    Computed,
+    Direct,
+    NamespaceConfig,
+    ObjectTypeDef,
+    RelationDef,
+    RelationTuple,
+    TableBinding,
+    TupleStore,
+    Via,
+    attach_rebac,
+    compile_views,
+    compute_closure,
+    detect_cycle,
+)
+from repro.rebac.compiler import closure_rows, view_name, view_sql
+from repro.rebac.tuples import cycle_error, parse_object, parse_subject
+from repro.service.clock import ManualClock
+from repro.workloads.collab import collab_namespace
+
+
+def doc_namespace() -> NamespaceConfig:
+    """A small two-type namespace: teams and documents."""
+    return NamespaceConfig(
+        [
+            ObjectTypeDef(name="team", relations=(RelationDef("member"),)),
+            ObjectTypeDef(
+                name="document",
+                relations=(
+                    RelationDef("parent"),
+                    RelationDef(
+                        "viewer",
+                        union=(
+                            Direct(),
+                            Computed("editor"),
+                            Via("parent", "viewer"),
+                        ),
+                    ),
+                    RelationDef(
+                        "editor", union=(Direct(), Via("parent", "editor"))
+                    ),
+                ),
+                permissions=("viewer", "editor"),
+                binding=TableBinding(
+                    table="Documents",
+                    id_column="doc_id",
+                    columns=("doc_id", "title"),
+                ),
+            ),
+        ]
+    )
+
+
+# -- tuples and parsing ------------------------------------------------------
+
+
+class TestTupleParsing:
+    def test_parse_object(self):
+        assert parse_object("document:readme") == ("document", "readme")
+
+    @pytest.mark.parametrize(
+        "bad", ["readme", "document:", ":readme", "document:a#b"]
+    )
+    def test_parse_object_rejects(self, bad):
+        with pytest.raises(RebacError):
+            parse_object(bad)
+
+    def test_parse_subject_user(self):
+        assert parse_subject("user:alice") == ("user", "alice", None)
+
+    def test_parse_subject_userset(self):
+        assert parse_subject("team:eng#member") == ("team", "eng", "member")
+
+    @pytest.mark.parametrize("bad", ["team:eng#", "eng#member", "team:"])
+    def test_parse_subject_rejects(self, bad):
+        with pytest.raises(RebacError):
+            parse_subject(bad)
+
+    def test_tuple_properties(self):
+        t = RelationTuple("document:d", "viewer", "team:eng#member")
+        assert t.subject_is_userset and not t.subject_is_user
+        assert t.subject_object == "team:eng"
+        assert t.subject_relation == "member"
+        assert t.never_expires
+        u = RelationTuple("document:d", "viewer", "user:a", expires_at=5.0)
+        assert u.subject_is_user and not u.never_expires
+
+    def test_round_trip_dict(self):
+        t = RelationTuple("document:d", "viewer", "user:a", expires_at=7.5)
+        assert RelationTuple.from_dict(t.as_dict()) == t
+
+
+class TestTupleStore:
+    def test_write_replaces_expiry(self):
+        store = TupleStore()
+        store.write(RelationTuple("document:d", "viewer", "user:a"))
+        store.write(
+            RelationTuple("document:d", "viewer", "user:a", expires_at=9.0)
+        )
+        assert len(store) == 1
+        assert store.get(("document:d", "viewer", "user:a")).expires_at == 9.0
+
+    def test_delete_and_contains(self):
+        store = TupleStore()
+        t = RelationTuple("document:d", "viewer", "user:a")
+        store.write(t)
+        assert t.key() in store
+        assert store.delete(t.key()) == t
+        assert store.delete(t.key()) is None
+        assert t.key() not in store
+
+    def test_snapshot_sorted(self):
+        store = TupleStore()
+        store.write(RelationTuple("b:1", "viewer", "user:a"))
+        store.write(RelationTuple("a:1", "viewer", "user:a"))
+        snapshot = store.snapshot()
+        assert snapshot == sorted(snapshot)
+
+
+# -- namespace validation ----------------------------------------------------
+
+
+class TestNamespaceValidation:
+    def test_computed_must_reference_known_relation(self):
+        with pytest.raises(RebacError):
+            NamespaceConfig(
+                [
+                    ObjectTypeDef(
+                        name="document",
+                        relations=(
+                            RelationDef(
+                                "viewer", union=(Computed("missing"),)
+                            ),
+                        ),
+                    )
+                ]
+            )
+
+    def test_via_must_reference_known_hierarchy(self):
+        with pytest.raises(RebacError):
+            NamespaceConfig(
+                [
+                    ObjectTypeDef(
+                        name="document",
+                        relations=(
+                            RelationDef(
+                                "viewer", union=(Via("missing", "viewer"),)
+                            ),
+                        ),
+                    )
+                ]
+            )
+
+    def test_permission_needs_matching_relation(self):
+        with pytest.raises(RebacError):
+            NamespaceConfig(
+                [
+                    ObjectTypeDef(
+                        name="document",
+                        relations=(RelationDef("viewer"),),
+                        permissions=("editor",),
+                    )
+                ]
+            )
+
+    def test_validate_tuple_unknown_type_and_relation(self):
+        ns = doc_namespace()
+        with pytest.raises(RebacError):
+            ns.validate_tuple(RelationTuple("nope:1", "viewer", "user:a"))
+        with pytest.raises(RebacError):
+            ns.validate_tuple(RelationTuple("document:1", "nope", "user:a"))
+
+    def test_validate_tuple_userset_relation_must_exist(self):
+        ns = doc_namespace()
+        with pytest.raises(RebacError):
+            ns.validate_tuple(
+                RelationTuple("document:1", "viewer", "team:eng#nope")
+            )
+
+    def test_plain_object_subject_only_on_hierarchy_relations(self):
+        ns = doc_namespace()
+        # parent is a hierarchy relation (Via targets it) — allowed
+        ns.validate_tuple(
+            RelationTuple("document:1", "parent", "document:2")
+        )
+        with pytest.raises(RebacError) as exc:
+            ns.validate_tuple(
+                RelationTuple("document:1", "viewer", "document:2")
+            )
+        assert "is not a hierarchy relation" in str(exc.value)
+
+    def test_state_round_trip(self):
+        ns = collab_namespace()
+        assert NamespaceConfig.from_state(ns.to_state()).to_state() == (
+            ns.to_state()
+        )
+
+
+# -- cycle detection ---------------------------------------------------------
+
+
+class TestCycleDetection:
+    HIER = frozenset({"parent"})
+
+    def test_no_cycle_on_tree(self):
+        tuples = [
+            RelationTuple("document:a", "parent", "document:root"),
+            RelationTuple("document:b", "parent", "document:root"),
+            RelationTuple("document:root", "viewer", "team:eng#member"),
+        ]
+        assert detect_cycle(tuples, self.HIER) is None
+
+    def test_self_loop(self):
+        tuples = [RelationTuple("document:a", "parent", "document:a")]
+        cycle = detect_cycle(tuples, self.HIER)
+        assert cycle == ["document:a"]
+
+    def test_canonical_rotation(self):
+        tuples = [
+            RelationTuple("document:z", "parent", "document:m"),
+            RelationTuple("document:m", "parent", "document:a"),
+            RelationTuple("document:a", "parent", "document:z"),
+        ]
+        cycle = detect_cycle(tuples, self.HIER)
+        assert cycle[0] == "document:a"  # smallest node leads
+
+    def test_error_message_is_byte_stable(self):
+        message = str(cycle_error(["document:a", "document:b"]))
+        assert message == (
+            "relationship cycle detected in the group graph: "
+            "document:a -> document:b -> document:a"
+        )
+
+    def test_cycle_report_independent_of_insertion_order(self):
+        """Property: every permutation of a cyclic tuple set reports the
+        same canonical cycle (and so the same error bytes)."""
+        tuples = [
+            RelationTuple("document:a", "parent", "document:b"),
+            RelationTuple("document:b", "parent", "document:c"),
+            RelationTuple("document:c", "parent", "document:a"),
+            RelationTuple("document:x", "parent", "document:a"),
+            RelationTuple("document:a", "viewer", "team:eng#member"),
+        ]
+        reports = {
+            str(cycle_error(detect_cycle(perm, self.HIER)))
+            for perm in itertools.permutations(tuples)
+        }
+        assert len(reports) == 1
+
+    def test_random_graphs_deterministic(self):
+        """Property: random graphs with one injected back-edge reject
+        deterministically across shuffles of the write order."""
+        for seed in range(12):
+            rng = random.Random(seed)
+            n = rng.randrange(4, 9)
+            nodes = [f"document:n{i}" for i in range(n)]
+            parents = {i: rng.randrange(i) for i in range(1, n)}
+            tuples = [
+                RelationTuple(nodes[i], "parent", nodes[parents[i]])
+                for i in range(1, n)
+            ]
+            # inject a back-edge: make an ancestor of ``hi`` depend on
+            # it, which is guaranteed to close a loop
+            hi = rng.randrange(1, n)
+            ancestors = []
+            cursor = hi
+            while cursor in parents:
+                cursor = parents[cursor]
+                ancestors.append(cursor)
+            anc = rng.choice(ancestors)
+            tuples.append(RelationTuple(nodes[anc], "parent", nodes[hi]))
+            baseline = detect_cycle(sorted(tuples), self.HIER)
+            assert baseline is not None
+            for _ in range(6):
+                shuffled = list(tuples)
+                rng.shuffle(shuffled)
+                assert detect_cycle(shuffled, self.HIER) == baseline
+
+
+# -- the grant closure -------------------------------------------------------
+
+
+def closure_tuples():
+    """Direct, userset, computed, and hierarchy rules all exercised."""
+    return [
+        RelationTuple("team:eng", "member", "user:alice"),
+        RelationTuple("team:eng", "member", "user:bob"),
+        RelationTuple("document:root", "viewer", "team:eng#member"),
+        RelationTuple("document:mid", "parent", "document:root"),
+        RelationTuple("document:leaf", "parent", "document:mid"),
+        RelationTuple("document:leaf", "editor", "user:carol", expires_at=50.0),
+        RelationTuple("document:root", "viewer", "user:dave", expires_at=99.0),
+    ]
+
+
+class TestClosure:
+    def test_userset_and_hierarchy_propagation(self):
+        ns = doc_namespace()
+        closure = compute_closure(ns, sorted(closure_tuples()))
+        leaf = closure[("document:leaf", "viewer")]
+        assert "alice" in leaf and "bob" in leaf
+        # alice's chain: leaf -> mid -> root -> team -> user
+        assert len(leaf["alice"].chain) == 4
+        assert leaf["alice"].chain[0].object == "document:leaf"
+        assert leaf["alice"].chain[-1].subject == "user:alice"
+
+    def test_computed_folds_editor_into_viewer(self):
+        ns = doc_namespace()
+        closure = compute_closure(ns, sorted(closure_tuples()))
+        # carol is an editor, so also a viewer, with the expiry carried
+        assert closure[("document:leaf", "editor")]["carol"].expires_at == 50.0
+        assert closure[("document:leaf", "viewer")]["carol"].expires_at == 50.0
+
+    def test_chain_expiry_is_minimum(self):
+        ns = doc_namespace()
+        closure = compute_closure(ns, sorted(closure_tuples()))
+        # dave's direct root grant expires at 99; the chain down to the
+        # leaf can be no fresher
+        assert closure[("document:leaf", "viewer")]["dave"].expires_at == 99.0
+
+    def test_never_expires_sentinel(self):
+        ns = doc_namespace()
+        closure = compute_closure(ns, sorted(closure_tuples()))
+        grant = closure[("document:leaf", "viewer")]["alice"]
+        assert grant.expires_at == NEVER_EXPIRES and grant.never_expires
+
+    def test_rows_and_chains_insertion_order_independent(self):
+        """Property: every permutation of the tuple set yields identical
+        grant rows *and* identical justifying chains."""
+        ns = doc_namespace()
+        tuples = closure_tuples()
+        baseline_rows = None
+        baseline_chains = None
+        for perm in itertools.permutations(tuples):
+            closure = compute_closure(ns, list(perm))
+            rows = closure_rows(ns, closure)
+            chains = {
+                (object_, relation, user): tuple(
+                    t.key() for t in grant.chain
+                )
+                for (object_, relation), grants in closure.items()
+                for user, grant in grants.items()
+            }
+            if baseline_rows is None:
+                baseline_rows, baseline_chains = rows, chains
+            else:
+                assert rows == baseline_rows
+                assert chains == baseline_chains
+
+    def test_random_tuple_sets_insertion_order_independent(self):
+        """Property over random grant graphs, shuffled write orders."""
+        ns = doc_namespace()
+        for seed in range(8):
+            rng = random.Random(1000 + seed)
+            tuples = [
+                RelationTuple("team:eng", "member", f"user:u{i}")
+                for i in range(rng.randrange(1, 4))
+            ]
+            docs = [f"document:d{i}" for i in range(rng.randrange(2, 6))]
+            for i, doc in enumerate(docs[1:], start=1):
+                tuples.append(
+                    RelationTuple(doc, "parent", docs[rng.randrange(i)])
+                )
+            tuples.append(
+                RelationTuple(docs[0], "viewer", "team:eng#member")
+            )
+            for doc in docs:
+                if rng.random() < 0.5:
+                    expiry = (
+                        None if rng.random() < 0.5 else rng.uniform(1, 100)
+                    )
+                    tuples.append(
+                        RelationTuple(
+                            doc,
+                            "editor",
+                            f"user:x{rng.randrange(3)}",
+                            expires_at=(
+                                NEVER_EXPIRES if expiry is None else expiry
+                            ),
+                        )
+                    )
+            baseline = closure_rows(ns, compute_closure(ns, list(tuples)))
+            for _ in range(4):
+                shuffled = list(tuples)
+                rng.shuffle(shuffled)
+                assert (
+                    closure_rows(ns, compute_closure(ns, shuffled))
+                    == baseline
+                )
+
+    def test_closure_only_materializes_permissions(self):
+        ns = doc_namespace()
+        rows = closure_rows(ns, compute_closure(ns, closure_tuples()))
+        # "member" and "parent" are plumbing relations, not permissions
+        assert all(row[2] in ("viewer", "editor") for row in rows)
+        assert rows == sorted(rows)
+
+
+# -- the compiler ------------------------------------------------------------
+
+
+class TestCompiler:
+    def test_view_name(self):
+        assert view_name("document", "viewer") == "RebacDocumentViewer"
+
+    def test_view_sql_stays_in_cq_fragment(self):
+        sql = view_sql(doc_namespace(), "document", "viewer")
+        lowered = sql.lower()
+        assert "$user_id" in sql and "$time" in sql
+        assert "expires_at > $time" in sql
+        # conjunctive-query fragment: no OR, no IS NULL, no NOT
+        assert " or " not in lowered and "is null" not in lowered
+
+    def test_view_sql_rejects_undeclared_permission(self):
+        with pytest.raises(RebacError):
+            view_sql(doc_namespace(), "document", "parent")
+
+    def test_view_sql_requires_binding(self):
+        with pytest.raises(RebacError):
+            view_sql(doc_namespace(), "team", "member")
+
+    def test_compile_views_covers_all_permissions(self):
+        ddl = compile_views(collab_namespace())
+        names = {line.split()[3] for line in ddl}
+        assert names == {
+            "RebacDocumentViewer",
+            "RebacDocumentEditor",
+            "RebacFolderViewer",
+            "RebacFolderEditor",
+            "RebacMyGrants",
+        }
+
+
+# -- the manager (single-node, no durability) --------------------------------
+
+
+def managed_db():
+    db = Database()
+    db.execute_script(
+        """
+        create table Documents(doc_id varchar(20) primary key,
+            title varchar(40) not null);
+        """
+    )
+    manager = attach_rebac(db, doc_namespace())
+    return db, manager
+
+
+class TestManager:
+    def test_attach_deploys_schema_views_and_grants(self):
+        db, manager = managed_db()
+        assert db.table("RebacGrants") is not None
+        views = {v.name for v in db.catalog.views()}
+        assert "RebacDocumentViewer" in views and "RebacMyGrants" in views
+        # compiled views are PUBLIC: scoping lives in the $user_id join
+        assert db.grants.is_granted("RebacDocumentViewer", "anyone")
+
+    def test_attach_twice_rejected(self):
+        db, manager = managed_db()
+        with pytest.raises(RebacError):
+            attach_rebac(db, doc_namespace())
+
+    def test_write_tuple_materializes_rows(self):
+        db, manager = managed_db()
+        manager.write_tuple("document:d", "viewer", "user:alice")
+        rows = db.execute("select * from RebacGrants").rows
+        assert ("document", "d", "viewer", "alice", NEVER_EXPIRES) in rows
+
+    def test_delete_tuple_removes_rows(self):
+        db, manager = managed_db()
+        manager.write_tuple("document:d", "viewer", "user:alice")
+        manager.delete_tuple("document:d", "viewer", "user:alice")
+        assert db.execute("select * from RebacGrants").rows == []
+        assert manager.delete_tuple("document:d", "viewer", "user:a") is None
+
+    def test_cycle_write_rejected_atomically(self):
+        db, manager = managed_db()
+        manager.write_tuple("document:a", "parent", "document:b")
+        before_rows = db.execute("select * from RebacGrants").rows
+        before_tuples = manager.store.snapshot()
+        with pytest.raises(RebacCycleError) as exc:
+            manager.write_tuple("document:b", "parent", "document:a")
+        assert str(exc.value) == (
+            "relationship cycle detected in the group graph: "
+            "document:a -> document:b -> document:a"
+        )
+        # nothing mutated: tuples, rows, and the closure all unchanged
+        assert manager.store.snapshot() == before_tuples
+        assert db.execute("select * from RebacGrants").rows == before_rows
+
+    def test_denial_reasons(self):
+        db, manager = managed_db()
+        manager.write_tuple(
+            "document:d", "viewer", "user:alice", expires_at=10.0
+        )
+        assert manager.denial_reason("document:d", "viewer", "alice") is None
+        assert manager.denial_reason("document:d", "viewer", "bob") == (
+            "no relationship-tuple chain grants 'viewer' on document:d "
+            "to user 'bob'"
+        )
+        assert manager.denial_reason(
+            "document:d", "viewer", "alice", at_time=11.0
+        ) == (
+            "the tuple chain granting 'viewer' on document:d to user "
+            "'alice' expired at 10.0"
+        )
+
+    def test_expire_tuples_uses_injected_clock(self):
+        clock = ManualClock(now=100.0)
+        db = Database()
+        db.execute_script(
+            "create table Documents(doc_id varchar(20) primary key,"
+            " title varchar(40) not null);"
+        )
+        manager = attach_rebac(db, doc_namespace(), clock=clock)
+        manager.write_tuple(
+            "document:d", "viewer", "user:alice", expires_at=150.0
+        )
+        manager.write_tuple("document:d", "viewer", "user:bob")
+        assert manager.expire_tuples() == []
+        clock.advance(75.0)
+        expired = manager.expire_tuples()
+        assert [t.subject for t in expired] == ["user:alice"]
+        rows = db.execute("select user_id from RebacGrants").rows
+        assert rows == [("bob",)]
+
+    def test_stats(self):
+        db, manager = managed_db()
+        manager.write_tuple("document:d", "viewer", "user:alice")
+        stats = manager.stats()
+        assert stats["rebac_tuples"] == 1
+        assert stats["rebac_grant_rows"] == 1
+        # document viewer + editor + the RebacMyGrants introspection view
+        assert stats["rebac_views"] == 3
+        assert stats["rebac_recompiles"] == 1
+
+    def test_user_grants_and_view_permission(self):
+        db, manager = managed_db()
+        manager.write_tuple("document:d", "editor", "user:alice")
+        grants = manager.user_grants("alice")
+        assert {(o, r) for o, r, _ in grants} == {
+            ("document:d", "editor"),
+            ("document:d", "viewer"),  # editors are viewers (Computed)
+        }
+        assert manager.view_permission("RebacDocumentViewer") == (
+            "document",
+            "viewer",
+        )
+        assert manager.view_permission("NoSuchView") is None
