@@ -28,6 +28,9 @@ exposes — ``\\stats`` shows the gateway's live metrics.  Meta-commands:
 ``\\grant V U``     grant view V to user U (or PUBLIC)
 ``\\tables``        list base tables
 ``\\stats``         gateway metrics: requests, cache, pool, latency
+``\\replicas``      cluster replica health: state, lag, policy epoch,
+                   heartbeat age, divergence counters (sharded
+                   coordinators only)
 ``\\audit [N]``     last N audit-log records (default 10)
 ``\\save DIR``      attach durable storage: checkpoint this database
                    into DIR and WAL-log every later change
@@ -190,6 +193,8 @@ class Shell:
             self._set_time(rest)
         elif head == "\\stats":
             self.write(self.gateway().render_stats())
+        elif head == "\\replicas":
+            self._replicas()
         elif head == "\\audit":
             self._audit(rest)
         elif head == "\\save":
@@ -319,6 +324,13 @@ class Shell:
                 f"{record.latency_ms:.2f}ms :: {record.signature}"
             )
 
+    def _replicas(self) -> None:
+        report = getattr(self.db, "cluster_health", None)
+        if report is None:
+            self.write("  (database is not a sharded cluster coordinator)")
+            return
+        render_health(self.write, report())
+
     # -- durability meta-commands --------------------------------------------
 
     def _save(self, rest: str) -> None:
@@ -438,9 +450,44 @@ def print_result(write, result) -> None:
             write(f"  note: {note}")
 
 
+def render_health(write, health: Optional[dict]) -> None:
+    """Render a cluster-health report (``cluster_health()`` / the
+    ``health`` wire frame) as the ``\\replicas`` table."""
+    if not health:
+        write("  (server is not a sharded cluster coordinator)")
+        return
+    write(
+        f"cluster: {health.get('shards')} shard(s), policy epoch "
+        f"{health.get('policy_epoch')}, unresolved divergences "
+        f"{health.get('replica_divergence')}"
+    )
+    replicas = health.get("replicas") or []
+    if not replicas:
+        write("  (no read replicas attached)")
+        return
+    for rep in replicas:
+        flags = []
+        if rep.get("serving"):
+            flags.append("serving")
+        if rep.get("state") == "quarantined":
+            flags.append("QUARANTINED")
+        note = f" [{', '.join(flags)}]" if flags else ""
+        write(
+            f"  {rep.get('name')}: state={rep.get('state')} "
+            f"lag={rep.get('lag')} epoch={rep.get('policy_epoch')} "
+            f"heartbeat={rep.get('heartbeat_age_s')}s "
+            f"divergences={rep.get('divergences')}"
+            f"/{rep.get('unresolved_divergences')} unresolved "
+            f"catchups={rep.get('catchups')} "
+            f"bootstraps={rep.get('bootstraps')}{note}"
+        )
+        if rep.get("last_error"):
+            write(f"      last error: {rep['last_error']}")
+
+
 REMOTE_BANNER = """repro — remote shell over the wire protocol (repro.net)
 Type SQL terminated by ';'.  Meta-commands: \\user ID, \\mode M,
-\\explain SQL, \\stats, \\reset, \\help, \\quit."""
+\\explain SQL, \\stats, \\replicas, \\reset, \\help, \\quit."""
 
 
 class RemoteShell:
@@ -568,6 +615,13 @@ class RemoteShell:
                     self.write(f"  {name:<{width}}  {value:.4f}")
                 else:
                     self.write(f"  {name:<{width}}  {value}")
+        elif head == "\\replicas":
+            try:
+                health = self.client.health()
+            except (NetworkError, ReproError) as exc:
+                self.write(f"error: {exc}")
+                return True
+            render_health(self.write, health)
         elif head == "\\reset":
             discarded = len(self._buffer)
             self._buffer = []
@@ -616,15 +670,19 @@ def build_database(
     replicas: int = 0,
 ) -> Database:
     if shards > 0:
-        if data_dir is not None:
-            raise ValueError(
-                "--shards and --data-dir are mutually exclusive: a "
-                "sharded coordinator's durability slot carries the "
-                "cluster replication log"
-            )
         from repro.cluster import ClusterCoordinator
 
-        db = ClusterCoordinator(shards=shards, replicas=replicas)
+        if data_dir is not None:
+            db = ClusterCoordinator.open(
+                data_dir, shards=shards, replicas=replicas
+            )
+            if db.recovery_report:
+                # existing durable cluster state wins over
+                # --workload/--script; replicas were resurrected by
+                # catch-up during open()
+                return db
+        else:
+            db = ClusterCoordinator(shards=shards, replicas=replicas)
         if workload == "university":
             from repro.workloads.university import build_university
 
@@ -718,8 +776,8 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--shards", type=int, default=0,
         help="serve a sharded cluster coordinator with this many "
-             "storage nodes (0 = single-node; incompatible with "
-             "--data-dir)",
+             "storage nodes (0 = single-node; combine with --data-dir "
+             "for a durable cluster that recovers on restart)",
     )
     parser.add_argument(
         "--replicas", type=int, default=0,
@@ -793,7 +851,8 @@ def connect_main(target: str, args) -> int:
         return 2
     try:
         client = ReproClient(
-            host or "127.0.0.1", port, user=args.user, mode=args.mode
+            host or "127.0.0.1", port, user=args.user, mode=args.mode,
+            reconnect=True,
         )
     except (NetworkError, OSError) as exc:
         print(f"error: cannot connect to {target}: {exc}", file=sys.stderr)

@@ -8,6 +8,17 @@ policy epoch catches up with the coordinator's.
 """
 
 from repro.cluster.coordinator import REPLICA_READ_MODES, ClusterCoordinator
+from repro.cluster.health import (
+    CATCHING_UP,
+    HEALTHY,
+    QUARANTINED,
+    REPLICA_STATES,
+    SUSPECT,
+    HealthMonitor,
+    ReplicaHealth,
+    backoff_delays,
+    content_digests,
+)
 from repro.cluster.partition import (
     HashPartitioner,
     PartitionedIndex,
@@ -26,18 +37,27 @@ from repro.cluster.storage_node import (
 )
 
 __all__ = [
+    "CATCHING_UP",
     "ClusterCoordinator",
     "ClusterWal",
     "DECOMPOSABLE",
+    "HEALTHY",
     "HashPartitioner",
+    "HealthMonitor",
     "PartitionedIndex",
     "PartitionedTable",
+    "QUARANTINED",
     "REPLICA_READ_MODES",
+    "REPLICA_STATES",
     "ReadReplica",
+    "ReplicaHealth",
     "ReplicationLog",
+    "SUSPECT",
     "ShardFragment",
     "StorageNode",
     "WalShipper",
+    "backoff_delays",
+    "content_digests",
     "decomposable_aggregate",
     "exact_merge_aggregates",
     "fragment_safe_subtree",

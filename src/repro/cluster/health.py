@@ -1,0 +1,337 @@
+"""Replica health: failure detection, lifecycle, anti-entropy digests.
+
+PR 8's epoch gate makes a *healthy* replica safe: a read is routed only
+when the replica's observed policy epoch has caught up with the
+coordinator's.  This module makes the *unhealthy* states explicit.  Each
+replica moves through a small lifecycle::
+
+    HEALTHY ──(missed heartbeats / ship failures)──▶ SUSPECT
+    SUSPECT ──(heartbeat again)──▶ HEALTHY
+    SUSPECT ──(kept failing / silent too long)──▶ QUARANTINED
+    QUARANTINED ──(catch-up streaming starts)──▶ CATCHING_UP
+    CATCHING_UP ──(lag 0, epoch current, digests match)──▶ HEALTHY
+    CATCHING_UP ──(retries exhausted / digests still diverge)──▶ QUARANTINED
+
+Only ``HEALTHY`` replicas are routable (:meth:`HealthMonitor.
+is_serving`), and only ``HEALTHY``/``SUSPECT`` replicas receive normal
+commit-time shipping (:meth:`HealthMonitor.may_ship`) — a quarantined
+replica is owned exclusively by the catch-up path, so commit shipping
+and catch-up streaming never race on one cursor.
+
+Liveness evidence is *positive*: a successful ship (or an un-paused
+shipper at failure-detector tick time) counts as a heartbeat.  A replica
+that stops producing evidence drifts ``SUSPECT`` after
+``suspect_after`` seconds and ``QUARANTINED`` after ``quarantine_after``
+seconds; ``failure_threshold`` consecutive ship failures quarantine it
+immediately.  All timing reads the injectable
+:class:`~repro.service.clock.Clock`, so the detector is deterministic
+under a :class:`~repro.service.clock.ManualClock`.
+
+Anti-entropy: :func:`content_digests` computes per-table
+order-insensitive content digests (a 64-bit sum of per-row CRCs — the
+primary's merged-shard iteration order and a replica's apply order hash
+identically) plus one policy digest over grants, Truman mappings, VPD
+predicates, and view names.  The coordinator compares
+primary-vs-replica digests on every rejoin and in periodic
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.run_anti_entropy`
+passes; a mismatch is a **divergence** — counted, surfaced as the
+``replica_divergence`` metric, and healed by automatic re-bootstrap.
+Unresolved divergences keep the replica quarantined forever rather than
+ever serving a wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.service.clock import Clock, SYSTEM_CLOCK
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db import Database
+
+#: replica lifecycle states
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+CATCHING_UP = "catching_up"
+
+REPLICA_STATES = (HEALTHY, SUSPECT, QUARANTINED, CATCHING_UP)
+
+_MASK64 = (1 << 64) - 1
+
+
+class ReplicaHealth:
+    """Mutable per-replica health record (owned by a HealthMonitor)."""
+
+    __slots__ = (
+        "name",
+        "state",
+        "last_heartbeat",
+        "consecutive_failures",
+        "failures",
+        "suspects",
+        "quarantines",
+        "catchups",
+        "divergences",
+        "unresolved_divergences",
+        "state_changes",
+        "last_error",
+    )
+
+    def __init__(self, name: str, now: float):
+        self.name = name
+        self.state = HEALTHY
+        self.last_heartbeat = now
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.suspects = 0
+        self.quarantines = 0
+        self.catchups = 0
+        self.divergences = 0
+        self.unresolved_divergences = 0
+        self.state_changes = 0
+        self.last_error: Optional[str] = None
+
+
+class HealthMonitor:
+    """Heartbeat/lag failure detector over a set of named replicas."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        suspect_after: float = 5.0,
+        quarantine_after: float = 15.0,
+        failure_threshold: int = 3,
+    ):
+        if not 0 < suspect_after <= quarantine_after:
+            raise ValueError(
+                "need 0 < suspect_after <= quarantine_after "
+                f"(got {suspect_after} / {quarantine_after})"
+            )
+        self.clock = clock or SYSTEM_CLOCK
+        self.suspect_after = suspect_after
+        self.quarantine_after = quarantine_after
+        self.failure_threshold = max(1, failure_threshold)
+        self._replicas: dict[str, ReplicaHealth] = {}
+        self._lock = threading.RLock()
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, name: str) -> ReplicaHealth:
+        with self._lock:
+            health = self._replicas.get(name)
+            if health is None:
+                health = ReplicaHealth(name, self.clock.monotonic())
+                self._replicas[name] = health
+            return health
+
+    def _get(self, name: str) -> ReplicaHealth:
+        with self._lock:
+            return self.register(name)
+
+    def state_of(self, name: str) -> str:
+        return self._get(name).state
+
+    # -- transitions ------------------------------------------------------
+
+    def _set(self, health: ReplicaHealth, state: str) -> None:
+        if health.state == state:
+            return
+        health.state = state
+        health.state_changes += 1
+        if state == SUSPECT:
+            health.suspects += 1
+        elif state == QUARANTINED:
+            health.quarantines += 1
+
+    def heartbeat(self, name: str) -> None:
+        """Positive liveness evidence (a ship landed / shipper reachable).
+
+        Recovers ``SUSPECT`` back to ``HEALTHY``; never promotes a
+        quarantined or catching-up replica — only the catch-up gate
+        (:meth:`mark_healthy`) may do that, after lag, epoch, and
+        digests all check out.
+        """
+        with self._lock:
+            health = self._get(name)
+            health.last_heartbeat = self.clock.monotonic()
+            if health.state in (HEALTHY, SUSPECT):
+                health.consecutive_failures = 0
+                self._set(health, HEALTHY)
+
+    def record_failure(self, name: str, error: object = None) -> str:
+        """A ship to (or probe of) the replica failed; escalate."""
+        with self._lock:
+            health = self._get(name)
+            health.failures += 1
+            health.consecutive_failures += 1
+            if error is not None:
+                health.last_error = str(error)
+            if health.state in (HEALTHY, SUSPECT):
+                if health.consecutive_failures >= self.failure_threshold:
+                    self._set(health, QUARANTINED)
+                else:
+                    self._set(health, SUSPECT)
+            return health.state
+
+    def quarantine(self, name: str, error: object = None) -> None:
+        with self._lock:
+            health = self._get(name)
+            if error is not None:
+                health.last_error = str(error)
+            self._set(health, QUARANTINED)
+
+    def begin_catch_up(self, name: str) -> None:
+        with self._lock:
+            self._set(self._get(name), CATCHING_UP)
+
+    def mark_healthy(self, name: str) -> None:
+        """The catch-up gate cleared: lag 0, epoch current, digests ok."""
+        with self._lock:
+            health = self._get(name)
+            health.last_heartbeat = self.clock.monotonic()
+            health.consecutive_failures = 0
+            health.unresolved_divergences = 0
+            if health.state == CATCHING_UP:
+                health.catchups += 1
+            self._set(health, HEALTHY)
+
+    def record_divergence(self, name: str) -> None:
+        """Anti-entropy digests disagreed with the primary."""
+        with self._lock:
+            health = self._get(name)
+            health.divergences += 1
+            health.unresolved_divergences += 1
+
+    def tick(self) -> None:
+        """Escalate replicas whose liveness evidence went stale."""
+        now = self.clock.monotonic()
+        with self._lock:
+            for health in self._replicas.values():
+                if health.state not in (HEALTHY, SUSPECT):
+                    continue
+                age = now - health.last_heartbeat
+                if age >= self.quarantine_after:
+                    self._set(health, QUARANTINED)
+                elif age >= self.suspect_after:
+                    self._set(health, SUSPECT)
+
+    # -- queries ----------------------------------------------------------
+
+    def is_serving(self, name: str) -> bool:
+        """May :meth:`route_read` offer this replica right now?"""
+        return self._get(name).state == HEALTHY
+
+    def may_ship(self, name: str) -> bool:
+        """May commit-time shipping feed this replica?  False once
+        quarantined: the catch-up path owns its cursor exclusively."""
+        return self._get(name).state in (HEALTHY, SUSPECT)
+
+    def unresolved_divergences(self) -> int:
+        with self._lock:
+            return sum(
+                h.unresolved_divergences for h in self._replicas.values()
+            )
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-replica health view (for stats / the ``health`` frame)."""
+        now = self.clock.monotonic()
+        with self._lock:
+            return {
+                name: {
+                    "state": h.state,
+                    "heartbeat_age_s": max(0.0, now - h.last_heartbeat),
+                    "consecutive_failures": h.consecutive_failures,
+                    "failures": h.failures,
+                    "suspects": h.suspects,
+                    "quarantines": h.quarantines,
+                    "catchups": h.catchups,
+                    "divergences": h.divergences,
+                    "unresolved_divergences": h.unresolved_divergences,
+                    "state_changes": h.state_changes,
+                    "last_error": h.last_error,
+                }
+                for name, h in self._replicas.items()
+            }
+
+
+# -- anti-entropy digests -----------------------------------------------------
+
+
+def content_digests(db: "Database") -> dict[str, int]:
+    """Order-insensitive content digests: one per table, one for policy.
+
+    A table digest is the 64-bit wrapping sum of ``crc32(repr((rid,
+    row)))`` over its rows — insensitive to iteration order, so the
+    coordinator's merged-shard view and a replica's apply-order storage
+    hash identically iff they hold the same (rid, row) multiset.  The
+    ``__policy__`` digest covers the grant registry, Truman mappings,
+    VPD predicates, and view names (each canonically sorted), so a
+    replica that silently lost a revoke can never digest clean.
+
+    Table digests are memoized against the table's ``data_version``
+    mutation counter: an unmutated table reuses its last digest instead
+    of rehashing every row.  That makes the steady-state anti-entropy
+    sweep (nothing changed since the last pass) near-free — the
+    property that lets it run at a cadence full rebuilds never could —
+    while any mutation through the storage API bumps the counter and
+    forces a rehash.
+    """
+    digests: dict[str, int] = {}
+    for schema in db.catalog.tables():
+        table = db.table(schema.name)
+        version = getattr(table, "data_version", None)
+        cached = getattr(table, "_digest_cache", None)
+        if version is not None and cached is not None and cached[0] == version:
+            digests[schema.name.lower()] = cached[1]
+            continue
+        acc = 0
+        for rid, row in table.rows_with_ids():
+            frame = repr((rid, tuple(row))).encode("utf-8")
+            acc = (acc + zlib.crc32(frame)) & _MASK64
+        digests[schema.name.lower()] = acc
+        if version is not None:
+            table._digest_cache = (version, acc)
+    policy_state = (
+        sorted(
+            (
+                (r.view, r.grantee, r.grantor, bool(r.grant_option))
+                for r in db.grants.grants()
+            ),
+            key=repr,
+        ),
+        sorted(db.truman_policy.items()),
+        sorted((t, p) for t, p in db.vpd_policies.policy_texts()),
+        sorted(view.name.lower() for view in db.catalog.views()),
+    )
+    digests["__policy__"] = zlib.crc32(repr(policy_state).encode("utf-8"))
+    return digests
+
+
+# -- shared backoff schedule --------------------------------------------------
+
+
+def backoff_delays(
+    attempts: int,
+    base: float = 0.05,
+    cap: float = 1.0,
+    rng: Optional[random.Random] = None,
+) -> list[float]:
+    """Exponential backoff with equal jitter: attempt *i* waits a
+    uniform draw from ``[d/2, d]`` where ``d = min(cap, base * 2**i)``.
+
+    Shared by catch-up streaming (ship-fault retries) and the network
+    client's bounded reconnect loop; pass a seeded ``rng`` for a
+    reproducible schedule.
+    """
+    if attempts < 0:
+        raise ValueError(f"attempts must be >= 0, got {attempts}")
+    rng = rng if rng is not None else random.Random()
+    delays = []
+    for i in range(attempts):
+        delay = min(cap, base * (2**i))
+        delays.append(delay * (0.5 + 0.5 * rng.random()))
+    return delays

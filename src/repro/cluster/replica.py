@@ -33,6 +33,7 @@ import threading
 
 from repro.db import Database
 from repro.durability.recovery import apply_record
+from repro.durability.snapshot import restore_state
 
 
 class ReadReplica:
@@ -48,6 +49,7 @@ class ReadReplica:
         self.policy_epoch = 0
         self.records_applied = 0
         self.duplicates_skipped = 0
+        self.bootstraps = 0
         # applies and routed reads are mutually exclusive so a shipped
         # batch can never be observed half-applied
         self._lock = threading.RLock()
@@ -55,6 +57,26 @@ class ReadReplica:
     def read_lock(self) -> threading.RLock:
         """Lock a routed read holds while executing on this replica."""
         return self._lock
+
+    def bootstrap(self, state: dict, last_lsn: int, policy_epoch: int) -> None:
+        """Replace the replica's database with a restored snapshot.
+
+        Used by catch-up streaming when the replication log no longer
+        reaches back to this replica's cursor (log truncated, durable
+        restart) and by anti-entropy when digests diverge: the old —
+        possibly wrong — database is discarded whole and rebuilt from
+        the primary's captured state, then the WAL tail streams on top.
+        Built off to the side and swapped in under the read lock, so a
+        routed read never observes a half-restored replica.
+        """
+        db = Database()
+        db.prepared_enabled = True
+        restore_state(db, state)
+        with self._lock:
+            self.database = db
+            self.applied_lsn = last_lsn
+            self.policy_epoch = policy_epoch
+            self.bootstraps += 1
 
     def apply(self, record: dict) -> bool:
         """Apply one epoch-stamped WAL record; False when already seen."""
@@ -88,4 +110,5 @@ class ReadReplica:
                 "policy_epoch": self.policy_epoch,
                 "records_applied": self.records_applied,
                 "duplicates_skipped": self.duplicates_skipped,
+                "bootstraps": self.bootstraps,
             }

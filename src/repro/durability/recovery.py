@@ -137,6 +137,7 @@ def recover(db: "Database", data_dir: str) -> dict:
     last_lsn = max(snapshot_lsn, 0)
     max_data_version = None
     max_grants_version = None
+    max_epoch = 0
     for position, (base, path) in enumerate(segments):
         records, valid_bytes, torn = read_wal(path)
         if torn:
@@ -166,6 +167,8 @@ def recover(db: "Database", data_dir: str) -> dict:
                     if max_grants_version is None
                     else max(max_grants_version, gv)
                 )
+            if "epoch" in record:
+                max_epoch = max(max_epoch, record["epoch"])
 
     if max_data_version is not None:
         db.validity_cache.restore_data_version(max_data_version)
@@ -180,4 +183,10 @@ def recover(db: "Database", data_dir: str) -> dict:
         "corrupt_snapshots_skipped": skipped_corrupt,
         "last_lsn": last_lsn,
         "recover_s": time.perf_counter() - started,
+        # cluster extras: the highest policy epoch stamped on a replayed
+        # record, and the snapshot's cluster block (policy epoch at
+        # checkpoint time) — a ClusterWal re-opening durable state
+        # restores its epoch from the max of the two
+        "max_epoch": max_epoch,
+        "cluster": (state or {}).get("cluster"),
     }

@@ -184,6 +184,18 @@ class PendingTimeout(ServiceError, TimeoutError):
         self.pending = pending
 
 
+class ReplicaUnavailable(ServiceError):
+    """A routed read replica cannot (or can no longer) serve.
+
+    Raised between routing and execution when the failure detector has
+    quarantined the replica, when it fell behind the policy-epoch/lag
+    gate after being picked, or when catch-up streaming gave up on it.
+    The gateway treats this as a *routing* miss, never a query failure:
+    the read falls back to the primary, so the caller sees a correct,
+    policy-current answer — just not a replica-served one.
+    """
+
+
 class ServiceOverloaded(ServiceError):
     """Raised when the gateway's admission queue is full (backpressure).
 
@@ -239,6 +251,22 @@ class ConnectionLostError(ConnectionDropped):
     or a stats fetch can safely be re-sent on a fresh connection, a
     write cannot.
     """
+
+
+class ReconnectExhausted(ConnectionLostError):
+    """The client's bounded reconnect budget ran out.
+
+    ``ReproClient(reconnect=True)`` retries idempotent reads across
+    reconnect attempts with exponential backoff + jitter; when every
+    attempt fails this is raised instead of the last low-level error.
+    Subclasses :class:`ConnectionLostError` so callers that handled the
+    single-reconnect era's give-up error keep working unchanged.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class DurabilityError(ReproError):

@@ -21,11 +21,19 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.errors import ConnectionDropped, ConnectionLostError, ProtocolError
+from repro.cluster.health import backoff_delays
+from repro.errors import (
+    ConnectionDropped,
+    ConnectionLostError,
+    ProtocolError,
+    ReconnectExhausted,
+)
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -196,10 +204,15 @@ class ReproClient:
     One outstanding query at a time; server frames for that query are
     consumed in order.  Use :class:`AsyncReproClient` for pipelining.
 
-    ``reconnect=True`` opts in to a single transparent reconnect-and-
-    retry when an established connection dies under an **idempotent
-    read** (a SELECT or a stats fetch).  Writes and prepared executes
-    never retry — the first attempt may have been applied.
+    ``reconnect=True`` opts in to transparent reconnect-and-retry when
+    an established connection dies under an **idempotent read** (a
+    SELECT, a stats/health fetch, or an explain).  Up to
+    ``reconnect_attempts`` redials are made with exponential backoff
+    plus equal jitter (``reconnect_backoff`` doubling up to
+    ``reconnect_backoff_cap`` seconds); if every attempt fails a typed
+    :class:`~repro.errors.ReconnectExhausted` is raised carrying the
+    attempt count and the last low-level error.  Writes and prepared
+    executes never retry — the first attempt may have been applied.
     """
 
     def __init__(
@@ -213,11 +226,20 @@ class ReproClient:
         connect_timeout: Optional[float] = 10.0,
         max_frame_size: int = DEFAULT_MAX_FRAME,
         reconnect: bool = False,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_cap: float = 1.0,
+        reconnect_seed: Optional[int] = None,
     ):
         self._host = host
         self._port = port
         self._connect_timeout = connect_timeout
         self.reconnect = reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_cap = reconnect_backoff_cap
+        self._backoff_rng = random.Random(reconnect_seed)
+        self._sleep: Callable[[float], None] = time.sleep
         self._sock = socket.create_connection((host, port), connect_timeout)
         # frame-level timeouts are the server's job (deadlines); the
         # socket itself blocks until the server answers or drops
@@ -259,14 +281,46 @@ class ReproClient:
             self._sock.close()
         except OSError:
             pass
-        self._sock = socket.create_connection(
-            (self._host, self._port), self._connect_timeout
-        )
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), self._connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectionLostError(f"reconnect failed: {exc}") from None
         self._sock.settimeout(None)
         self._decoder = FrameDecoder(self.max_frame_size)
         self._inbox = []
         self.reconnects += 1
         self.hello(*self._hello_args)
+
+    def _retry_idempotent(self, fn: Callable[[], "ClientResult | dict | None"]):
+        """Run ``fn``; on a lost connection, redial-and-retry within the
+        bounded backoff budget (only when ``reconnect`` is enabled)."""
+        try:
+            return fn()
+        except ConnectionLostError as exc:
+            if not self.reconnect:
+                raise
+            last_error: Exception = exc
+        delays = backoff_delays(
+            self.reconnect_attempts,
+            base=self.reconnect_backoff,
+            cap=self.reconnect_backoff_cap,
+            rng=self._backoff_rng,
+        )
+        for delay in delays:
+            self._sleep(delay)
+            try:
+                self._reconnect()
+                return fn()
+            except ConnectionLostError as exc:
+                last_error = exc
+        raise ReconnectExhausted(
+            f"connection lost and {self.reconnect_attempts} reconnect "
+            f"attempts failed (last error: {last_error})",
+            attempts=self.reconnect_attempts,
+            last_error=last_error,
+        )
 
     # -- session ----------------------------------------------------------
 
@@ -338,13 +392,11 @@ class ReproClient:
         ``row_budget``, ``memory_budget`` — the same knobs as
         :class:`~repro.service.request.QueryRequest`.
         """
-        try:
-            return self.finish_query(self.start_query(sql, **options))
-        except ConnectionLostError:
-            if not (self.reconnect and _idempotent_read(sql)):
-                raise
-            self._reconnect()
-            return self.finish_query(self.start_query(sql, **options))
+        if self.reconnect and _idempotent_read(sql):
+            return self._retry_idempotent(
+                lambda: self.finish_query(self.start_query(sql, **options))
+            )
+        return self.finish_query(self.start_query(sql, **options))
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse + literal-strip ``sql`` server-side once; returns a
@@ -387,13 +439,7 @@ class ReproClient:
         prints).  An explain is an idempotent read, so it takes part in
         the transparent reconnect like ``query``/``stats`` do.
         """
-        try:
-            return self._fetch_explain(sql, mode)
-        except ConnectionLostError:
-            if not self.reconnect:
-                raise
-            self._reconnect()
-            return self._fetch_explain(sql, mode)
+        return self._retry_idempotent(lambda: self._fetch_explain(sql, mode))
 
     def _fetch_explain(self, sql: str, mode: Optional[str]) -> dict:
         request_id = next(self._ids)
@@ -415,13 +461,7 @@ class ReproClient:
 
     def stats(self) -> dict:
         """The gateway's merged stats snapshot, fetched over the wire."""
-        try:
-            return self._fetch_stats()
-        except ConnectionLostError:
-            if not self.reconnect:
-                raise
-            self._reconnect()
-            return self._fetch_stats()
+        return self._retry_idempotent(self._fetch_stats)
 
     def _fetch_stats(self) -> dict:
         request_id = next(self._ids)
@@ -434,6 +474,23 @@ class ReproClient:
                 f"expected stats frame, got {message.get('type')!r}"
             )
         return message.get("stats", {})
+
+    def health(self) -> Optional[dict]:
+        """Live cluster-health report (replica states, lag, epochs,
+        divergence counters); ``None`` against a single-node server."""
+        return self._retry_idempotent(self._fetch_health)
+
+    def _fetch_health(self) -> Optional[dict]:
+        request_id = next(self._ids)
+        self._send({"type": "health", "id": request_id})
+        message = self._next_message()
+        if message.get("type") == "error":
+            _raise_wire_error(message)
+        if message.get("type") != "health":
+            raise ProtocolError(
+                f"expected health frame, got {message.get('type')!r}"
+            )
+        return message.get("health")
 
     # -- lifecycle --------------------------------------------------------
 
@@ -476,6 +533,12 @@ class AsyncReproClient:
     futures by id, so ``query()`` can be awaited concurrently from any
     number of tasks over one socket — the transport shape the open-loop
     load generator needs.
+
+    ``reconnect=True`` mirrors the blocking client: idempotent reads
+    (SELECTs, stats/health fetches) that die with the connection are
+    transparently retried over up to ``reconnect_attempts`` redials
+    with exponential backoff + jitter, ending in a typed
+    :class:`~repro.errors.ReconnectExhausted` when the budget runs out.
     """
 
     def __init__(self):
@@ -486,6 +549,7 @@ class AsyncReproClient:
         self._pending: dict[int, tuple[_ResultAssembler, asyncio.Future]] = {}
         self._welcome: Optional[asyncio.Future] = None
         self._stats_waiters: dict[int, asyncio.Future] = {}
+        self._health_waiters: dict[int, asyncio.Future] = {}
         self._prepare_waiters: dict[int, asyncio.Future] = {}
         self._explain_waiters: dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
@@ -493,6 +557,15 @@ class AsyncReproClient:
         self._closed = False
         self.max_frame_size = DEFAULT_MAX_FRAME
         self.server_info: dict = {}
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._hello_args: tuple = (None, "non-truman", None)
+        self.reconnect = False
+        self.reconnect_attempts = 5
+        self.reconnect_backoff = 0.05
+        self.reconnect_backoff_cap = 1.0
+        self._backoff_rng = random.Random()
+        self.reconnects = 0
 
     @classmethod
     async def connect(
@@ -504,9 +577,21 @@ class AsyncReproClient:
         mode: str = "non-truman",
         params: Optional[dict] = None,
         max_frame_size: int = DEFAULT_MAX_FRAME,
+        reconnect: bool = False,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_cap: float = 1.0,
+        reconnect_seed: Optional[int] = None,
     ) -> "AsyncReproClient":
         client = cls()
         client.max_frame_size = max_frame_size
+        client._host = host
+        client._port = port
+        client.reconnect = reconnect
+        client.reconnect_attempts = reconnect_attempts
+        client.reconnect_backoff = reconnect_backoff
+        client.reconnect_backoff_cap = reconnect_backoff_cap
+        client._backoff_rng = random.Random(reconnect_seed)
         client._reader, client._writer = await asyncio.open_connection(
             host, port
         )
@@ -556,6 +641,10 @@ class AsyncReproClient:
             if not future.done():
                 future.set_exception(error)
         self._stats_waiters.clear()
+        for future in list(self._health_waiters.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._health_waiters.clear()
         for future in list(self._prepare_waiters.values()):
             if not future.done():
                 future.set_exception(error)
@@ -580,6 +669,11 @@ class AsyncReproClient:
             if future is not None and not future.done():
                 future.set_result(message.get("stats", {}))
             return
+        if kind == "health":
+            future = self._health_waiters.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(message.get("health"))
+            return
         if kind == "prepared":
             future = self._prepare_waiters.pop(message.get("id"), None)
             if future is not None and not future.done():
@@ -598,7 +692,12 @@ class AsyncReproClient:
         request_id = message.get("id")
         entry = self._pending.get(request_id)
         if entry is None:
-            for waiters in (self._prepare_waiters, self._explain_waiters):
+            for waiters in (
+                self._prepare_waiters,
+                self._explain_waiters,
+                self._stats_waiters,
+                self._health_waiters,
+            ):
                 if kind == "error" and request_id in waiters:
                     future = waiters.pop(request_id)
                     if not future.done():
@@ -637,6 +736,61 @@ class AsyncReproClient:
                     )
                 )
 
+    async def _reconnect(self) -> None:
+        """Re-dial, restart the reader task, and re-authenticate."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+        if self._host is None or self._port is None:
+            raise ConnectionDropped("client has no remembered endpoint")
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        except OSError as exc:
+            raise ConnectionLostError(f"reconnect failed: {exc}") from None
+        self._decoder = FrameDecoder(self.max_frame_size)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.reconnects += 1
+        await self.hello(*self._hello_args)
+
+    async def _retry_idempotent(self, fn):
+        """Await ``fn()``; redial-and-retry a lost connection within
+        the bounded backoff budget (when ``reconnect`` is enabled)."""
+        try:
+            return await fn()
+        except ConnectionLostError as exc:
+            if not self.reconnect or self._closed:
+                raise
+            last_error: Exception = exc
+        delays = backoff_delays(
+            self.reconnect_attempts,
+            base=self.reconnect_backoff,
+            cap=self.reconnect_backoff_cap,
+            rng=self._backoff_rng,
+        )
+        for delay in delays:
+            await asyncio.sleep(delay)
+            if self._closed:
+                break
+            try:
+                await self._reconnect()
+                return await fn()
+            except ConnectionLostError as exc:
+                last_error = exc
+        raise ReconnectExhausted(
+            f"connection lost and {self.reconnect_attempts} reconnect "
+            f"attempts failed (last error: {last_error})",
+            attempts=self.reconnect_attempts,
+            last_error=last_error,
+        )
+
     # -- session ----------------------------------------------------------
 
     async def hello(
@@ -645,6 +799,7 @@ class AsyncReproClient:
         mode: str = "non-truman",
         params: Optional[dict] = None,
     ) -> dict:
+        self._hello_args = (user, mode, params)
         self._welcome = asyncio.get_running_loop().create_future()
         await self._send(
             {
@@ -674,8 +829,14 @@ class AsyncReproClient:
 
     async def query(self, sql: str, **options) -> ClientResult:
         """Run one query; concurrent callers multiplex over the socket."""
-        _, future = await self.submit(sql, **options)
-        return await future
+
+        async def attempt() -> ClientResult:
+            _, future = await self.submit(sql, **options)
+            return await future
+
+        if self.reconnect and _idempotent_read(sql):
+            return await self._retry_idempotent(attempt)
+        return await attempt()
 
     async def prepare(self, sql: str) -> AsyncPreparedStatement:
         """Async counterpart of :meth:`ReproClient.prepare`."""
@@ -731,10 +892,36 @@ class AsyncReproClient:
         return await future
 
     async def stats(self) -> dict:
+        if self.reconnect:
+            return await self._retry_idempotent(self._fetch_stats)
+        return await self._fetch_stats()
+
+    async def _fetch_stats(self) -> dict:
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._stats_waiters[request_id] = future
-        await self._send({"type": "stats", "id": request_id})
+        try:
+            await self._send({"type": "stats", "id": request_id})
+        except BaseException:
+            self._stats_waiters.pop(request_id, None)
+            raise
+        return await future
+
+    async def health(self) -> Optional[dict]:
+        """Live cluster-health report; ``None`` on a single-node server."""
+        if self.reconnect:
+            return await self._retry_idempotent(self._fetch_health)
+        return await self._fetch_health()
+
+    async def _fetch_health(self) -> Optional[dict]:
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._health_waiters[request_id] = future
+        try:
+            await self._send({"type": "health", "id": request_id})
+        except BaseException:
+            self._health_waiters.pop(request_id, None)
+            raise
         return await future
 
     # -- lifecycle --------------------------------------------------------

@@ -25,20 +25,30 @@ Client → server::
     {"type": "execute", "id": n, "statement": s, "args": [...], ...}
     {"type": "cancel", "id": n}
     {"type": "stats", "id": n}
+    {"type": "health", "id": n}
     {"type": "explain", "id": n, "sql": ..., "mode": ...}
     {"type": "goodbye"}
 
 Server → client::
 
-    {"type": "welcome", "protocol": 1, "server": ..., "session": ...}
+    {"type": "welcome", "protocol": 1, "server": ..., "session": ...,
+     "topology": [{"name": ..., "state": ..., "quarantined": ...}, ...]}
     {"type": "prepared", "id": n, "statement": s, "params": k,
      "signature": ...}
     {"type": "row_batch", "id": n, "seq": k, "rows": [[...], ...]}
     {"type": "result", "id": n, "status": "ok", "columns": [...], ...}
     {"type": "error", "id": n, "code": ..., "message": ..., ...}
     {"type": "stats", "id": n, "stats": {...}}
+    {"type": "health", "id": n, "health": {...} | null}
     {"type": "explain", "id": n, "report": {...}, "rendered": [...]}
     {"type": "goodbye"}
+
+Against a cluster deployment the ``welcome`` frame carries a
+``topology`` list reflecting *live* replica health — one entry per
+replica with its lifecycle state, a ``quarantined`` flag, lag, and
+observed policy epoch — and the ``health`` request polls the same
+report on demand (``health`` is ``null`` against a single-node
+server).  See :mod:`repro.cluster.health` for the state machine.
 
 ``explain`` runs the Non-Truman validity check *without executing the
 query* and answers the full decision trace

@@ -268,6 +268,16 @@ class ReproServer:
                 },
             )
             return True
+        if kind == "health":
+            await self._send(
+                session,
+                {
+                    "type": "health",
+                    "id": message.get("id"),
+                    "health": self._cluster_health(),
+                },
+            )
+            return True
         if kind == "query":
             await self._handle_query(session, message)
             return True
@@ -324,13 +334,34 @@ class ReproServer:
             "mode": session.mode,
         }
         # cluster deployments advertise their topology so clients and
-        # operators can see what is serving them
+        # operators can see what is serving them — *live* health, not
+        # just a replica count: quarantined replicas are flagged
         db = self.gateway.db
         shards = getattr(db, "n_shards", None)
         if shards is not None:
             welcome["shards"] = shards
             welcome["replicas"] = len(getattr(db, "replicas", ()))
+            health = self._cluster_health()
+            if health is not None:
+                welcome["topology"] = [
+                    {
+                        "name": replica["name"],
+                        "state": replica["state"],
+                        "serving": replica["serving"],
+                        "quarantined": replica["state"] == "quarantined",
+                        "lag": replica["lag"],
+                        "policy_epoch": replica["policy_epoch"],
+                    }
+                    for replica in health["replicas"]
+                ]
         await self._send(session, welcome)
+
+    def _cluster_health(self) -> Optional[dict]:
+        """The database's live health report (None off-cluster)."""
+        report = getattr(self.gateway.db, "cluster_health", None)
+        if report is None:
+            return None
+        return report()
 
     async def _handle_query(self, session: _Session, message: dict) -> None:
         request_id = message.get("id")

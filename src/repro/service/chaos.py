@@ -67,6 +67,21 @@ NET_FAULT_POINTS = (
     "net.before_send",
 )
 
+#: fault points the cluster's replication lifecycle fires
+#: (``repro.cluster``): lost failure-detector probes, truncated
+#: ship streams, faults at the start of a catch-up attempt, corrupted
+#: anti-entropy digests (reads as a divergence → automatic
+#: re-bootstrap), and a crash point inside snapshot bootstrap.  Hard
+#: ``arm()`` crashes at ``cluster.catchup`` / ``cluster.bootstrap``
+#: simulate the process dying mid-catch-up for the restart matrix.
+CLUSTER_FAULT_POINTS = (
+    "cluster.heartbeat",
+    "cluster.ship_stream",
+    "cluster.catchup",
+    "cluster.bootstrap",
+    "cluster.digest",
+)
+
 FAULT_KINDS = ("delay", "transient", "io-error", "worker-crash", "disconnect")
 
 

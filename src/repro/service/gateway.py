@@ -67,6 +67,7 @@ from repro.errors import (
     QueryCancelled,
     QueryRejectedError,
     QueryTimeout,
+    ReplicaUnavailable,
     ReproError,
     ResourceBudgetExceeded,
     ServiceDegraded,
@@ -283,6 +284,7 @@ class EnforcementGateway:
             "prepared_requests",
             "prepared_fallbacks",
             "replica_reads",
+            "replica_fallbacks",
         ):
             self.metrics.counter(counter)
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
@@ -781,12 +783,20 @@ class EnforcementGateway:
                     if query is None and resolved is not None:
                         skeleton, literals, _ = resolved
                         query = bind_skeleton(skeleton, literals)
-                    response = self._process_query_replica(
-                        request, query, replica, session, timing, ctx
-                    )
-                    if resolved is not None:
-                        response.signature = resolved[2]
-                    return response
+                    try:
+                        response = self._process_query_replica(
+                            request, query, replica, session, timing, ctx
+                        )
+                    except ReplicaUnavailable:
+                        # the replica was quarantined (or fell behind the
+                        # epoch/lag gate) between routing and execution;
+                        # fall through to the primary path below — a
+                        # correct answer, just not replica-served
+                        self.metrics.counter("replica_fallbacks").inc()
+                    else:
+                        if resolved is not None:
+                            response.signature = resolved[2]
+                        return response
                 if resolved is not None:
                     try:
                         response = self._process_prepared(
@@ -845,11 +855,20 @@ class EnforcementGateway:
         reads are mutually exclusive via the replica's lock, so a read
         can never observe a half-applied shipped batch.
         """
-        self.metrics.counter("replica_reads").inc()
-        rdb = replica.database
         decision: Optional[ValidityDecision] = None
         check_start = time.perf_counter()
         with replica.read_lock():
+            # the queue hop between routing and this lock is a window the
+            # failure detector may have used to quarantine the replica;
+            # re-check under the lock (raises ReplicaUnavailable → the
+            # caller falls back to the primary, never a stale answer).
+            # The database handle is also read under the lock: catch-up
+            # bootstrap swaps it wholesale.
+            verify = getattr(self.db, "verify_replica_serving", None)
+            if verify is not None:
+                verify(replica)
+            rdb = replica.database
+            self.metrics.counter("replica_reads").inc()
             if request.mode == "non-truman":
                 try:
                     decision = rdb.check_validity(query, session, ctx=ctx)

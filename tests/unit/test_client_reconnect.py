@@ -1,0 +1,133 @@
+"""The blocking client's bounded reconnect-and-retry machinery.
+
+No sockets here: ``_retry_idempotent`` is driven with stubbed
+``_reconnect``/``_sleep`` hooks, so the tests pin the *schedule* (the
+seeded backoff delays actually slept), the typed give-up error, and the
+writes-never-retry rule without real network flakiness.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.health import backoff_delays
+from repro.errors import (
+    ConnectionDropped,
+    ConnectionLostError,
+    ReconnectExhausted,
+)
+from repro.net.client import ReproClient, _idempotent_read
+
+
+def make_client(attempts=3, seed=7, reconnect=True) -> ReproClient:
+    """A ReproClient shell with the retry knobs set and no socket."""
+    client = ReproClient.__new__(ReproClient)
+    client.reconnect = reconnect
+    client.reconnect_attempts = attempts
+    client.reconnect_backoff = 0.05
+    client.reconnect_backoff_cap = 1.0
+    client._backoff_rng = random.Random(seed)
+    client.slept: list[float] = []
+    client._sleep = client.slept.append
+    client.redials = 0
+
+    def fake_reconnect():
+        client.redials += 1
+
+    client._reconnect = fake_reconnect
+    return client
+
+
+class FlakyRead:
+    """Fails with ConnectionLostError ``failures`` times, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionLostError(f"drop #{self.calls}")
+        return "result"
+
+
+class TestRetrySchedule:
+    def test_no_retry_when_reconnect_disabled(self):
+        client = make_client(reconnect=False)
+        with pytest.raises(ConnectionLostError):
+            client._retry_idempotent(FlakyRead(failures=1))
+        assert client.slept == [] and client.redials == 0
+
+    def test_retry_succeeds_after_redial(self):
+        client = make_client(attempts=3)
+        fn = FlakyRead(failures=1)
+        assert client._retry_idempotent(fn) == "result"
+        assert fn.calls == 2
+        assert client.redials == 1
+        assert len(client.slept) == 1
+
+    def test_sleeps_follow_seeded_backoff_schedule(self):
+        client = make_client(attempts=4, seed=99)
+        client._retry_idempotent(FlakyRead(failures=4))
+        expected = backoff_delays(
+            4, base=0.05, cap=1.0, rng=random.Random(99)
+        )
+        assert client.slept == expected
+        # exponential-with-jitter invariants, not just reproducibility
+        for i, delay in enumerate(client.slept):
+            ceiling = min(1.0, 0.05 * (2**i))
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_exhausted_budget_raises_typed_error(self):
+        client = make_client(attempts=3)
+        fn = FlakyRead(failures=100)
+        with pytest.raises(ReconnectExhausted) as info:
+            client._retry_idempotent(fn)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, ConnectionLostError)
+        assert fn.calls == 4  # the first try + one per reconnect attempt
+        assert len(client.slept) == 3
+
+    def test_give_up_error_is_a_connection_lost_error(self):
+        """Callers of the single-reconnect era catch the same class."""
+        exc = ReconnectExhausted("gone", attempts=2, last_error=None)
+        assert isinstance(exc, ConnectionLostError)
+        assert isinstance(exc, ConnectionDropped)
+
+    def test_failed_redial_consumes_an_attempt(self):
+        client = make_client(attempts=2)
+
+        def bad_reconnect():
+            client.redials += 1
+            raise ConnectionLostError("refused")
+
+        client._reconnect = bad_reconnect
+        with pytest.raises(ReconnectExhausted):
+            client._retry_idempotent(FlakyRead(failures=1))
+        assert client.redials == 2
+
+
+class TestIdempotenceGate:
+    def test_only_selects_are_idempotent(self):
+        assert _idempotent_read("select * from T")
+        assert _idempotent_read("  SELECT 1")
+        assert not _idempotent_read("insert into T values (1)")
+        assert not _idempotent_read("update T set a = 1")
+        assert not _idempotent_read("delete from T")
+        assert not _idempotent_read("create table T (a int primary key)")
+
+    def test_write_never_retries(self):
+        """A lost connection under a write surfaces immediately — the
+        first attempt may already have been applied server-side."""
+        client = make_client(attempts=5)
+
+        def lost(*args, **kwargs):
+            raise ConnectionLostError("mid-write drop")
+
+        client._ids = iter(range(1, 100))
+        client.start_query = lost
+        with pytest.raises(ConnectionLostError) as info:
+            client.query("insert into T values (1)")
+        assert not isinstance(info.value, ReconnectExhausted)
+        assert client.redials == 0 and client.slept == []

@@ -1,0 +1,225 @@
+"""The replica failure detector, anti-entropy digests, and backoff.
+
+Unit coverage for :mod:`repro.cluster.health`: the
+HEALTHY → SUSPECT → QUARANTINED → CATCHING_UP → HEALTHY state machine
+driven by a ManualClock (no wall-clock sleeps), the order-insensitive
+content digests the anti-entropy pass compares, and the shared
+exponential-backoff-with-jitter schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.health import (
+    CATCHING_UP,
+    HEALTHY,
+    QUARANTINED,
+    SUSPECT,
+    HealthMonitor,
+    backoff_delays,
+    content_digests,
+)
+from repro.db import Database
+from repro.service.clock import ManualClock
+
+
+def monitor(**kwargs) -> tuple[HealthMonitor, ManualClock]:
+    clock = ManualClock()
+    kwargs.setdefault("suspect_after", 5.0)
+    kwargs.setdefault("quarantine_after", 15.0)
+    kwargs.setdefault("failure_threshold", 3)
+    return HealthMonitor(clock=clock, **kwargs), clock
+
+
+class TestStateMachine:
+    def test_registers_healthy(self):
+        hm, _ = monitor()
+        hm.register("r0")
+        assert hm.state_of("r0") == HEALTHY
+        assert hm.is_serving("r0") and hm.may_ship("r0")
+
+    def test_silence_ages_into_suspect_then_quarantine(self):
+        hm, clock = monitor()
+        hm.register("r0")
+        clock.advance(4.9)
+        hm.tick()
+        assert hm.state_of("r0") == HEALTHY
+        clock.advance(0.2)  # past suspect_after
+        hm.tick()
+        assert hm.state_of("r0") == SUSPECT
+        assert not hm.is_serving("r0")
+        assert hm.may_ship("r0")  # suspects still receive commits
+        clock.advance(10.0)  # past quarantine_after
+        hm.tick()
+        assert hm.state_of("r0") == QUARANTINED
+        assert not hm.may_ship("r0")
+
+    def test_heartbeat_recovers_suspect(self):
+        hm, clock = monitor()
+        hm.register("r0")
+        clock.advance(6.0)
+        hm.tick()
+        assert hm.state_of("r0") == SUSPECT
+        hm.heartbeat("r0")
+        assert hm.state_of("r0") == HEALTHY
+
+    def test_heartbeat_never_promotes_quarantined(self):
+        """Only the catch-up gate (mark_healthy) may clear quarantine —
+        a stray late ship ack must not reopen routing."""
+        hm, clock = monitor()
+        hm.register("r0")
+        clock.advance(20.0)
+        hm.tick()
+        assert hm.state_of("r0") == QUARANTINED
+        hm.heartbeat("r0")
+        assert hm.state_of("r0") == QUARANTINED
+        hm.begin_catch_up("r0")
+        hm.heartbeat("r0")
+        assert hm.state_of("r0") == CATCHING_UP
+
+    def test_consecutive_failures_quarantine_immediately(self):
+        hm, _ = monitor(failure_threshold=3)
+        hm.register("r0")
+        assert hm.record_failure("r0", "boom 1") == SUSPECT
+        assert hm.record_failure("r0", "boom 2") == SUSPECT
+        assert hm.record_failure("r0", "boom 3") == QUARANTINED
+        snap = hm.snapshot()["r0"]
+        assert snap["failures"] == 3
+        assert snap["last_error"] == "boom 3"
+
+    def test_heartbeat_resets_failure_streak(self):
+        hm, _ = monitor(failure_threshold=3)
+        hm.register("r0")
+        hm.record_failure("r0")
+        hm.record_failure("r0")
+        hm.heartbeat("r0")
+        assert hm.state_of("r0") == HEALTHY
+        # streak restarted: two more failures stay SUSPECT
+        hm.record_failure("r0")
+        assert hm.record_failure("r0") == SUSPECT
+
+    def test_catch_up_cycle_counts(self):
+        hm, _ = monitor()
+        hm.register("r0")
+        hm.quarantine("r0", "partition")
+        hm.begin_catch_up("r0")
+        assert hm.state_of("r0") == CATCHING_UP
+        assert not hm.is_serving("r0") and not hm.may_ship("r0")
+        hm.mark_healthy("r0")
+        snap = hm.snapshot()["r0"]
+        assert hm.state_of("r0") == HEALTHY
+        assert snap["catchups"] == 1
+        assert snap["quarantines"] == 1
+
+    def test_divergence_accounting(self):
+        hm, _ = monitor()
+        hm.register("r0")
+        hm.register("r1")
+        hm.record_divergence("r0")
+        hm.record_divergence("r0")
+        hm.record_divergence("r1")
+        assert hm.unresolved_divergences() == 3
+        # a clean rejoin resolves that replica's divergences
+        hm.mark_healthy("r0")
+        assert hm.unresolved_divergences() == 1
+        snap = hm.snapshot()
+        assert snap["r0"]["divergences"] == 2  # history is kept
+        assert snap["r0"]["unresolved_divergences"] == 0
+        assert snap["r1"]["unresolved_divergences"] == 1
+
+    def test_snapshot_reports_heartbeat_age(self):
+        hm, clock = monitor()
+        hm.register("r0")
+        clock.advance(2.5)
+        assert hm.snapshot()["r0"]["heartbeat_age_s"] == pytest.approx(2.5)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(suspect_after=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(suspect_after=10.0, quarantine_after=5.0)
+
+
+class TestContentDigests:
+    def _db(self, rows):
+        db = Database()
+        db.execute("create table T (a int primary key, b varchar(10))")
+        for a, b in rows:
+            db.execute(f"insert into T values ({a}, '{b}')")
+        return db
+
+    def test_order_insensitive(self):
+        """The same (rid, row) multiset digests identically regardless
+        of insert order — the property that lets the coordinator's
+        merged-shard iteration compare against a replica's apply order."""
+        rows = [(1, "x"), (2, "y"), (3, "z")]
+        a = self._db(rows)
+        b = Database()
+        b.execute("create table T (a int primary key, b varchar(10))")
+        # same row ids, inserted in reverse order
+        for rid, (x, y) in reversed(list(enumerate(rows))):
+            b.table("T").insert((x, y), row_id=rid)
+        assert content_digests(a)["t"] == content_digests(b)["t"]
+
+    def test_row_difference_changes_table_digest(self):
+        a = self._db([(1, "x"), (2, "y")])
+        b = self._db([(1, "x"), (2, "Y")])
+        assert content_digests(a)["t"] != content_digests(b)["t"]
+
+    def test_digest_memoized_until_mutation(self):
+        """Table digests are cached against ``data_version``: a second
+        pass over an unmutated table reuses the digest, and any mutation
+        through the storage API invalidates it — never a stale match."""
+        db = self._db([(1, "x"), (2, "y")])
+        first = content_digests(db)["t"]
+        table = db.table("T")
+        assert table._digest_cache == (table.data_version, first)
+        # poison the cached value: an unmutated table serves the cache
+        table._digest_cache = (table.data_version, 12345)
+        assert content_digests(db)["t"] == 12345
+        # any mutation bumps data_version and forces a rehash
+        db.execute("insert into T values (3, 'z')")
+        after_insert = content_digests(db)["t"]
+        assert after_insert != 12345
+        rid, row = next(iter(table.rows_with_ids()))
+        table.update_row(rid, (row[0], "flipped"))
+        assert content_digests(db)["t"] != after_insert
+
+    def test_missing_revoke_changes_policy_digest(self):
+        """A replica that silently lost a revoke can never digest clean."""
+        a = self._db([(1, "x")])
+        a.execute("create authorization view V as select * from T")
+        a.grant("V", "u1")
+        b = self._db([(1, "x")])
+        b.execute("create authorization view V as select * from T")
+        b.grant("V", "u1")
+        assert content_digests(a)["__policy__"] == (
+            content_digests(b)["__policy__"]
+        )
+        a.grants.revoke("V", "u1")
+        assert content_digests(a)["__policy__"] != (
+            content_digests(b)["__policy__"]
+        )
+        # table digests are unaffected by the policy change
+        assert content_digests(a)["t"] == content_digests(b)["t"]
+
+
+class TestBackoffDelays:
+    def test_deterministic_with_seeded_rng(self):
+        a = backoff_delays(6, base=0.05, cap=1.0, rng=random.Random(42))
+        b = backoff_delays(6, base=0.05, cap=1.0, rng=random.Random(42))
+        assert a == b and len(a) == 6
+
+    def test_equal_jitter_bounds_and_cap(self):
+        delays = backoff_delays(10, base=0.05, cap=0.4, rng=random.Random(1))
+        for i, delay in enumerate(delays):
+            ceiling = min(0.4, 0.05 * (2**i))
+            assert ceiling / 2 <= delay <= ceiling
+        # the tail is capped, not exponential forever
+        assert max(delays) <= 0.4
+
+    def test_zero_attempts_and_validation(self):
+        assert backoff_delays(0) == []
+        with pytest.raises(ValueError):
+            backoff_delays(-1)
